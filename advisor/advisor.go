@@ -1,0 +1,264 @@
+// Package advisor is the public API of the learned partitioning advisor —
+// a Go implementation of "Learning a Partitioning Advisor for Cloud
+// Databases" (Hilprecht, Binnig, Röhm; SIGMOD 2020).
+//
+// The package re-exports the stable surface of the internal subsystems as
+// type aliases and thin constructors, so downstream code programs against
+// one import:
+//
+//	adv, _ := advisor.NewSession(advisor.SSB(), advisor.DiskCluster(), 1).
+//	st, _ := adv.TrainAndSuggest(nil)
+//
+// The full pipeline mirrors the paper's Figure 1: define (or pick) a
+// database + workload, train the DRL agent offline against the
+// network-centric cost model, optionally refine it online against measured
+// runtimes on a sampled database, then query it for partitionings as the
+// workload mix evolves.
+package advisor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/core"
+	"partadvisor/internal/costmodel"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/relation"
+	"partadvisor/internal/schema"
+	"partadvisor/internal/sqlparse"
+	"partadvisor/internal/stats"
+	"partadvisor/internal/workload"
+)
+
+// Re-exported core types. The aliases give access to the full method sets
+// of the underlying types.
+type (
+	// Schema describes tables, attributes and foreign keys.
+	Schema = schema.Schema
+	// Table is one relation definition.
+	Table = schema.Table
+	// Attribute is one column definition.
+	Attribute = schema.Attribute
+	// ForeignKey declares a reference between two tables.
+	ForeignKey = schema.ForeignKey
+	// Workload is a set of representative queries plus reserved slots.
+	Workload = workload.Workload
+	// Query is one analyzed workload query.
+	Query = workload.Query
+	// FreqVector is a workload mix (normalized query frequencies).
+	FreqVector = workload.FreqVector
+	// Space is the partitioning design space.
+	Space = partition.Space
+	// Partitioning is one complete physical design.
+	Partitioning = partition.State
+	// Relation is columnar table data.
+	Relation = relation.Relation
+	// Catalog holds table statistics.
+	Catalog = stats.Catalog
+	// Engine is the distributed execution engine.
+	Engine = exec.Engine
+	// HardwareProfile describes a cluster deployment.
+	HardwareProfile = hardware.Profile
+	// CostModel is the network-centric cost model of the offline phase.
+	CostModel = costmodel.Model
+	// Hyperparams configures DRL training (Table 1 of the paper).
+	Hyperparams = core.Hyperparams
+	// Advisor is the trained DRL partitioning advisor.
+	Advisor = core.Advisor
+	// OnlineCost measures workload costs with the §4.2 optimizations.
+	OnlineCost = core.OnlineCost
+	// Committee is the set of DRL subspace experts (§5).
+	Committee = core.Committee
+	// Benchmark bundles one built-in evaluation database.
+	Benchmark = benchmarks.Benchmark
+	// Monitor turns an observed query stream into frequency vectors.
+	Monitor = workload.Monitor
+	// Forecaster predicts future workload mixes (paper §9 future work).
+	Forecaster = workload.Forecaster
+	// RepartitionPlanner decides whether a suggested repartitioning pays
+	// off over a query horizon (paper §9 future work).
+	RepartitionPlanner = core.RepartitionPlanner
+	// RepartitionDecision is the planner's cost–benefit verdict.
+	RepartitionDecision = core.RepartitionDecision
+	// DriftDetector triggers retraining on sustained cost degradation.
+	DriftDetector = core.DriftDetector
+)
+
+// NewForecaster builds a workload-mix forecaster over vectors of the given
+// size (Holt's linear trend when trend is true).
+func NewForecaster(size int, alpha float64, trend bool) (*Forecaster, error) {
+	return workload.NewForecaster(size, alpha, trend)
+}
+
+// NewMonitor builds a workload monitor over a workload's query set.
+func NewMonitor(wl *Workload) *Monitor { return workload.NewMonitor(wl) }
+
+// Built-in benchmarks.
+func SSB() *Benchmark   { return benchmarks.SSB() }
+func TPCDS() *Benchmark { return benchmarks.TPCDS() }
+func TPCCH() *Benchmark { return benchmarks.TPCCH() }
+func TPCH() *Benchmark  { return benchmarks.TPCH() }
+func Micro() *Benchmark { return benchmarks.Micro() }
+
+// Cluster deployments.
+func DiskCluster() HardwareProfile   { return hardware.PostgresXLDisk() }
+func MemoryCluster() HardwareProfile { return hardware.SystemXMemory() }
+
+// Hyperparameter profiles.
+func PaperHyperparams(complexSchema bool) Hyperparams { return core.Paper(complexSchema) }
+func ReproHyperparams(complexSchema bool) Hyperparams { return core.Repro(complexSchema) }
+
+// ParseWorkload parses named SQL queries against a schema into a workload
+// with the given number of reserved slots for future queries.
+func ParseWorkload(name string, sch *Schema, queries map[string]string, order []string, reserved int) (*Workload, error) {
+	return workload.Parse(name, sch, queries, order, reserved)
+}
+
+// ParseQuery parses and analyzes one SQL query.
+func ParseQuery(name, sql string, sch *Schema) (*Query, error) {
+	g, err := sqlparse.ParseAndAnalyze(sql, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Name: name, SQL: sql, Graph: g, Weight: 1}, nil
+}
+
+// Session bundles one customer deployment: schema + workload + data on a
+// cluster, the offline cost model over its metadata, and a DRL advisor.
+type Session struct {
+	Bench   *Benchmark
+	Space   *Space
+	Engine  *Engine
+	Cost    *CostModel
+	Advisor *Advisor
+
+	hw   HardwareProfile
+	data map[string]*Relation
+	seed int64
+}
+
+// NewSession materializes a benchmark database on a cluster and builds an
+// untrained advisor with repro-scale hyperparameters. Disk-like profiles
+// get the Disk engine flavor (optimizer estimates exposed), others Memory.
+func NewSession(b *Benchmark, hw HardwareProfile, seed int64) (*Session, error) {
+	flavor := exec.Memory
+	if hw.ScanBytesPerSec < 1e9 {
+		flavor = exec.Disk
+	}
+	data := b.Generate(1, seed)
+	engine := exec.New(b.Schema, data, hw, flavor)
+	sp := b.Space()
+	complexSchema := len(b.Schema.Tables) > 8
+	adv, err := core.New(sp, b.Workload, core.Repro(complexSchema), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Bench:   b,
+		Space:   sp,
+		Engine:  engine,
+		Cost:    costmodel.New(engine.TrueCatalog(), hw),
+		Advisor: adv,
+		hw:      hw,
+		data:    data,
+		seed:    seed,
+	}, nil
+}
+
+// OfflineCost returns the offline training/inference cost function
+// (network-centric estimates over the deployment's metadata).
+func (s *Session) OfflineCost() func(*Partitioning, FreqVector) float64 {
+	return func(st *Partitioning, freq FreqVector) float64 {
+		return s.Cost.WorkloadCost(st, s.Bench.Workload, freq)
+	}
+}
+
+// TrainOffline bootstraps the advisor on the cost model (Algorithm 1).
+func (s *Session) TrainOffline() error {
+	return s.Advisor.TrainOffline(s.OfflineCost(), nil)
+}
+
+// TrainOnline refines the advisor against measured runtimes on a sampled
+// copy of the database (rate per table, with a minimum row floor), using
+// the paper's §4.2 optimizations. It returns the online cost function with
+// its accounting statistics.
+func (s *Session) TrainOnline(sampleRate float64, minRows int) (*OnlineCost, error) {
+	rng := rand.New(rand.NewSource(s.seed + 7))
+	sampled := make(map[string]*Relation, len(s.data))
+	for _, t := range s.Bench.Schema.Tables { // schema order: deterministic sampling
+		if rel := s.data[t.Name]; rel != nil {
+			sampled[t.Name] = rel.Sample(sampleRate, minRows, rng)
+		}
+	}
+	sample := exec.New(s.Bench.Schema, sampled, s.hw, s.Engine.Flavor)
+	freq := s.Bench.Workload.UniformFreq()
+	offSt, _, err := s.Advisor.Suggest(freq)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: train offline before online refinement: %w", err)
+	}
+	scale := core.ComputeScaleFactors(s.Engine, sample, s.Bench.Workload, offSt)
+	oc := core.NewOnlineCost(sample, s.Bench.Workload, scale)
+	if err := s.Advisor.TrainOnline(oc, nil); err != nil {
+		return nil, err
+	}
+	s.Advisor.InferCost = oc.WorkloadCost
+	return oc, nil
+}
+
+// Suggest returns the advisor's partitioning for a workload mix (nil means
+// the uniform mix).
+func (s *Session) Suggest(freq FreqVector) (*Partitioning, error) {
+	if freq == nil {
+		freq = s.Bench.Workload.UniformFreq()
+	}
+	st, _, err := s.Advisor.Suggest(freq)
+	return st, err
+}
+
+// TrainAndSuggest is the one-call happy path: offline training plus a
+// suggestion for the mix (nil = uniform).
+func (s *Session) TrainAndSuggest(freq FreqVector) (*Partitioning, error) {
+	if err := s.TrainOffline(); err != nil {
+		return nil, err
+	}
+	return s.Suggest(freq)
+}
+
+// Deploy applies a partitioning to the session's cluster and returns the
+// simulated repartitioning time.
+func (s *Session) Deploy(st *Partitioning) float64 {
+	return s.Engine.Deploy(st, nil)
+}
+
+// Explain returns the engine's chosen physical plan (scan placements, join
+// order and distribution strategies) for one query under the currently
+// deployed partitioning, plus its simulated runtime.
+func (s *Session) Explain(q *Query) (plan []string, seconds float64) {
+	return s.Engine.Explain(q.Graph)
+}
+
+// BuildCommittee trains the §5 committee of DRL subspace experts on top of
+// the (trained) advisor, using the given measured cost (typically the
+// OnlineCost from TrainOnline so the runtime cache is reused).
+func (s *Session) BuildCommittee(oc *OnlineCost) (*Committee, error) {
+	if oc == nil {
+		return nil, fmt.Errorf("advisor: committee needs the online cost (run TrainOnline first)")
+	}
+	cfg := core.DefaultCommitteeConfig(s.Advisor)
+	cfg.Seed = s.seed + 97
+	return core.BuildCommittee(s.Advisor, oc.WorkloadCost, cfg)
+}
+
+// MeasureWorkload deploys a partitioning and measures the total runtime of
+// every workload query on the full database.
+func (s *Session) MeasureWorkload(st *Partitioning) float64 {
+	s.Engine.Deploy(st, nil)
+	total := 0.0
+	for _, q := range s.Bench.Workload.Queries {
+		total += q.Weight * s.Engine.Run(q.Graph)
+	}
+	return total
+}

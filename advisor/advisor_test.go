@@ -1,0 +1,142 @@
+package advisor
+
+import (
+	"testing"
+)
+
+func TestSessionEndToEnd(t *testing.T) {
+	s, err := NewSession(Micro(), MemoryCluster(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speed the test up: tiny training budget through the exposed config.
+	hp := s.Advisor.HP
+	hp.Episodes = 30
+	hp.OnlineEpisodes = 6
+	adv := s.Advisor
+	adv.HP = hp
+
+	st, err := s.TrainAndSuggest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("nil suggestion")
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	base := s.MeasureWorkload(s.Space.InitialState())
+	got := s.MeasureWorkload(st)
+	if got > base*1.2 {
+		t.Fatalf("suggestion clearly worse than s0: %v vs %v", got, base)
+	}
+	// Online refinement runs and leaves accounting behind.
+	oc, err := s.TrainOnline(0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Stats.QueriesExecuted == 0 {
+		t.Fatalf("online phase executed nothing")
+	}
+	if _, err := s.Suggest(s.Bench.Workload.UniformFreq()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionFlavorSelection(t *testing.T) {
+	disk, err := NewSession(Micro(), DiskCluster(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := disk.Engine.EstimateCost(disk.Space.InitialState(), disk.Bench.Workload.Queries[0].Graph); !ok {
+		t.Fatalf("disk cluster should expose optimizer estimates")
+	}
+	mem, err := NewSession(Micro(), MemoryCluster(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mem.Engine.EstimateCost(mem.Space.InitialState(), mem.Bench.Workload.Queries[0].Graph); ok {
+		t.Fatalf("memory cluster should hide optimizer estimates")
+	}
+}
+
+func TestOnlineBeforeOfflineFails(t *testing.T) {
+	s, err := NewSession(Micro(), MemoryCluster(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TrainOnline(0.3, 20); err == nil {
+		t.Fatalf("online refinement without offline bootstrap accepted")
+	}
+}
+
+func TestParseWorkloadAndQuery(t *testing.T) {
+	b := Micro()
+	wl, err := ParseWorkload("w", b.Schema, map[string]string{
+		"q": "SELECT sum(a_v) FROM a, b WHERE a_b = b_id",
+	}, []string{"q"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Size() != 2 {
+		t.Fatalf("Size = %d", wl.Size())
+	}
+	q, err := ParseQuery("extra", "SELECT c_v FROM c WHERE c_v < 10", b.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot, err := wl.AddQuery(q); err != nil || slot != 1 {
+		t.Fatalf("AddQuery = %d, %v", slot, err)
+	}
+	if _, err := ParseQuery("bad", "SELECT * FROM nosuch", b.Schema); err == nil {
+		t.Fatalf("bad query accepted")
+	}
+}
+
+func TestBenchmarkConstructors(t *testing.T) {
+	for _, b := range []*Benchmark{SSB(), TPCDS(), TPCCH(), Micro()} {
+		if b.Schema == nil || b.Workload == nil {
+			t.Fatalf("%s: incomplete benchmark", b.Name)
+		}
+	}
+	if PaperHyperparams(true).Episodes != 1200 {
+		t.Fatalf("paper hyperparams wrong")
+	}
+	if err := ReproHyperparams(false).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionExplainAndCommittee(t *testing.T) {
+	s, err := NewSession(Micro(), MemoryCluster(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := s.Advisor.HP
+	hp.Episodes = 20
+	hp.OnlineEpisodes = 5
+	s.Advisor.HP = hp
+	if err := s.TrainOffline(); err != nil {
+		t.Fatal(err)
+	}
+	plan, sec := s.Explain(s.Bench.Workload.Queries[0])
+	if len(plan) == 0 || sec <= 0 {
+		t.Fatalf("Explain = %v, %v", plan, sec)
+	}
+	// Committee requires the online cost.
+	if _, err := s.BuildCommittee(nil); err == nil {
+		t.Fatalf("nil online cost accepted")
+	}
+	oc, err := s.TrainOnline(0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.BuildCommittee(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Suggest(s.Bench.Workload.UniformFreq()); err != nil {
+		t.Fatal(err)
+	}
+}

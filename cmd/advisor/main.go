@@ -1,0 +1,216 @@
+// Command advisor trains a learned partitioning advisor for one of the
+// built-in benchmark databases and prints the suggested partitioning for a
+// workload mix — the end-to-end flow of the paper's Figure 1.
+//
+// Usage:
+//
+//	advisor -bench ssb|tpcds|tpcch|micro [-engine disk|memory] [-online]
+//	        [-profile repro|paper|test] [-scale F] [-seed N]
+//	        [-freq q1=2,q2=0.5] [-save model.bin] [-load model.bin]
+//
+// With -freq, the named queries get the given relative frequencies (others
+// default to 1); the advisor then suggests the partitioning for that mix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/core"
+	"partadvisor/internal/costmodel"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/relation"
+	"partadvisor/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "ssb", "benchmark: ssb, tpcds, tpcch, tpch or micro")
+		engine    = flag.String("engine", "disk", "engine flavor: disk (Postgres-XL-like) or memory (System-X-like)")
+		online    = flag.Bool("online", false, "refine online on a sampled database after offline training")
+		profile   = flag.String("profile", "repro", "hyperparameter profile: repro, paper or test")
+		scale     = flag.Float64("scale", 1, "data scale (1 = repro scale)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		freqSpec  = flag.String("freq", "", "workload mix, e.g. q1=2,q2=0.5 (unnamed queries get 1)")
+		savePath  = flag.String("save", "", "save the trained Q-network to this file")
+		loadPath  = flag.String("load", "", "load a Q-network instead of offline training")
+	)
+	flag.Parse()
+
+	b := pickBenchmark(*benchName)
+	if b == nil {
+		fail("unknown benchmark %q (want ssb, tpcds, tpcch, tpch or micro)", *benchName)
+	}
+	complexSchema := b.Name == "tpcds" || b.Name == "tpcch" || b.Name == "tpch"
+	hp := pickProfile(*profile, complexSchema)
+
+	var hw hardware.Profile
+	var flavor exec.Flavor
+	switch *engine {
+	case "disk":
+		hw, flavor = hardware.PostgresXLDisk(), exec.Disk
+	case "memory":
+		hw, flavor = hardware.SystemXMemory(), exec.Memory
+	default:
+		fail("unknown engine %q (want disk or memory)", *engine)
+	}
+
+	fmt.Printf("generating %s at scale %g...\n", b.Name, *scale)
+	data := b.Generate(*scale, *seed)
+	eng := exec.New(b.Schema, data, hw, flavor)
+	sp := b.Space()
+	cm := costmodel.New(eng.TrueCatalog(), hw)
+	offCost := func(st *partition.State, freq workload.FreqVector) float64 {
+		return cm.WorkloadCost(st, b.Workload, freq)
+	}
+
+	adv, err := core.New(sp, b.Workload, hp, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *loadPath != "" {
+		blob, err := os.ReadFile(*loadPath)
+		if err != nil {
+			fail("load: %v", err)
+		}
+		if err := adv.LoadModel(blob); err != nil {
+			fail("load: %v", err)
+		}
+		adv.InferCost = offCost
+		fmt.Printf("loaded model from %s\n", *loadPath)
+	} else {
+		fmt.Printf("offline training: %d episodes (network-centric cost model)...\n", hp.Episodes)
+		start := time.Now()
+		if err := adv.TrainOffline(offCost, nil); err != nil {
+			fail("offline training: %v", err)
+		}
+		fmt.Printf("offline training done in %s (%d steps)\n", time.Since(start).Round(time.Millisecond), adv.StepsTrained)
+	}
+
+	if *online {
+		fmt.Printf("online refinement: %d episodes on a sampled database...\n", hp.OnlineEpisodes)
+		rng := rand.New(rand.NewSource(*seed + 1))
+		sampled := make(map[string]*relation.Relation, len(data))
+		for _, tbl := range b.Schema.Tables { // schema order: deterministic sampling
+			sampled[tbl.Name] = data[tbl.Name].Sample(0.2, 50, rng)
+		}
+		sample := exec.New(b.Schema, sampled, hw, flavor)
+		freq := b.Workload.UniformFreq()
+		offSt, _, err := adv.Suggest(freq)
+		if err != nil {
+			fail("%v", err)
+		}
+		scaleF := core.ComputeScaleFactors(eng, sample, b.Workload, offSt)
+		oc := core.NewOnlineCost(sample, b.Workload, scaleF)
+		start := time.Now()
+		if err := adv.TrainOnline(oc, nil); err != nil {
+			fail("online training: %v", err)
+		}
+		adv.InferCost = oc.WorkloadCost
+		fmt.Printf("online training done in %s (executed %d queries, %d cache hits, %.3g sim s)\n",
+			time.Since(start).Round(time.Millisecond), oc.Stats.QueriesExecuted, oc.Stats.CacheHits, oc.Stats.TotalSeconds())
+	}
+
+	if *savePath != "" {
+		blob, err := adv.SaveModel()
+		if err != nil {
+			fail("save: %v", err)
+		}
+		if err := os.WriteFile(*savePath, blob, 0o644); err != nil {
+			fail("save: %v", err)
+		}
+		fmt.Printf("saved model to %s\n", *savePath)
+	}
+
+	freq, err := parseFreq(b.Workload, *freqSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	st, reward, err := adv.Suggest(freq)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("\nsuggested partitioning (reward %.3f):\n  %s\n", reward, st)
+	eng.Deploy(st, nil)
+	total := 0.0
+	for _, q := range b.Workload.Queries {
+		total += eng.Run(q.Graph)
+	}
+	fmt.Printf("measured workload runtime under this partitioning: %.4g sim s\n", total)
+}
+
+func pickBenchmark(name string) *benchmarks.Benchmark {
+	switch name {
+	case "ssb":
+		return benchmarks.SSB()
+	case "tpcds":
+		return benchmarks.TPCDS()
+	case "tpcch":
+		return benchmarks.TPCCH()
+	case "tpch":
+		return benchmarks.TPCH()
+	case "micro":
+		return benchmarks.Micro()
+	}
+	return nil
+}
+
+func pickProfile(name string, complexSchema bool) core.Hyperparams {
+	switch name {
+	case "repro":
+		return core.Repro(complexSchema)
+	case "paper":
+		return core.Paper(complexSchema)
+	case "test":
+		return core.Test()
+	}
+	fail("unknown profile %q (want repro, paper or test)", name)
+	return core.Hyperparams{}
+}
+
+// parseFreq parses "q1=2,q2=0.5" into a normalized frequency vector; queries
+// not named default to frequency 1.
+func parseFreq(wl *workload.Workload, spec string) (workload.FreqVector, error) {
+	freq := wl.UniformFreq()
+	if spec == "" {
+		return freq, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -freq entry %q (want name=value)", part)
+		}
+		idx := wl.QueryIndex(kv[0])
+		if idx < 0 {
+			return nil, fmt.Errorf("-freq: no query %q in workload (have %v)", kv[0], queryNames(wl))
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-freq: bad value %q for %s", kv[1], kv[0])
+		}
+		freq[idx] = v
+	}
+	return freq.Normalize(), nil
+}
+
+func queryNames(wl *workload.Workload) []string {
+	out := make([]string, len(wl.Queries))
+	for i, q := range wl.Queries {
+		out[i] = q.Name
+	}
+	return out
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "advisor: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"partadvisor/internal/benchmarks"
+)
+
+func TestParseFreq(t *testing.T) {
+	wl := benchmarks.Micro().Workload
+	// Empty spec: uniform.
+	f, err := parseFreq(wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] != 1 || f[1] != 1 {
+		t.Fatalf("uniform = %v", f)
+	}
+	// Named frequencies, normalized.
+	f, err = parseFreq(wl, "qab=2, qac=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] != 1 || math.Abs(f[1]-0.25) > 1e-12 {
+		t.Fatalf("mix = %v", f)
+	}
+	// Errors.
+	for _, bad := range []string{"qab", "nosuch=1", "qab=x", "qab=-1"} {
+		if _, err := parseFreq(wl, bad); err == nil {
+			t.Errorf("parseFreq(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickBenchmark(t *testing.T) {
+	for _, name := range []string{"ssb", "tpcds", "tpcch", "micro"} {
+		if pickBenchmark(name) == nil {
+			t.Errorf("pickBenchmark(%q) = nil", name)
+		}
+	}
+	if pickBenchmark("nope") != nil {
+		t.Errorf("unknown benchmark accepted")
+	}
+}
+
+func TestQueryNames(t *testing.T) {
+	wl := benchmarks.Micro().Workload
+	names := queryNames(wl)
+	if len(names) != 2 || names[0] != "qab" {
+		t.Fatalf("queryNames = %v", names)
+	}
+}

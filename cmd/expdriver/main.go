@@ -1,0 +1,75 @@
+// Command expdriver regenerates the paper's evaluation: every table and
+// figure of §7, printed as text tables with the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	expdriver [-exp <id>] [-profile repro|paper|test] [-scale F] [-seed N] [-list]
+//
+// Run "expdriver -list" for the experiment ids. Without -exp, all
+// experiments run (minutes at the default repro profile).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"partadvisor/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (empty = all); see -list")
+		profile = flag.String("profile", "repro", "hyperparameter profile: repro, paper or test")
+		scale   = flag.Float64("scale", 0, "data scale override (default: profile's)")
+		seed    = flag.Int64("seed", 0, "seed override (default: profile's)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	var cfg experiments.Config
+	switch *profile {
+	case "repro":
+		cfg = experiments.ReproConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	case "test":
+		cfg = experiments.TestConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want repro, paper or test)\n", *profile)
+		os.Exit(2)
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	var (
+		results []*experiments.Result
+		err     error
+	)
+	if *exp == "" {
+		results, err = experiments.RunAll(cfg)
+	} else {
+		results, err = experiments.Run(*exp, cfg)
+	}
+	for _, r := range results {
+		fmt.Println(r.Render())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %s (profile %s, scale %g, seed %d)\n", time.Since(start).Round(time.Millisecond), *profile, cfg.Scale, cfg.Seed)
+}

@@ -1,0 +1,3 @@
+module partadvisor
+
+go 1.22

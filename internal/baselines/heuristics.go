@@ -1,0 +1,217 @@
+// Package baselines implements the comparison approaches of the paper's
+// evaluation (§7.1):
+//
+//   - the DBA rules of thumb: for star schemas, co-partition each fact table
+//     with the most frequently joined (Heuristic a) or the largest
+//     (Heuristic b) dimension table; for normalized schemas like TPC-CH,
+//     replicate small tables and partition large ones by primary key
+//     (Heuristic a) or greedily co-partition the largest table pairs
+//     (Heuristic b);
+//   - the Minimum-Optimizer advisor in the style of [4, 24, 31]: enumerate
+//     candidate designs and pick the one minimizing the DBMS optimizer's
+//     cost estimates;
+//   - the learned neural cost model of Exp. 4, in exploitation- and
+//     exploration-driven variants.
+package baselines
+
+import (
+	"sort"
+
+	"partadvisor/internal/partition"
+	"partadvisor/internal/stats"
+	"partadvisor/internal/workload"
+)
+
+// factRowFraction classifies a table as a fact table when it holds at least
+// this fraction of the largest table's rows.
+const factRowFraction = 0.2
+
+// replicateRowFraction: Heuristic (a) for normalized schemas replicates
+// tables below this fraction of the largest table.
+const replicateRowFraction = 0.05
+
+// factTables classifies tables as fact tables: large relative to the
+// biggest table AND referencing other tables via foreign keys (dimension
+// tables are only ever referenced, however large a fixed-size dimension may
+// look at small scale).
+func factTables(sp *partition.Space, cat *stats.Catalog) map[string]bool {
+	var maxRows int64
+	for _, ts := range sp.Tables {
+		if r := cat.Rows(ts.Name); r > maxRows {
+			maxRows = r
+		}
+	}
+	references := make(map[string]bool)
+	for _, fk := range sp.Schema.ForeignKeys {
+		references[fk.FromTable] = true
+	}
+	facts := make(map[string]bool)
+	for _, ts := range sp.Tables {
+		if references[ts.Name] && float64(cat.Rows(ts.Name)) >= factRowFraction*float64(maxRows) {
+			facts[ts.Name] = true
+		}
+	}
+	return facts
+}
+
+// joinFrequency counts, per canonical table pair, the workload-weighted
+// number of queries joining them.
+func joinFrequency(wl *workload.Workload) map[[2]string]float64 {
+	out := make(map[[2]string]float64)
+	for _, q := range wl.Queries {
+		for _, e := range q.Graph.JoinEdges() {
+			out[[2]string{e.Table1, e.Table2}] += q.Weight
+		}
+	}
+	return out
+}
+
+// applyDesign sets one table's design on a state (by key attribute list or
+// replication), tolerating keys outside the space (left unchanged).
+func applyDesign(sp *partition.Space, st *partition.State, table string, key partition.Key, replicate bool) *partition.State {
+	ti := sp.TableIndex(table)
+	if ti < 0 {
+		return st
+	}
+	var a partition.Action
+	if replicate {
+		a = partition.Action{Kind: partition.ActReplicate, Table: ti}
+	} else {
+		ki := sp.Tables[ti].KeyIndex(key)
+		if ki < 0 {
+			return st
+		}
+		a = partition.Action{Kind: partition.ActPartition, Table: ti, Key: ki}
+	}
+	if !sp.Valid(st, a) {
+		return st // already in the requested design
+	}
+	return sp.Apply(st, a)
+}
+
+// StarHeuristicA co-partitions every fact table with its most frequently
+// joined dimension and replicates the remaining dimensions.
+func StarHeuristicA(sp *partition.Space, wl *workload.Workload, cat *stats.Catalog) *partition.State {
+	return starHeuristic(sp, wl, cat, func(dimRows int64, joinWeight float64) float64 {
+		return joinWeight
+	})
+}
+
+// StarHeuristicB co-partitions every fact table with the largest dimension
+// it joins and replicates the remaining dimensions.
+func StarHeuristicB(sp *partition.Space, wl *workload.Workload, cat *stats.Catalog) *partition.State {
+	return starHeuristic(sp, wl, cat, func(dimRows int64, joinWeight float64) float64 {
+		if joinWeight == 0 {
+			return 0
+		}
+		return float64(dimRows)
+	})
+}
+
+// starHeuristic shares the fact/dimension machinery; score ranks candidate
+// dimensions per fact table.
+func starHeuristic(sp *partition.Space, wl *workload.Workload, cat *stats.Catalog, score func(dimRows int64, joinWeight float64) float64) *partition.State {
+	facts := factTables(sp, cat)
+	freq := joinFrequency(wl)
+	st := sp.InitialState()
+
+	// Replicate all non-fact tables first.
+	for _, ts := range sp.Tables {
+		if !facts[ts.Name] {
+			st = applyDesign(sp, st, ts.Name, nil, true)
+		}
+	}
+	// For each fact table pick the best-scoring dimension edge.
+	for _, ts := range sp.Tables {
+		if !facts[ts.Name] {
+			continue
+		}
+		bestScore := 0.0
+		var bestEdgeIdx = -1
+		for ei, e := range sp.Edges {
+			other, _, ok := e.Other(ts.Name)
+			if !ok || facts[other] {
+				continue
+			}
+			pair := [2]string{e.Table1, e.Table2}
+			s := score(cat.Rows(other), freq[pair])
+			if s > bestScore {
+				bestScore = s
+				bestEdgeIdx = ei
+			}
+		}
+		if bestEdgeIdx < 0 {
+			continue // no dimension edge: stay partitioned by primary key
+		}
+		e := sp.Edges[bestEdgeIdx]
+		factAttr, _ := e.AttrFor(ts.Name)
+		dim, dimAttr, _ := e.Other(ts.Name)
+		st = applyDesign(sp, st, ts.Name, partition.Key{factAttr}, false)
+		st = applyDesign(sp, st, dim, partition.Key{dimAttr}, false)
+	}
+	return st
+}
+
+// NormalizedHeuristicA replicates small tables and partitions large tables
+// by their primary key (the first candidate key).
+func NormalizedHeuristicA(sp *partition.Space, cat *stats.Catalog) *partition.State {
+	var maxRows int64
+	for _, ts := range sp.Tables {
+		if r := cat.Rows(ts.Name); r > maxRows {
+			maxRows = r
+		}
+	}
+	st := sp.InitialState()
+	for _, ts := range sp.Tables {
+		if float64(cat.Rows(ts.Name)) < replicateRowFraction*float64(maxRows) {
+			st = applyDesign(sp, st, ts.Name, nil, true)
+		}
+		// Large tables stay on Keys[0] (primary key) from the initial state.
+	}
+	return st
+}
+
+// NormalizedHeuristicB greedily co-partitions the largest pairs of joined
+// tables (by the smaller table's size) while replicating small tables.
+func NormalizedHeuristicB(sp *partition.Space, wl *workload.Workload, cat *stats.Catalog) *partition.State {
+	var maxRows int64
+	for _, ts := range sp.Tables {
+		if r := cat.Rows(ts.Name); r > maxRows {
+			maxRows = r
+		}
+	}
+	small := func(t string) bool {
+		return float64(cat.Rows(t)) < replicateRowFraction*float64(maxRows)
+	}
+	// Rank edges between two large tables by the smaller endpoint's size.
+	type cand struct {
+		edge int
+		size int64
+	}
+	var cands []cand
+	for ei, e := range sp.Edges {
+		if small(e.Table1) || small(e.Table2) {
+			continue
+		}
+		s := cat.Rows(e.Table1)
+		if r := cat.Rows(e.Table2); r < s {
+			s = r
+		}
+		cands = append(cands, cand{edge: ei, size: s})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].size > cands[j].size })
+
+	st := sp.InitialState()
+	for _, c := range cands {
+		a := partition.Action{Kind: partition.ActActivateEdge, Edge: c.edge}
+		if sp.Valid(st, a) {
+			st = sp.Apply(st, a)
+		}
+	}
+	for _, ts := range sp.Tables {
+		if small(ts.Name) {
+			st = applyDesign(sp, st, ts.Name, nil, true)
+		}
+	}
+	return st
+}

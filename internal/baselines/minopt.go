@@ -1,0 +1,78 @@
+package baselines
+
+import (
+	"partadvisor/internal/partition"
+	"partadvisor/internal/sqlparse"
+	"partadvisor/internal/workload"
+)
+
+// Estimator exposes DBMS-internal "what-if" cost estimates for hypothetical
+// partitionings. *exec.Engine satisfies it; the Memory flavor returns
+// ok == false (System-X does not expose estimates, §7.1).
+type Estimator interface {
+	EstimateCost(st *partition.State, g *sqlparse.Graph) (float64, bool)
+}
+
+// MinOptimizer implements the classical automated partitioning designers
+// [4, 24, 31]: it enumerates candidate designs (steepest-ascent hill
+// climbing over the same action space the DRL agent uses, restarted from
+// the heuristic seeds) and returns the design minimizing the optimizer's
+// estimated workload cost. ok is false when the engine exposes no
+// estimates.
+//
+// Because the estimates carry the join-count-proportional error of real
+// optimizers, minimizing them suffers the winner's curse on complex schemas
+// — the effect behind Fig. 3c of the paper.
+func MinOptimizer(sp *partition.Space, wl *workload.Workload, freq workload.FreqVector, est Estimator, seeds []*partition.State, maxSteps int) (*partition.State, bool) {
+	cost := func(st *partition.State) (float64, bool) {
+		total := 0.0
+		for i, q := range wl.Queries {
+			if i >= len(freq) || freq[i] == 0 {
+				continue
+			}
+			c, ok := est.EstimateCost(st, q.Graph)
+			if !ok {
+				return 0, false
+			}
+			total += freq[i] * q.Weight * c
+		}
+		return total, true
+	}
+	if _, ok := cost(sp.InitialState()); !ok {
+		return nil, false
+	}
+
+	starts := append([]*partition.State{sp.InitialState()}, seeds...)
+	var best *partition.State
+	bestCost := 0.0
+	for _, start := range starts {
+		st := start
+		cur, _ := cost(st)
+		for step := 0; step < maxSteps; step++ {
+			improved := false
+			var bestNext *partition.State
+			bestNextCost := cur
+			for _, a := range sp.Actions() {
+				if !sp.Valid(st, a) {
+					continue
+				}
+				next := sp.Apply(st, a)
+				if c, _ := cost(next); c < bestNextCost {
+					bestNextCost = c
+					bestNext = next
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+			st = bestNext
+			cur = bestNextCost
+		}
+		if best == nil || cur < bestCost {
+			best = st
+			bestCost = cur
+		}
+	}
+	return best, true
+}

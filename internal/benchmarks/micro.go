@@ -1,0 +1,97 @@
+package benchmarks
+
+import (
+	"partadvisor/internal/datagen"
+	"partadvisor/internal/relation"
+	"partadvisor/internal/schema"
+	"partadvisor/internal/workload"
+)
+
+// Microbenchmark repro-scale sizes, inspired (as in the paper, §7.6) by the
+// TPC-H Lineorder / Order / Partsupp size ratios: a is the fact table, c is
+// significantly larger than b, and b is wide enough that distributing its
+// scan matters.
+const (
+	microA = 100000
+	microB = 6000
+	microC = 40000
+)
+
+// Micro returns the Exp-5 deployment-adaptivity microbenchmark: fact table
+// a, small-but-wide dimension b, larger dimension c, and two queries joining
+// a with one dimension each at 2–5% selectivity. In the optimal design, a
+// and c are co-partitioned (c is too large to move); whether b should be
+// partitioned or replicated depends on the network-vs-scan speed ratio of
+// the deployment — the decision the DRL agent must adapt.
+func Micro() *Benchmark {
+	sch := schema.New("micro",
+		[]*schema.Table{
+			{
+				Name:       "a",
+				Attributes: attrs(8, "a_id", "a_b", "a_c", "a_v", "a_w"),
+				PrimaryKey: []string{"a_id"},
+			},
+			{
+				Name:       "b",
+				Attributes: attrs(8, "b_id", "b_v", "b_p1", "b_p2", "b_p3", "b_p4", "b_p5", "b_p6"),
+				PrimaryKey: []string{"b_id"},
+			},
+			{
+				Name:       "c",
+				Attributes: attrs(8, "c_id", "c_v"),
+				PrimaryKey: []string{"c_id"},
+			},
+		},
+		[]schema.ForeignKey{
+			{FromTable: "a", FromAttr: "a_b", ToTable: "b", ToAttr: "b_id"},
+			{FromTable: "a", FromAttr: "a_c", ToTable: "c", ToAttr: "c_id"},
+		},
+	)
+	// Selectivity filters live on the fact table (2-5%, §7.6): the join
+	// must still move dimension-side tuples in full, which is exactly the
+	// partition-vs-replicate trade-off the deployment experiment flips.
+	queries := map[string]string{
+		"qab": "SELECT sum(a_v), sum(a_w) FROM a, b WHERE a_b = b_id AND a_v < 40000",
+		"qac": "SELECT sum(a_v), sum(a_w) FROM a, c WHERE a_c = c_id AND a_v BETWEEN 100000 AND 139999",
+	}
+	wl := workload.MustParse("micro", sch, queries, []string{"qab", "qac"}, 1)
+	return &Benchmark{
+		Name:     "micro",
+		Schema:   sch,
+		Workload: wl,
+		Generate: generateMicro,
+	}
+}
+
+func generateMicro(scale float64, seed int64) map[string]*relation.Relation {
+	g := datagen.New(seed)
+	nA := datagen.ScaleRows(microA, scale, 4000)
+	nB := datagen.ScaleRows(microB, scale, 400)
+	nC := datagen.ScaleRows(microC, scale, 1600)
+
+	a := datagen.Table("a", map[string][]int64{
+		"a_id": g.Seq(nA),
+		"a_b":  g.Uniform(nA, int64(nB)),
+		"a_c":  g.Uniform(nA, int64(nC)),
+		"a_v":  g.Uniform(nA, 1000000), // qab selects a_v < 40000 (~4%), qac a 4% band
+		"a_w":  g.Uniform(nA, 1000000),
+	}, []string{"a_id", "a_b", "a_c", "a_v", "a_w"})
+
+	b := datagen.Table("b", map[string][]int64{
+		"b_id": g.Seq(nB),
+		"b_v":  g.Uniform(nB, 1000),
+		"b_p1": g.Uniform(nB, 1<<40),
+		"b_p2": g.Uniform(nB, 1<<40),
+		"b_p3": g.Uniform(nB, 1<<40),
+		"b_p4": g.Uniform(nB, 1<<40),
+		"b_p5": g.Uniform(nB, 1<<40),
+		"b_p6": g.Uniform(nB, 1<<40),
+	}, []string{"b_id", "b_v", "b_p1", "b_p2", "b_p3", "b_p4", "b_p5", "b_p6"})
+
+	c := datagen.Table("c", map[string][]int64{
+		"c_id": g.Seq(nC),
+		"c_v":  g.Uniform(nC, 1000), // c_v < 40 selects ~4%
+	}, []string{"c_id", "c_v"})
+
+	return map[string]*relation.Relation{"a": a, "b": b, "c": c}
+}

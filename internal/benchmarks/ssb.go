@@ -1,0 +1,169 @@
+package benchmarks
+
+import (
+	"partadvisor/internal/datagen"
+	"partadvisor/internal/relation"
+	"partadvisor/internal/schema"
+	"partadvisor/internal/workload"
+)
+
+// SSB row counts at repro scale 1.0 (ratio-preserving: at SF=100 the paper
+// has lineorder 600M, customer 3M, supplier 200k, part 1.4M, date 2556 —
+// customer is the largest dimension and date the most frequently joined).
+const (
+	ssbLineorder = 60000
+	ssbCustomer  = 3000
+	ssbSupplier  = 200
+	ssbPart      = 1400
+)
+
+// SSB returns the Star Schema Benchmark: 5 tables, 13 queries in 4 flights.
+func SSB() *Benchmark {
+	sch := schema.New("ssb",
+		[]*schema.Table{
+			{
+				Name: "lineorder",
+				Attributes: attrs(8,
+					"lo_orderkey", "lo_custkey", "lo_partkey", "lo_suppkey", "lo_orderdate",
+					"lo_quantity", "lo_discount", "lo_revenue", "lo_extendedprice", "lo_supplycost"),
+				PrimaryKey: []string{"lo_orderkey"},
+			},
+			{
+				Name:       "customer",
+				Attributes: catAttrs(attrs(8, "c_custkey"), 16, "c_city", "c_nation", "c_region"),
+				PrimaryKey: []string{"c_custkey"},
+			},
+			{
+				Name:       "supplier",
+				Attributes: catAttrs(attrs(8, "s_suppkey"), 16, "s_city", "s_nation", "s_region"),
+				PrimaryKey: []string{"s_suppkey"},
+			},
+			{
+				Name:       "part",
+				Attributes: catAttrs(attrs(8, "p_partkey"), 16, "p_mfgr", "p_category", "p_brand1"),
+				PrimaryKey: []string{"p_partkey"},
+			},
+			{
+				Name:       "date",
+				Attributes: attrs(8, "d_datekey", "d_year", "d_month", "d_week"),
+				PrimaryKey: []string{"d_datekey"},
+			},
+		},
+		[]schema.ForeignKey{
+			{FromTable: "lineorder", FromAttr: "lo_custkey", ToTable: "customer", ToAttr: "c_custkey"},
+			{FromTable: "lineorder", FromAttr: "lo_partkey", ToTable: "part", ToAttr: "p_partkey"},
+			{FromTable: "lineorder", FromAttr: "lo_suppkey", ToTable: "supplier", ToAttr: "s_suppkey"},
+			{FromTable: "lineorder", FromAttr: "lo_orderdate", ToTable: "date", ToAttr: "d_datekey"},
+		},
+	)
+
+	// The 13 SSB queries. Flight 1 joins only date; flight 2 part+supplier;
+	// flight 3 customer+supplier+date; flight 4 all four dimensions.
+	queries := map[string]string{
+		"Q1.1": `SELECT sum(lo_extendedprice * lo_discount) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey AND d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25`,
+		"Q1.2": `SELECT sum(lo_extendedprice * lo_discount) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey AND d_month = 1 AND d_year = 1994 AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35`,
+		"Q1.3": `SELECT sum(lo_extendedprice * lo_discount) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey AND d_week = 6 AND d_year = 1994 AND lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35`,
+		"Q2.1": `SELECT sum(lo_revenue), d_year, p_brand1 FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey
+			AND p_category = 3 AND s_region = 1 GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1`,
+		"Q2.2": `SELECT sum(lo_revenue), d_year, p_brand1 FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey
+			AND p_brand1 BETWEEN 120 AND 127 AND s_region = 2 GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1`,
+		"Q2.3": `SELECT sum(lo_revenue), d_year, p_brand1 FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey
+			AND p_brand1 = 260 AND s_region = 3 GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1`,
+		"Q3.1": `SELECT c_nation, s_nation, d_year, sum(lo_revenue) FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			AND c_region = 2 AND s_region = 2 AND d_year BETWEEN 1992 AND 1997
+			GROUP BY c_nation, s_nation, d_year ORDER BY d_year`,
+		"Q3.2": `SELECT c_city, s_city, d_year, sum(lo_revenue) FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			AND c_nation = 9 AND s_nation = 9 AND d_year BETWEEN 1992 AND 1997
+			GROUP BY c_city, s_city, d_year ORDER BY d_year`,
+		"Q3.3": `SELECT c_city, s_city, d_year, sum(lo_revenue) FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			AND c_city IN (91, 95) AND s_city IN (91, 95) AND d_year BETWEEN 1992 AND 1997
+			GROUP BY c_city, s_city, d_year ORDER BY d_year`,
+		"Q3.4": `SELECT c_city, s_city, d_year, sum(lo_revenue) FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			AND c_city IN (91, 95) AND s_city IN (91, 95) AND d_month = 12 AND d_year = 1997
+			GROUP BY c_city, s_city, d_year ORDER BY d_year`,
+		"Q4.1": `SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) FROM date, customer, supplier, part, lineorder
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+			AND c_region = 1 AND s_region = 1 AND p_mfgr IN (1, 2) GROUP BY d_year, c_nation ORDER BY d_year, c_nation`,
+		"Q4.2": `SELECT d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) FROM date, customer, supplier, part, lineorder
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+			AND c_region = 1 AND s_region = 1 AND d_year IN (1997, 1998) AND p_mfgr IN (1, 2)
+			GROUP BY d_year, s_nation, p_category ORDER BY d_year, s_nation, p_category`,
+		"Q4.3": `SELECT d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) FROM date, customer, supplier, part, lineorder
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+			AND s_nation = 24 AND d_year IN (1997, 1998) AND p_category = 14
+			GROUP BY d_year, s_city, p_brand1 ORDER BY d_year, s_city, p_brand1`,
+	}
+	order := []string{"Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"}
+	wl := workload.MustParse("ssb", sch, queries, order, 4)
+
+	return &Benchmark{
+		Name:     "ssb",
+		Schema:   sch,
+		Workload: wl,
+		Generate: generateSSB,
+	}
+}
+
+func generateSSB(scale float64, seed int64) map[string]*relation.Relation {
+	g := datagen.New(seed)
+	nLO := datagen.ScaleRows(ssbLineorder, scale, 1000)
+	nC := datagen.ScaleRows(ssbCustomer, scale, 50)
+	nS := datagen.ScaleRows(ssbSupplier, scale, 10)
+	nP := datagen.ScaleRows(ssbPart, scale, 30)
+
+	date := datagen.DateDim("date", 1992, 1998)
+	dateKeys := date.Col("d_datekey")
+
+	customer := datagen.Table("customer", map[string][]int64{
+		"c_custkey": g.Seq(nC),
+		"c_city":    g.Uniform(nC, 250),
+		"c_nation":  g.Uniform(nC, 25),
+		"c_region":  g.Uniform(nC, 5),
+	}, []string{"c_custkey", "c_city", "c_nation", "c_region"})
+
+	supplier := datagen.Table("supplier", map[string][]int64{
+		"s_suppkey": g.Seq(nS),
+		"s_city":    g.Uniform(nS, 250),
+		"s_nation":  g.Uniform(nS, 25),
+		"s_region":  g.Uniform(nS, 5),
+	}, []string{"s_suppkey", "s_city", "s_nation", "s_region"})
+
+	part := datagen.Table("part", map[string][]int64{
+		"p_partkey":  g.Seq(nP),
+		"p_mfgr":     g.Uniform(nP, 5),
+		"p_category": g.Uniform(nP, 25),
+		"p_brand1":   g.Uniform(nP, 1000),
+	}, []string{"p_partkey", "p_mfgr", "p_category", "p_brand1"})
+
+	lineorder := datagen.Table("lineorder", map[string][]int64{
+		"lo_orderkey":      g.Seq(nLO),
+		"lo_custkey":       g.Uniform(nLO, int64(nC)),
+		"lo_partkey":       g.Uniform(nLO, int64(nP)),
+		"lo_suppkey":       g.Uniform(nLO, int64(nS)),
+		"lo_orderdate":     g.FK(nLO, dateKeys),
+		"lo_quantity":      g.UniformRange(nLO, 1, 50),
+		"lo_discount":      g.UniformRange(nLO, 0, 10),
+		"lo_revenue":       g.Uniform(nLO, 1000000),
+		"lo_extendedprice": g.Uniform(nLO, 1000000),
+		"lo_supplycost":    g.Uniform(nLO, 100000),
+	}, []string{"lo_orderkey", "lo_custkey", "lo_partkey", "lo_suppkey", "lo_orderdate",
+		"lo_quantity", "lo_discount", "lo_revenue", "lo_extendedprice", "lo_supplycost"})
+
+	return map[string]*relation.Relation{
+		"lineorder": lineorder,
+		"customer":  customer,
+		"supplier":  supplier,
+		"part":      part,
+		"date":      date,
+	}
+}

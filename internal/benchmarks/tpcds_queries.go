@@ -1,0 +1,240 @@
+package benchmarks
+
+// tpcdsQueries defines the 60-query TPC-DS workload (the subset size the
+// paper could run on Postgres-XL). Each query captures the join structure
+// that matters to a partitioning advisor — the table set, the join
+// predicates and representative filter selectivities — across the families
+// of the official workload: per-channel star joins, sales–returns joins
+// (the fact-fact joins behind the paper's item co-partitioning insight),
+// demographics chains, inventory, cross-channel subqueries, and nested
+// EXISTS/IN forms.
+func tpcdsQueries() map[string]string {
+	return map[string]string{
+		// --- Store channel star joins -------------------------------------
+		"q01": `SELECT d_year, sum(ss_sales_price) FROM store_sales, date_dim
+			WHERE ss_sold_date_sk = d_date_sk AND d_year = 2000 GROUP BY d_year`,
+		"q02": `SELECT i_category_id, sum(ss_sales_price) FROM store_sales, item
+			WHERE ss_item_sk = i_item_sk AND i_category_id = 3 GROUP BY i_category_id`,
+		"q03": `SELECT d_moy, i_brand_id, sum(ss_sales_price) FROM store_sales, date_dim, item
+			WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+			AND i_manufact_id = 436 AND d_year = 1999 GROUP BY d_moy, i_brand_id`,
+		"q04": `SELECT s_state, sum(ss_sales_price) FROM store_sales, store, date_dim
+			WHERE ss_store_sk = s_store_sk AND ss_sold_date_sk = d_date_sk
+			AND d_year = 2001 AND d_moy BETWEEN 1 AND 3 GROUP BY s_state`,
+		"q05": `SELECT c_birth_year, count(*) FROM store_sales, customer, date_dim
+			WHERE ss_customer_sk = c_customer_sk AND ss_sold_date_sk = d_date_sk
+			AND d_year = 2002 GROUP BY c_birth_year`,
+		"q06": `SELECT ca_state, count(*) FROM store_sales, customer, customer_address, date_dim
+			WHERE ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+			AND ss_sold_date_sk = d_date_sk AND d_year = 2000 AND d_moy = 2 GROUP BY ca_state`,
+		"q07": `SELECT i_brand_id, sum(ss_quantity) FROM store_sales, customer_demographics, item, promotion, date_dim
+			WHERE ss_cdemo_sk = cd_demo_sk AND ss_item_sk = i_item_sk AND ss_promo_sk = p_promo_sk
+			AND ss_sold_date_sk = d_date_sk AND cd_gender = 1 AND cd_marital_status = 2
+			AND d_year = 2000 GROUP BY i_brand_id`,
+		"q08": `SELECT s_store_sk, sum(ss_sales_price) FROM store_sales, store, time_dim, household_demographics
+			WHERE ss_store_sk = s_store_sk AND ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk
+			AND t_hour = 20 AND hd_dep_count = 7 GROUP BY s_store_sk`,
+		"q09": `SELECT count(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20 AND ss_sales_price > 5000`,
+		"q10": `SELECT cd_education_status, count(*) FROM customer, customer_demographics, customer_address
+			WHERE c_current_cdemo_sk = cd_demo_sk AND c_current_addr_sk = ca_address_sk
+			AND ca_state IN (1, 5, 9) GROUP BY cd_education_status`,
+		// --- Catalog channel ----------------------------------------------
+		"q11": `SELECT d_year, sum(cs_sales_price) FROM catalog_sales, date_dim
+			WHERE cs_sold_date_sk = d_date_sk AND d_year = 1999 GROUP BY d_year`,
+		"q12": `SELECT i_class_id, sum(cs_sales_price) FROM catalog_sales, item, date_dim
+			WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+			AND i_category_id IN (1, 2, 3) AND d_year = 2001 GROUP BY i_class_id`,
+		"q13": `SELECT cc_class, sum(cs_sales_price) FROM catalog_sales, call_center, date_dim
+			WHERE cs_call_center_sk = cc_call_center_sk AND cs_sold_date_sk = d_date_sk
+			AND d_year = 2000 GROUP BY cc_class`,
+		"q14": `SELECT cp_type, count(*) FROM catalog_sales, catalog_page
+			WHERE cs_catalog_page_sk = cp_catalog_page_sk AND cp_type = 1 GROUP BY cp_type`,
+		"q15": `SELECT ca_state, sum(cs_sales_price) FROM catalog_sales, customer, customer_address, date_dim
+			WHERE cs_bill_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+			AND cs_sold_date_sk = d_date_sk AND d_year = 2001 AND d_moy = 4 GROUP BY ca_state`,
+		"q16": `SELECT sm_type, count(*) FROM catalog_sales, ship_mode, warehouse, date_dim
+			WHERE cs_ship_mode_sk = sm_ship_mode_sk AND cs_warehouse_sk = w_warehouse_sk
+			AND cs_sold_date_sk = d_date_sk AND d_year = 2002 GROUP BY sm_type`,
+		"q17": `SELECT i_manufact_id, sum(cs_quantity) FROM catalog_sales, item, promotion, date_dim
+			WHERE cs_item_sk = i_item_sk AND cs_promo_sk = p_promo_sk AND cs_sold_date_sk = d_date_sk
+			AND p_channel = 2 AND d_year = 1998 GROUP BY i_manufact_id`,
+		"q18": `SELECT cd_gender, avg(cs_quantity) FROM catalog_sales, customer, customer_demographics
+			WHERE cs_bill_customer_sk = c_customer_sk AND c_current_cdemo_sk = cd_demo_sk
+			AND cd_education_status = 4 GROUP BY cd_gender`,
+		// --- Web channel ---------------------------------------------------
+		"q19": `SELECT d_year, sum(ws_sales_price) FROM web_sales, date_dim
+			WHERE ws_sold_date_sk = d_date_sk AND d_year = 2003 GROUP BY d_year`,
+		"q20": `SELECT i_category_id, sum(ws_sales_price) FROM web_sales, item, date_dim
+			WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk
+			AND i_class_id IN (21, 22, 23) AND d_year = 2000 GROUP BY i_category_id`,
+		"q21": `SELECT web_class, count(*) FROM web_sales, web_site
+			WHERE ws_web_site_sk = web_site_sk GROUP BY web_class`,
+		"q22": `SELECT wp_char_count, count(*) FROM web_sales, web_page, date_dim
+			WHERE ws_web_page_sk = wp_web_page_sk AND ws_sold_date_sk = d_date_sk
+			AND d_year = 2001 GROUP BY wp_char_count`,
+		"q23": `SELECT ca_gmt_offset, sum(ws_sales_price) FROM web_sales, customer, customer_address
+			WHERE ws_bill_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+			AND ca_gmt_offset = -6 GROUP BY ca_gmt_offset`,
+		"q24": `SELECT w_warehouse_sk, sm_type, count(*) FROM web_sales, warehouse, ship_mode, date_dim
+			WHERE ws_warehouse_sk = w_warehouse_sk AND ws_ship_mode_sk = sm_ship_mode_sk
+			AND ws_sold_date_sk = d_date_sk AND d_year = 2002 GROUP BY w_warehouse_sk, sm_type`,
+		// --- Sales-returns fact-fact joins (the Fig. 3c insight) ----------
+		"q25": `SELECT i_category_id, sum(sr_return_amt) FROM store_sales, store_returns, item
+			WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+			AND ss_item_sk = i_item_sk GROUP BY i_category_id`,
+		"q26": `SELECT d_year, count(*) FROM store_sales, store_returns, date_dim
+			WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+			AND sr_returned_date_sk = d_date_sk AND d_year = 2000 GROUP BY d_year`,
+		"q27": `SELECT r_reason_desc, count(*) FROM store_returns, reason, date_dim
+			WHERE sr_reason_sk = r_reason_sk AND sr_returned_date_sk = d_date_sk
+			AND d_year = 2001 GROUP BY r_reason_desc`,
+		"q28": `SELECT i_brand_id, sum(cr_return_amount) FROM catalog_sales, catalog_returns, item
+			WHERE cs_order_number = cr_order_number AND cs_item_sk = cr_item_sk
+			AND cs_item_sk = i_item_sk GROUP BY i_brand_id`,
+		"q29": `SELECT cc_class, count(*) FROM catalog_sales, catalog_returns, call_center
+			WHERE cs_order_number = cr_order_number AND cs_item_sk = cr_item_sk
+			AND cs_call_center_sk = cc_call_center_sk GROUP BY cc_class`,
+		"q30": `SELECT c_birth_year, sum(wr_return_amt) FROM web_returns, customer, date_dim
+			WHERE wr_returning_customer_sk = c_customer_sk AND wr_returned_date_sk = d_date_sk
+			AND d_year = 2002 GROUP BY c_birth_year`,
+		"q31": `SELECT i_class_id, sum(wr_return_amt) FROM web_sales, web_returns, item
+			WHERE ws_order_number = wr_order_number AND ws_item_sk = wr_item_sk
+			AND ws_item_sk = i_item_sk GROUP BY i_class_id`,
+		"q32": `SELECT sr_reason_sk, count(*) FROM store_sales, store_returns, reason, customer
+			WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+			AND sr_reason_sk = r_reason_sk AND sr_customer_sk = c_customer_sk
+			AND c_birth_year BETWEEN 1960 AND 1970 GROUP BY sr_reason_sk`,
+		// --- Demographics chains ------------------------------------------
+		"q33": `SELECT ib_income_band_sk, count(*) FROM customer, household_demographics, income_band
+			WHERE c_current_hdemo_sk = hd_demo_sk AND hd_income_band_sk = ib_income_band_sk
+			GROUP BY ib_income_band_sk`,
+		"q34": `SELECT hd_dep_count, sum(ss_sales_price) FROM store_sales, household_demographics, income_band, date_dim
+			WHERE ss_hdemo_sk = hd_demo_sk AND hd_income_band_sk = ib_income_band_sk
+			AND ss_sold_date_sk = d_date_sk AND ib_lower_bound > 30000 AND d_year = 1999
+			GROUP BY hd_dep_count`,
+		"q35": `SELECT cd_marital_status, ca_state, count(*) FROM catalog_sales, customer, customer_demographics, customer_address
+			WHERE cs_bill_customer_sk = c_customer_sk AND c_current_cdemo_sk = cd_demo_sk
+			AND c_current_addr_sk = ca_address_sk AND ca_state < 10 GROUP BY cd_marital_status, ca_state`,
+		"q36": `SELECT cd_gender, hd_dep_count, count(*) FROM web_sales, customer, customer_demographics, household_demographics
+			WHERE ws_bill_customer_sk = c_customer_sk AND c_current_cdemo_sk = cd_demo_sk
+			AND c_current_hdemo_sk = hd_demo_sk AND cd_gender = 0 GROUP BY cd_gender, hd_dep_count`,
+		// --- Inventory -----------------------------------------------------
+		"q37": `SELECT w_warehouse_sk, sum(inv_quantity_on_hand) FROM inventory, warehouse, date_dim
+			WHERE inv_warehouse_sk = w_warehouse_sk AND inv_date_sk = d_date_sk
+			AND d_year = 2000 AND d_moy = 6 GROUP BY w_warehouse_sk`,
+		"q38": `SELECT i_item_sk, sum(inv_quantity_on_hand) FROM inventory, item, date_dim
+			WHERE inv_item_sk = i_item_sk AND inv_date_sk = d_date_sk
+			AND i_current_price BETWEEN 50 AND 100 AND d_year = 2001 GROUP BY i_item_sk`,
+		"q39": `SELECT w_sq_ft, i_brand_id, count(*) FROM inventory, warehouse, item
+			WHERE inv_warehouse_sk = w_warehouse_sk AND inv_item_sk = i_item_sk
+			AND inv_quantity_on_hand BETWEEN 100 AND 500 GROUP BY w_sq_ft, i_brand_id`,
+		"q40": `SELECT i_item_sk, count(*) FROM catalog_sales, inventory, warehouse
+			WHERE cs_item_sk = inv_item_sk AND inv_warehouse_sk = w_warehouse_sk
+			AND inv_quantity_on_hand < 50 AND cs_quantity > 50 GROUP BY i_item_sk`,
+		// --- Multi-dimension 5/6-way stars ---------------------------------
+		"q41": `SELECT s_state, i_category_id, d_year, sum(ss_sales_price)
+			FROM store_sales, store, item, date_dim, customer
+			WHERE ss_store_sk = s_store_sk AND ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+			AND ss_customer_sk = c_customer_sk AND d_year IN (1999, 2000)
+			GROUP BY s_state, i_category_id, d_year`,
+		"q42": `SELECT cc_class, i_brand_id, sum(cs_sales_price)
+			FROM catalog_sales, call_center, item, date_dim, promotion
+			WHERE cs_call_center_sk = cc_call_center_sk AND cs_item_sk = i_item_sk
+			AND cs_sold_date_sk = d_date_sk AND cs_promo_sk = p_promo_sk
+			AND d_year = 2001 AND p_channel IN (1, 2) GROUP BY cc_class, i_brand_id`,
+		"q43": `SELECT web_class, ca_state, sum(ws_sales_price)
+			FROM web_sales, web_site, customer, customer_address, date_dim
+			WHERE ws_web_site_sk = web_site_sk AND ws_bill_customer_sk = c_customer_sk
+			AND c_current_addr_sk = ca_address_sk AND ws_sold_date_sk = d_date_sk
+			AND d_year = 2002 GROUP BY web_class, ca_state`,
+		"q44": `SELECT i_category_id, cd_education_status, sum(ss_quantity)
+			FROM store_sales, item, customer_demographics, promotion, store, date_dim
+			WHERE ss_item_sk = i_item_sk AND ss_cdemo_sk = cd_demo_sk AND ss_promo_sk = p_promo_sk
+			AND ss_store_sk = s_store_sk AND ss_sold_date_sk = d_date_sk
+			AND d_year = 1998 AND cd_marital_status = 1 GROUP BY i_category_id, cd_education_status`,
+		"q45": `SELECT w_warehouse_sk, sm_type, cp_type, count(*)
+			FROM catalog_sales, warehouse, ship_mode, catalog_page, date_dim
+			WHERE cs_warehouse_sk = w_warehouse_sk AND cs_ship_mode_sk = sm_ship_mode_sk
+			AND cs_catalog_page_sk = cp_catalog_page_sk AND cs_sold_date_sk = d_date_sk
+			AND d_year = 2003 GROUP BY w_warehouse_sk, sm_type, cp_type`,
+		// --- Cross-channel via subqueries ----------------------------------
+		"q46": `SELECT c_customer_sk, count(*) FROM store_sales, customer
+			WHERE ss_customer_sk = c_customer_sk AND c_customer_sk IN (
+				SELECT ws_bill_customer_sk FROM web_sales, date_dim
+				WHERE ws_sold_date_sk = d_date_sk AND d_year = 2000)
+			GROUP BY c_customer_sk`,
+		"q47": `SELECT i_item_sk FROM item WHERE i_item_sk IN (
+				SELECT cs_item_sk FROM catalog_sales WHERE cs_quantity > 90)
+			AND i_item_sk IN (SELECT ws_item_sk FROM web_sales WHERE ws_quantity > 90)`,
+		"q48": `SELECT d_year, count(*) FROM catalog_sales, date_dim
+			WHERE cs_sold_date_sk = d_date_sk AND cs_bill_customer_sk IN (
+				SELECT sr_customer_sk FROM store_returns WHERE sr_return_amt > 4000)
+			GROUP BY d_year`,
+		"q49": `SELECT c_birth_year, count(*) FROM customer
+			WHERE c_customer_sk NOT IN (SELECT ss_customer_sk FROM store_sales, date_dim
+				WHERE ss_sold_date_sk = d_date_sk AND d_year = 2003)
+			GROUP BY c_birth_year`,
+		"q50": `SELECT i_manufact_id FROM item
+			WHERE EXISTS (SELECT inv_item_sk FROM inventory
+				WHERE inv_item_sk = i_item_sk AND inv_quantity_on_hand > 900)
+			AND i_current_price > 200`,
+		// --- Nested / correlated forms --------------------------------------
+		"q51": `SELECT s_state, count(*) FROM store_sales, store
+			WHERE ss_store_sk = s_store_sk AND EXISTS (
+				SELECT sr_ticket_number FROM store_returns
+				WHERE sr_ticket_number = ss_ticket_number AND sr_item_sk = ss_item_sk AND sr_return_amt > 2500)
+			GROUP BY s_state`,
+		"q52": `SELECT cc_class, count(*) FROM catalog_sales, call_center
+			WHERE cs_call_center_sk = cc_call_center_sk AND NOT EXISTS (
+				SELECT cr_order_number FROM catalog_returns
+				WHERE cr_order_number = cs_order_number AND cr_item_sk = cs_item_sk)
+			GROUP BY cc_class`,
+		"q53": `SELECT d_year, sum(ws_sales_price) FROM web_sales, date_dim
+			WHERE ws_sold_date_sk = d_date_sk AND ws_item_sk IN (
+				SELECT i_item_sk FROM item WHERE i_brand_id IN (
+					SELECT i_brand_id FROM item WHERE i_manufact_id < 20))
+			GROUP BY d_year`,
+		"q54": `SELECT count(*) FROM customer WHERE c_current_cdemo_sk IN (
+				SELECT cd_demo_sk FROM customer_demographics WHERE cd_education_status = 6)
+			AND c_current_hdemo_sk IN (
+				SELECT hd_demo_sk FROM household_demographics, income_band
+				WHERE hd_income_band_sk = ib_income_band_sk AND ib_upper_bound > 150000)`,
+		// --- Reporting scans and remaining shapes ---------------------------
+		"q55": `SELECT ss_store_sk, sum(ss_sales_price) FROM store_sales
+			WHERE ss_sales_price BETWEEN 100 AND 500 GROUP BY ss_store_sk`,
+		"q56": `SELECT t_hour, count(*) FROM store_sales, time_dim
+			WHERE ss_sold_time_sk = t_time_sk AND t_hour BETWEEN 8 AND 11 GROUP BY t_hour`,
+		"q57": `SELECT p_channel, d_year, sum(ws_sales_price) FROM web_sales, promotion, date_dim
+			WHERE ws_promo_sk = p_promo_sk AND ws_sold_date_sk = d_date_sk
+			AND p_channel = 3 GROUP BY p_channel, d_year`,
+		"q58": `SELECT i_category_id, sum(ss_sales_price), sum(sr_return_amt)
+			FROM store_sales, store_returns, item, date_dim
+			WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+			AND ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+			AND d_year BETWEEN 1999 AND 2001 GROUP BY i_category_id`,
+		"q59": `SELECT r_reason_desc, sum(wr_return_amt) FROM web_sales, web_returns, reason, customer
+			WHERE ws_order_number = wr_order_number AND ws_item_sk = wr_item_sk
+			AND wr_reason_sk = r_reason_sk AND wr_returning_customer_sk = c_customer_sk
+			GROUP BY r_reason_desc`,
+		"q60": `SELECT i_category_id, sum(cs_sales_price) FROM catalog_sales, item, date_dim, customer, customer_address
+			WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+			AND cs_bill_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+			AND ca_gmt_offset = -7 AND d_year = 2000 GROUP BY i_category_id`,
+	}
+}
+
+func tpcdsOrder() []string {
+	out := make([]string, 60)
+	for i := range out {
+		n := i + 1
+		out[i] = "q" + pad2(n)
+	}
+	return out
+}
+
+func pad2(n int) string {
+	if n < 10 {
+		return "0" + itoa(n)
+	}
+	return itoa(n)
+}

@@ -1,0 +1,234 @@
+// Package cluster models a shared-nothing database cluster: N nodes, each
+// holding hash-partitioned shards and/or full replicas of tables. Deploying
+// a new design physically redistributes the stored rows and reports the
+// bytes that crossed the network — the basis of repartitioning-time
+// accounting in the online training phase.
+package cluster
+
+import (
+	"fmt"
+
+	"partadvisor/internal/relation"
+)
+
+// Design is the physical design of one table on the cluster.
+type Design struct {
+	// Replicated places a full copy on every node.
+	Replicated bool
+	// Key hash-partitions rows by these columns; an empty key with
+	// Replicated == false means round-robin (the initial layout of loaded
+	// data before any explicit design decision).
+	Key []string
+}
+
+// Equal reports whether two designs are identical.
+func (d Design) Equal(o Design) bool {
+	if d.Replicated != o.Replicated || len(d.Key) != len(o.Key) {
+		return false
+	}
+	for i := range d.Key {
+		if d.Key[i] != o.Key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the design.
+func (d Design) String() string {
+	if d.Replicated {
+		return "REPLICATE"
+	}
+	if len(d.Key) == 0 {
+		return "ROUNDROBIN"
+	}
+	return fmt.Sprintf("HASH(%v)", d.Key)
+}
+
+// table is the stored state of one table.
+type table struct {
+	base     *relation.Relation
+	rowWidth int
+	design   Design
+	shards   []*relation.Relation // nil when replicated
+	replica  *relation.Relation   // full copy when replicated
+}
+
+// Cluster is the set of nodes and table placements.
+type Cluster struct {
+	n      int
+	tables map[string]*table
+}
+
+// New creates a cluster with n nodes.
+func New(n int) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: node count %d", n))
+	}
+	return &Cluster{n: n, tables: make(map[string]*table)}
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.n }
+
+// Tables returns the names of loaded tables.
+func (c *Cluster) Tables() []string {
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Load registers a table's data, initially round-robin distributed. rowWidth
+// is the stored row width in bytes (from the schema) used for network
+// accounting.
+func (c *Cluster) Load(name string, data *relation.Relation, rowWidth int) {
+	if rowWidth <= 0 {
+		panic(fmt.Sprintf("cluster: row width %d for table %s", rowWidth, name))
+	}
+	c.tables[name] = &table{
+		base:     data,
+		rowWidth: rowWidth,
+		design:   Design{},
+		shards:   data.SplitRoundRobin(c.n),
+	}
+}
+
+// Design returns the current design of the named table.
+func (c *Cluster) Design(name string) Design {
+	return c.mustTable(name).design
+}
+
+// Base returns the full data of the named table.
+func (c *Cluster) Base(name string) *relation.Relation {
+	return c.mustTable(name).base
+}
+
+// RowWidth returns the stored row width of the named table.
+func (c *Cluster) RowWidth(name string) int {
+	return c.mustTable(name).rowWidth
+}
+
+// Shards returns the per-node shards of a partitioned table, or the full
+// replica (with replicated == true) of a replicated one.
+func (c *Cluster) Shards(name string) (shards []*relation.Relation, replica *relation.Relation, replicated bool) {
+	t := c.mustTable(name)
+	if t.design.Replicated {
+		return nil, t.replica, true
+	}
+	return t.shards, nil, false
+}
+
+func (c *Cluster) mustTable(name string) *table {
+	t := c.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("cluster: table %q not loaded", name))
+	}
+	return t
+}
+
+// Deploy changes the physical design of a table, physically rebuilding its
+// shards/replica, and returns the number of bytes that crossed the network:
+//
+//   - unchanged design: 0;
+//   - to replicated: every node must receive the rows it is missing,
+//     (N−1) × total bytes;
+//   - replicated to partitioned: nodes drop non-owned rows locally, 0 bytes;
+//   - partitioned to partitioned: exactly the rows whose node assignment
+//     changes move.
+func (c *Cluster) Deploy(name string, d Design) (bytesMoved int64) {
+	t := c.mustTable(name)
+	if t.design.Equal(d) {
+		return 0
+	}
+	totalBytes := int64(t.base.Rows()) * int64(t.rowWidth)
+	switch {
+	case d.Replicated:
+		if !t.design.Replicated {
+			bytesMoved = totalBytes * int64(c.n-1)
+		}
+		t.replica = t.base
+		t.shards = nil
+	case len(d.Key) == 0:
+		if !t.design.Replicated {
+			bytesMoved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
+				return row%c.n != node // not exact round-robin placement, estimate
+			})
+		}
+		t.shards = t.base.SplitRoundRobin(c.n)
+		t.replica = nil
+	default:
+		if t.design.Replicated {
+			bytesMoved = 0 // local drop
+		} else {
+			keyIdx := make([]int, len(d.Key))
+			for i, k := range d.Key {
+				keyIdx[i] = t.base.ColIndex(k)
+				if keyIdx[i] < 0 {
+					panic(fmt.Sprintf("cluster: table %s has no column %q", name, k))
+				}
+			}
+			bytesMoved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
+				return int(r.HashRow(row, keyIdx)%uint64(c.n)) != node
+			})
+		}
+		t.shards = t.base.SplitByHash(d.Key, c.n)
+		t.replica = nil
+	}
+	t.design = d
+	return bytesMoved
+}
+
+// movedBytes counts the bytes of rows whose new placement differs from their
+// current node.
+func (c *Cluster) movedBytes(t *table, moves func(r *relation.Relation, row, node int) bool) int64 {
+	var rows int64
+	for node, shard := range t.shards {
+		n := shard.Rows()
+		for row := 0; row < n; row++ {
+			if moves(shard, row, node) {
+				rows++
+			}
+		}
+	}
+	return rows * int64(t.rowWidth)
+}
+
+// Append bulk-loads additional rows into a table, distributing them
+// according to the current design (the paper's Exp. 3a update procedure).
+func (c *Cluster) Append(name string, rows *relation.Relation) {
+	t := c.mustTable(name)
+	t.base.Concat(rows)
+	switch {
+	case t.design.Replicated:
+		// replica aliases base; nothing further to do.
+	case len(t.design.Key) == 0:
+		add := rows.SplitRoundRobin(c.n)
+		for i := range t.shards {
+			t.shards[i].Concat(add[i])
+		}
+	default:
+		add := rows.SplitByHash(t.design.Key, c.n)
+		for i := range t.shards {
+			t.shards[i].Concat(add[i])
+		}
+	}
+}
+
+// ShardRows returns the per-node row counts of a table (full count repeated
+// when replicated) — useful for skew diagnostics and tests.
+func (c *Cluster) ShardRows(name string) []int {
+	t := c.mustTable(name)
+	out := make([]int, c.n)
+	if t.design.Replicated {
+		for i := range out {
+			out[i] = t.replica.Rows()
+		}
+		return out
+	}
+	for i, s := range t.shards {
+		out[i] = s.Rows()
+	}
+	return out
+}

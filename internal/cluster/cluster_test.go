@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"testing"
+
+	"partadvisor/internal/relation"
+)
+
+func loadCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := New(4)
+	r := relation.New("orders", []string{"o_id", "o_c"})
+	for i := int64(0); i < 1000; i++ {
+		r.AppendRow(i, i%100)
+	}
+	c.Load("orders", r, 16)
+	return c
+}
+
+func TestLoadRoundRobin(t *testing.T) {
+	c := loadCluster(t)
+	if c.Nodes() != 4 {
+		t.Fatalf("Nodes = %d", c.Nodes())
+	}
+	rows := c.ShardRows("orders")
+	for i, n := range rows {
+		if n != 250 {
+			t.Fatalf("shard %d = %d rows", i, n)
+		}
+	}
+	if d := c.Design("orders"); d.Replicated || len(d.Key) != 0 {
+		t.Fatalf("initial design = %v", d)
+	}
+	if got := c.Tables(); len(got) != 1 || got[0] != "orders" {
+		t.Fatalf("Tables = %v", got)
+	}
+	if c.RowWidth("orders") != 16 {
+		t.Fatalf("RowWidth = %d", c.RowWidth("orders"))
+	}
+}
+
+func TestDeployHashPartition(t *testing.T) {
+	c := loadCluster(t)
+	moved := c.Deploy("orders", Design{Key: []string{"o_id"}})
+	if moved <= 0 || moved > 1000*16 {
+		t.Fatalf("bytesMoved = %d", moved)
+	}
+	shards, _, repl := c.Shards("orders")
+	if repl {
+		t.Fatalf("unexpectedly replicated")
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Rows()
+	}
+	if total != 1000 {
+		t.Fatalf("shards total = %d", total)
+	}
+	// Redeploying the same design is free.
+	if again := c.Deploy("orders", Design{Key: []string{"o_id"}}); again != 0 {
+		t.Fatalf("same-design deploy moved %d bytes", again)
+	}
+}
+
+func TestDeployReplicate(t *testing.T) {
+	c := loadCluster(t)
+	moved := c.Deploy("orders", Design{Replicated: true})
+	want := int64(1000) * 16 * 3 // (N-1) full copies
+	if moved != want {
+		t.Fatalf("replicate moved %d bytes, want %d", moved, want)
+	}
+	_, replica, repl := c.Shards("orders")
+	if !repl || replica.Rows() != 1000 {
+		t.Fatalf("replica state wrong")
+	}
+	// Replicated -> partitioned drops locally: free.
+	if moved := c.Deploy("orders", Design{Key: []string{"o_c"}}); moved != 0 {
+		t.Fatalf("replicated->partitioned moved %d bytes", moved)
+	}
+}
+
+func TestDeployRepartitionMovesOnlyChangedRows(t *testing.T) {
+	c := loadCluster(t)
+	c.Deploy("orders", Design{Key: []string{"o_id"}})
+	moved := c.Deploy("orders", Design{Key: []string{"o_c"}})
+	// Roughly 3/4 of rows change node under an independent hash.
+	if moved < 1000*16/2 || moved > 1000*16 {
+		t.Fatalf("repartition moved %d bytes", moved)
+	}
+}
+
+func TestDeployBackToRoundRobin(t *testing.T) {
+	c := loadCluster(t)
+	c.Deploy("orders", Design{Key: []string{"o_id"}})
+	moved := c.Deploy("orders", Design{})
+	if moved <= 0 {
+		t.Fatalf("round-robin redeploy moved %d bytes", moved)
+	}
+	rows := c.ShardRows("orders")
+	for i, n := range rows {
+		if n != 250 {
+			t.Fatalf("shard %d = %d rows", i, n)
+		}
+	}
+}
+
+func TestAppendFollowsDesign(t *testing.T) {
+	c := loadCluster(t)
+	c.Deploy("orders", Design{Key: []string{"o_id"}})
+	before := c.ShardRows("orders")
+	add := relation.New("orders", []string{"o_id", "o_c"})
+	for i := int64(1000); i < 1400; i++ {
+		add.AppendRow(i, i%100)
+	}
+	c.Append("orders", add)
+	after := c.ShardRows("orders")
+	total := 0
+	for i := range after {
+		if after[i] < before[i] {
+			t.Fatalf("shard %d shrank", i)
+		}
+		total += after[i]
+	}
+	if total != 1400 {
+		t.Fatalf("total rows after append = %d", total)
+	}
+	if c.Base("orders").Rows() != 1400 {
+		t.Fatalf("base rows = %d", c.Base("orders").Rows())
+	}
+}
+
+func TestAppendReplicated(t *testing.T) {
+	c := loadCluster(t)
+	c.Deploy("orders", Design{Replicated: true})
+	add := relation.New("orders", []string{"o_id", "o_c"})
+	add.AppendRow(5000, 1)
+	c.Append("orders", add)
+	_, replica, _ := c.Shards("orders")
+	if replica.Rows() != 1001 {
+		t.Fatalf("replica rows = %d", replica.Rows())
+	}
+}
+
+func TestDesignEqualAndString(t *testing.T) {
+	a := Design{Key: []string{"x"}}
+	if !a.Equal(Design{Key: []string{"x"}}) {
+		t.Fatalf("Equal broken")
+	}
+	if a.Equal(Design{Key: []string{"y"}}) || a.Equal(Design{Replicated: true}) || a.Equal(Design{Key: []string{"x", "y"}}) {
+		t.Fatalf("Equal too lax")
+	}
+	if (Design{Replicated: true}).String() != "REPLICATE" {
+		t.Fatalf("String REPLICATE")
+	}
+	if (Design{}).String() != "ROUNDROBIN" {
+		t.Fatalf("String ROUNDROBIN")
+	}
+	if (Design{Key: []string{"x"}}).String() != "HASH([x])" {
+		t.Fatalf("String = %q", Design{Key: []string{"x"}}.String())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	c := loadCluster(t)
+	for name, f := range map[string]func(){
+		"zero nodes":    func() { New(0) },
+		"unknown table": func() { c.Design("nope") },
+		"zero width":    func() { c.Load("x", relation.New("x", []string{"a"}), 0) },
+		"bad key":       func() { c.Deploy("orders", Design{Key: []string{"zz"}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSkewedKeyCreatesImbalancedShards(t *testing.T) {
+	c := New(4)
+	r := relation.New("t", []string{"d"})
+	for i := int64(0); i < 1000; i++ {
+		r.AppendRow(i % 3) // 3 distinct values
+	}
+	c.Load("t", r, 8)
+	c.Deploy("t", Design{Key: []string{"d"}})
+	rows := c.ShardRows("t")
+	empty := 0
+	for _, n := range rows {
+		if n == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatalf("expected empty shard under 3-value key: %v", rows)
+	}
+}

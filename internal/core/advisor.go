@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partadvisor/internal/dqn"
+	"partadvisor/internal/env"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// FreqSampler draws workload mixes for training episodes. The naive advisor
+// trains over the whole workload space (uniform sampling); subspace experts
+// restrict the sampler to their subspace.
+type FreqSampler func(*rand.Rand) workload.FreqVector
+
+// Advisor is one learned partitioning advisor: a DQN agent over the
+// partitioning design space of a schema + workload.
+type Advisor struct {
+	Space *partition.Space
+	WL    *workload.Workload
+	HP    Hyperparams
+	Agent *dqn.Agent
+
+	// InferCost is the simulation used at inference time (§6: "we use the
+	// same simulation that is also used in the offline phase"). TrainOffline
+	// sets it to the offline cost; callers may override it (e.g. with the
+	// cached online cost).
+	InferCost env.CostFunc
+
+	// EpisodesTrained counts completed training episodes across phases.
+	EpisodesTrained int
+	// StepsTrained counts environment steps taken during training.
+	StepsTrained int
+
+	rng *rand.Rand
+}
+
+// New builds an untrained advisor.
+func New(sp *partition.Space, wl *workload.Workload, hp Hyperparams, seed int64) (*Advisor, error) {
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stateDim := sp.StateLen() + wl.Size()
+	var q dqn.QFunc
+	switch hp.Head {
+	case MultiHead:
+		mh := dqn.NewMultiHeadQ(stateDim, hp.DQN.Hidden, sp.NumActions(), hp.DQN.LearningRate, rng)
+		mh.Double = hp.DQN.Double
+		q = mh
+	case ScalarHead:
+		feats := make([][]float64, sp.NumActions())
+		for i, a := range sp.Actions() {
+			f := make([]float64, sp.ActionFeatureLen())
+			sp.EncodeAction(a, f)
+			feats[i] = f
+		}
+		q = dqn.NewScalarQ(stateDim, hp.DQN.Hidden, feats, hp.DQN.LearningRate, rng)
+	default:
+		return nil, fmt.Errorf("core: unknown Q head %d", hp.Head)
+	}
+	agent, err := dqn.NewAgent(q, hp.DQN, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{Space: sp, WL: wl, HP: hp, Agent: agent, rng: rng}, nil
+}
+
+// UniformSampler draws each known query's frequency uniformly from (0, 1].
+func (a *Advisor) UniformSampler() FreqSampler {
+	return func(rng *rand.Rand) workload.FreqVector { return a.WL.SampleUniform(rng) }
+}
+
+// TrainOffline runs Algorithm 1 for hp.Episodes episodes against the given
+// cost function (the network-centric cost model in the paper's offline
+// phase). sampler defaults to uniform workload mixes.
+func (a *Advisor) TrainOffline(cost env.CostFunc, sampler FreqSampler) error {
+	if a.InferCost == nil {
+		a.InferCost = cost
+	}
+	return a.trainEpisodes(cost, sampler, a.HP.Episodes)
+}
+
+// trainEpisodes is the shared training loop of the offline, online and
+// incremental phases.
+func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes int) error {
+	if sampler == nil {
+		sampler = a.UniformSampler()
+	}
+	e, err := env.New(a.Space, a.WL, cost, a.HP.TmaxFor(len(a.Space.Tables)))
+	if err != nil {
+		return err
+	}
+	for ep := 0; ep < episodes; ep++ {
+		freq := sampler(a.rng)
+		e.Reset(freq)
+		obs := e.EncodedCopy()
+		for {
+			valid := e.ValidActions()
+			act := a.Agent.SelectAction(obs, valid)
+			_, reward, done := e.Step(act)
+			next := e.EncodedCopy()
+			nextValid := append([]int(nil), e.ValidActions()...)
+			a.Agent.Observe(dqn.Transition{
+				State:     obs,
+				Action:    act,
+				Reward:    reward,
+				Next:      next,
+				NextValid: nextValid,
+			})
+			a.Agent.TrainStep()
+			a.StepsTrained++
+			obs = next
+			if done {
+				break
+			}
+		}
+		a.Agent.DecayEpsilon()
+		a.EpisodesTrained++
+	}
+	return nil
+}
+
+// Suggest runs the inference procedure of §6 for a workload mix: a greedy
+// tmax-step rollout in simulation from s0, returning the partitioning of
+// the *best-reward* state visited (the agent oscillates around the optimum,
+// so the last state is not necessarily the best) together with its reward.
+func (a *Advisor) Suggest(freq workload.FreqVector) (*partition.State, float64, error) {
+	if a.InferCost == nil {
+		return nil, 0, fmt.Errorf("core: advisor has no inference cost function (train offline first)")
+	}
+	e, err := env.New(a.Space, a.WL, a.InferCost, a.HP.TmaxFor(len(a.Space.Tables)))
+	if err != nil {
+		return nil, 0, err
+	}
+	e.Reset(freq)
+	obs := e.EncodedCopy()
+	best := e.State()
+	bestReward := e.Reward(best)
+	for {
+		valid := e.ValidActions()
+		act := a.Agent.Greedy(obs, valid)
+		_, reward, done := e.Step(act)
+		if reward > bestReward {
+			bestReward = reward
+			best = e.State()
+		}
+		obs = e.EncodedCopy()
+		if done {
+			break
+		}
+	}
+	return best, bestReward, nil
+}
+
+// SaveModel serializes the agent's Q-network.
+func (a *Advisor) SaveModel() ([]byte, error) { return a.Agent.Q.Save() }
+
+// LoadModel restores the agent's Q-network.
+func (a *Advisor) LoadModel(data []byte) error { return a.Agent.Q.Load(data) }

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partadvisor/internal/exec"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// OnlineStats accounts the simulated time of the online phase, including
+// what the naive approach *would* have spent — the method the paper itself
+// uses to compute Table 2 ("by keeping track of the queries that would be
+// executed twice without Runtime Caching, as well as how often a table
+// would be repartitioned without Lazy Repartitioning and how much time could
+// be saved with a particular Timeout").
+type OnlineStats struct {
+	// QueriesExecuted counts real executions; CacheHits counts avoided ones.
+	QueriesExecuted int
+	CacheHits       int
+	// Aborts counts timeout-aborted executions.
+	Aborts int
+
+	// ExecSeconds is the simulated time actually spent executing queries;
+	// NaiveExecSeconds is what executing every query at every visited state
+	// would have cost (no runtime cache).
+	ExecSeconds      float64
+	NaiveExecSeconds float64
+	// RepartitionSeconds is the simulated time actually spent
+	// repartitioning (lazy); NaiveRepartitionSeconds deploys every changed
+	// table at every state change.
+	RepartitionSeconds      float64
+	NaiveRepartitionSeconds float64
+	// TimeoutSavedSeconds is the execution time cut (or, with timeouts
+	// disabled, that would have been cut) by the §4.2 timeout rule.
+	TimeoutSavedSeconds float64
+}
+
+// TotalSeconds returns the actual online-phase simulated time.
+func (s OnlineStats) TotalSeconds() float64 {
+	return s.ExecSeconds + s.RepartitionSeconds
+}
+
+// NaiveSeconds returns the no-optimization online-phase simulated time.
+func (s OnlineStats) NaiveSeconds() float64 {
+	return s.NaiveExecSeconds + s.NaiveRepartitionSeconds
+}
+
+// OnlineCost measures workload costs on a (sampled) database engine with
+// the paper's §4.2 optimizations. It implements env.CostFunc via
+// WorkloadCost.
+type OnlineCost struct {
+	Engine *exec.Engine
+	WL     *workload.Workload
+	// Scale holds the per-query factors S_i = c_full/c_sample (§4.2);
+	// nil means all 1.
+	Scale []float64
+
+	// Optimization toggles (all on in production use; the Table-2
+	// experiment flips them).
+	UseCache        bool
+	LazyRepartition bool
+	UseTimeouts     bool
+
+	Stats OnlineStats
+
+	cache       []map[string]float64
+	naivePrev   *partition.State
+	curFreqKey  string
+	bestForFreq float64
+	visited     map[string]*partition.State
+}
+
+// NewOnlineCost builds the measured cost function with all optimizations
+// enabled.
+func NewOnlineCost(engine *exec.Engine, wl *workload.Workload, scale []float64) *OnlineCost {
+	oc := &OnlineCost{
+		Engine:          engine,
+		WL:              wl,
+		Scale:           scale,
+		UseCache:        true,
+		LazyRepartition: true,
+		UseTimeouts:     true,
+		bestForFreq:     math.Inf(1),
+	}
+	oc.cache = make([]map[string]float64, len(wl.Queries)+wl.Reserved)
+	oc.visited = make(map[string]*partition.State)
+	return oc
+}
+
+// Visited returns the distinct physical layouts measured so far (keyed by
+// layout signature). Together with the runtime cache this lets inference
+// rank every explored design at (almost) no additional execution cost.
+func (oc *OnlineCost) Visited() map[string]*partition.State { return oc.visited }
+
+func (oc *OnlineCost) scaleOf(i int) float64 {
+	if oc.Scale == nil || i >= len(oc.Scale) || oc.Scale[i] <= 0 {
+		return 1
+	}
+	return oc.Scale[i]
+}
+
+// CacheSize returns the number of cached (query, table-design) runtimes.
+func (oc *OnlineCost) CacheSize() int {
+	n := 0
+	for _, m := range oc.cache {
+		n += len(m)
+	}
+	return n
+}
+
+// WorkloadCost measures Σ_j f_j·S_j·c_sample(P, q_j) under the given
+// partitioning, executing only uncached queries and repartitioning only the
+// tables those queries touch.
+func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector) float64 {
+	if key := freqKey(freq); key != oc.curFreqKey {
+		oc.curFreqKey = key
+		oc.bestForFreq = math.Inf(1)
+	}
+	if sig := st.Signature(); oc.visited[sig] == nil {
+		oc.visited[sig] = st
+	}
+	total := 0.0
+	var misses []int
+	for i, q := range oc.WL.Queries {
+		if i >= len(freq) || freq[i] == 0 {
+			continue
+		}
+		sig := st.TableSignature(q.Tables())
+		if oc.cache[i] == nil {
+			oc.cache[i] = make(map[string]float64)
+		}
+		if rt, ok := oc.cache[i][sig]; oc.UseCache && ok {
+			total += freq[i] * q.Weight * oc.scaleOf(i) * rt
+			oc.Stats.CacheHits++
+			oc.Stats.NaiveExecSeconds += rt
+			continue
+		}
+		misses = append(misses, i)
+	}
+	oc.accountNaiveRepartition(st)
+	if len(misses) > 0 {
+		var tables []string
+		if oc.LazyRepartition {
+			set := make(map[string]bool)
+			for _, i := range misses {
+				for _, t := range oc.WL.Queries[i].Tables() {
+					set[t] = true
+				}
+			}
+			for t := range set {
+				tables = append(tables, t)
+			}
+		}
+		oc.Stats.RepartitionSeconds += oc.Engine.Deploy(st, tables)
+		for _, i := range misses {
+			q := oc.WL.Queries[i]
+			weight := freq[i] * q.Weight * oc.scaleOf(i)
+			limit := 0.0
+			if oc.UseTimeouts && !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
+				limit = oc.bestForFreq / weight
+			}
+			rt, aborted := oc.Engine.RunWithLimit(q.Graph, limit)
+			oc.Stats.QueriesExecuted++
+			oc.Stats.ExecSeconds += rt
+			oc.Stats.NaiveExecSeconds += rt
+			if aborted {
+				oc.Stats.Aborts++
+			} else if !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
+				// Counterfactual (or realized-zero) timeout saving.
+				if l := oc.bestForFreq / weight; rt > l {
+					oc.Stats.TimeoutSavedSeconds += rt - l
+				}
+			}
+			oc.cache[i][st.TableSignature(q.Tables())] = rt
+			total += weight * rt
+		}
+	}
+	if total < oc.bestForFreq {
+		oc.bestForFreq = total
+	}
+	return total
+}
+
+// accountNaiveRepartition books what deploying every changed table at every
+// state change would cost.
+func (oc *OnlineCost) accountNaiveRepartition(st *partition.State) {
+	if oc.naivePrev == nil {
+		oc.naivePrev = st.Space().InitialState()
+	}
+	hw := oc.Engine.HW
+	cat := oc.Engine.TrueCatalog()
+	for _, table := range oc.naivePrev.DiffTables(st) {
+		bytes := float64(cat.Bytes(table))
+		var moved float64
+		if _, partitioned := st.KeyOf(table); partitioned {
+			moved = bytes * float64(hw.Nodes-1) / float64(hw.Nodes)
+		} else {
+			moved = bytes * float64(hw.Nodes-1)
+		}
+		oc.Stats.NaiveRepartitionSeconds += moved/(float64(hw.Nodes)*hw.NetBytesPerSec) + hw.RepartitionOverheadSec
+	}
+	oc.naivePrev = st
+}
+
+// freqKey canonicalizes a frequency vector for best-cost bookkeeping.
+func freqKey(freq workload.FreqVector) string {
+	return fmt.Sprintf("%.4g", []float64(freq))
+}
+
+// ComputeScaleFactors measures the §4.2 per-query factors
+// S_i = c_full(P_offline, q_i) / c_sample(P_offline, q_i): both engines are
+// deployed to the offline-phase partitioning and every query is executed
+// once on each.
+func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffline *partition.State) []float64 {
+	full.Deploy(pOffline, nil)
+	sample.Deploy(pOffline, nil)
+	out := make([]float64, len(wl.Queries))
+	for i, q := range wl.Queries {
+		cf := full.Run(q.Graph)
+		cs := sample.Run(q.Graph)
+		if cs <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = cf / cs
+	}
+	return out
+}
+
+// TrainOnline refines a (typically offline-bootstrapped) advisor against
+// measured runtimes. Per §4.2 the ε schedule resumes from
+// hp.OnlineEpsilonFromEpisode rather than from full exploration.
+func (a *Advisor) TrainOnline(oc *OnlineCost, sampler FreqSampler) error {
+	a.Agent.Epsilon = a.HP.DQN.EpsilonAfter(a.HP.OnlineEpsilonFromEpisode)
+	return a.trainEpisodes(oc.WorkloadCost, sampler, a.HP.OnlineEpisodes)
+}
+
+// SuggestBest runs the §6 inference rollout and then re-ranks its result
+// against every design the online phase measured: the Query Runtime Cache
+// makes the measured cost of any visited layout essentially free, so the
+// advisor returns the maximum *observed* reward rather than trusting the
+// Q-network's rollout alone. This damps DQN variance at small training
+// budgets without any additional query execution.
+func (a *Advisor) SuggestBest(freq workload.FreqVector, oc *OnlineCost) (*partition.State, float64, error) {
+	best, bestReward, err := a.Suggest(freq)
+	if err != nil {
+		return nil, 0, err
+	}
+	bestCost := oc.WorkloadCost(best, freq)
+	// Scan visited designs in sorted-signature order so ties resolve
+	// deterministically across runs.
+	sigs := make([]string, 0, len(oc.Visited()))
+	for sig := range oc.Visited() {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		st := oc.Visited()[sig]
+		if c, ok := oc.CachedCost(st, freq); ok && c < bestCost {
+			bestCost = c
+			best = st
+		}
+	}
+	return best, bestReward, nil
+}
+
+// CachedCost computes the workload cost of a partitioning purely from the
+// Query Runtime Cache; ok is false when any required runtime is missing (no
+// query is executed).
+func (oc *OnlineCost) CachedCost(st *partition.State, freq workload.FreqVector) (float64, bool) {
+	total := 0.0
+	for i, q := range oc.WL.Queries {
+		if i >= len(freq) || freq[i] == 0 {
+			continue
+		}
+		if oc.cache[i] == nil {
+			return 0, false
+		}
+		rt, ok := oc.cache[i][st.TableSignature(q.Tables())]
+		if !ok {
+			return 0, false
+		}
+		total += freq[i] * q.Weight * oc.scaleOf(i) * rt
+	}
+	return total, true
+}

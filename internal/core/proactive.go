@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"partadvisor/internal/exec"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// This file implements the two §9 future-work directions of the paper:
+// deciding "whether the costs for repartitioning pay off in the long run"
+// (RepartitionPlanner) and "techniques to robustly detect when to retrain"
+// (DriftDetector).
+
+// RepartitionDecision is the outcome of a cost–benefit analysis for moving
+// the deployed partitioning to the advisor's suggestion.
+type RepartitionDecision struct {
+	// Apply reports whether repartitioning pays off within the horizon.
+	Apply bool
+	// Target is the advisor's suggested partitioning.
+	Target *partition.State
+	// CurrentCost and TargetCost are the per-workload-execution costs
+	// (simulated seconds) under the deployed and suggested designs.
+	CurrentCost float64
+	TargetCost  float64
+	// MoveCost is the simulated repartitioning time.
+	MoveCost float64
+	// BreakEven is the number of workload executions after which the
+	// savings amortize the move (+Inf when the target is not better).
+	BreakEven float64
+}
+
+// RepartitionPlanner amortizes repartitioning costs over an expected query
+// horizon. The paper's reward function deliberately excludes repartitioning
+// costs (§3.2) because OLAP repartitioning runs in the background; the
+// planner adds the missing deployment-time judgement: only move when the
+// projected savings over Horizon workload executions exceed the move cost
+// by the safety Margin.
+type RepartitionPlanner struct {
+	// Horizon is the number of workload executions the new design is
+	// expected to serve before the mix shifts again.
+	Horizon float64
+	// Margin is the required benefit/cost ratio (>= 1; e.g. 1.5 demands
+	// 50% headroom before moving).
+	Margin float64
+}
+
+// Decide evaluates moving the engine's deployed design to the advisor's
+// suggestion for the given mix. cost must measure a full workload execution
+// under a partitioning (typically OnlineCost.WorkloadCost or an
+// engine-backed evaluator); moveCost must return the repartitioning time
+// from the deployed design (typically a dry-run Deploy estimate).
+func (p RepartitionPlanner) Decide(a *Advisor, freq workload.FreqVector,
+	current *partition.State,
+	cost func(*partition.State, workload.FreqVector) float64,
+	moveCost func(target *partition.State) float64) (RepartitionDecision, error) {
+
+	if p.Horizon <= 0 {
+		return RepartitionDecision{}, fmt.Errorf("core: planner horizon %v", p.Horizon)
+	}
+	margin := p.Margin
+	if margin < 1 {
+		margin = 1
+	}
+	target, _, err := a.Suggest(freq)
+	if err != nil {
+		return RepartitionDecision{}, err
+	}
+	d := RepartitionDecision{
+		Target:      target,
+		CurrentCost: cost(current, freq),
+		TargetCost:  cost(target, freq),
+		MoveCost:    moveCost(target),
+	}
+	saving := d.CurrentCost - d.TargetCost
+	if saving <= 0 {
+		d.BreakEven = math.Inf(1)
+		return d, nil
+	}
+	d.BreakEven = d.MoveCost / saving
+	d.Apply = saving*p.Horizon >= d.MoveCost*margin
+	if current.SameLayout(target) {
+		d.Apply = false
+		d.BreakEven = 0
+	}
+	return d, nil
+}
+
+// EstimateMoveCost returns a moveCost function over an engine that measures
+// repartitioning time without deploying: it prices each table whose design
+// differs at bytes-moved over the interconnect plus the fixed overhead,
+// using the engine's true statistics.
+func EstimateMoveCost(e *exec.Engine, current *partition.State) func(*partition.State) float64 {
+	return func(target *partition.State) float64 {
+		hw := e.HW
+		cat := e.TrueCatalog()
+		total := 0.0
+		for _, table := range current.DiffTables(target) {
+			bytes := float64(cat.Bytes(table))
+			var moved float64
+			if _, partitioned := target.KeyOf(table); partitioned {
+				if _, wasPartitioned := current.KeyOf(table); !wasPartitioned {
+					moved = 0 // replicated -> partitioned: local drop
+				} else {
+					moved = bytes * float64(hw.Nodes-1) / float64(hw.Nodes)
+				}
+			} else {
+				moved = bytes * float64(hw.Nodes-1)
+			}
+			total += moved/(float64(hw.Nodes)*hw.NetBytesPerSec) + hw.RepartitionOverheadSec
+		}
+		return total
+	}
+}
+
+// DriftDetector flags when the advisor's model has gone stale: it compares
+// the measured workload cost under the deployed partitioning against an
+// exponentially smoothed baseline and raises once the relative degradation
+// exceeds Threshold for Patience consecutive observations. The paper names
+// robust retraining triggers as future work (§7.4: "a helpful indicator ...
+// might be a change of the query plan; there exists a huge body of work in
+// ML to detect drifts").
+type DriftDetector struct {
+	// Threshold is the tolerated relative cost increase (e.g. 0.3 = 30%).
+	Threshold float64
+	// Patience is how many consecutive violations trigger the alarm.
+	Patience int
+	// Alpha smooths the baseline (0 < alpha <= 1).
+	Alpha float64
+
+	baseline   float64
+	n          int
+	violations int
+}
+
+// Observe feeds one measured workload cost; it returns true when retraining
+// should be triggered. The baseline follows non-violating observations, so
+// slow benign change is absorbed while sustained degradation alarms.
+func (d *DriftDetector) Observe(cost float64) bool {
+	alpha := d.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	patience := d.Patience
+	if patience <= 0 {
+		patience = 3
+	}
+	if d.n == 0 {
+		d.baseline = cost
+		d.n++
+		return false
+	}
+	d.n++
+	if cost > d.baseline*(1+d.Threshold) {
+		d.violations++
+		if d.violations >= patience {
+			d.violations = 0
+			return true
+		}
+		return false
+	}
+	d.violations = 0
+	d.baseline = alpha*cost + (1-alpha)*d.baseline
+	return false
+}
+
+// Baseline exposes the current smoothed cost baseline.
+func (d *DriftDetector) Baseline() float64 { return d.baseline }

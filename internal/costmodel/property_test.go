@@ -1,0 +1,100 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+)
+
+// Property tests on the cost model's economic sanity.
+
+func TestCostMonotoneInRows(t *testing.T) {
+	// Growing a table never makes any query under any design cheaper.
+	sp := cmSpace()
+	g := mustGraph(t, "SELECT * FROM fact f, dbig b, dsmall s WHERE f.f_big = b.b_id AND f.f_small = s.s_id")
+	rng := rand.New(rand.NewSource(5))
+	var buf []int
+	for trial := 0; trial < 20; trial++ {
+		st := sp.InitialState()
+		for i := 0; i < rng.Intn(6); i++ {
+			ai := sp.RandomValidAction(st, rng, buf)
+			st = sp.Apply(st, sp.Actions()[ai])
+		}
+		small := New(cmCatalog(), hardware.PostgresXLDisk())
+		big := New(cmCatalog(), hardware.PostgresXLDisk())
+		for _, tbl := range []string{"fact", "dbig", "dsmall"} {
+			big.Cat.Tables[tbl].Rows *= 4
+		}
+		cs, cb := small.QueryCost(st, g), big.QueryCost(st, g)
+		if cb < cs {
+			t.Fatalf("4x rows got cheaper under %s: %v -> %v", st, cs, cb)
+		}
+	}
+}
+
+func TestCostMonotoneInBandwidth(t *testing.T) {
+	// A slower interconnect never makes any design cheaper.
+	sp := cmSpace()
+	g := mustGraph(t, "SELECT * FROM fact f, dbig b WHERE f.f_big = b.b_id")
+	rng := rand.New(rand.NewSource(6))
+	var buf []int
+	fast := New(cmCatalog(), hardware.SystemXMemory())
+	slow := New(cmCatalog(), hardware.SystemXMemory().WithSlowNetwork())
+	for trial := 0; trial < 30; trial++ {
+		st := sp.InitialState()
+		for i := 0; i < rng.Intn(5); i++ {
+			ai := sp.RandomValidAction(st, rng, buf)
+			st = sp.Apply(st, sp.Actions()[ai])
+		}
+		cf, csl := fast.QueryCost(st, g), slow.QueryCost(st, g)
+		if csl < cf-1e-12 {
+			t.Fatalf("slow network got cheaper under %s: %v -> %v", st, cf, csl)
+		}
+	}
+}
+
+func TestEdgeBitsDoNotChangeCost(t *testing.T) {
+	// Edge activation bits are agent bookkeeping: two states with the same
+	// physical layout must cost the same.
+	sp := cmSpace()
+	m := cmModel()
+	g := mustGraph(t, "SELECT * FROM fact f, dbig b, dsmall s WHERE f.f_big = b.b_id AND f.f_small = s.s_id")
+	// Layout via edge activation.
+	var edgeIdx int
+	found := false
+	for i, e := range sp.Edges {
+		if e.Touches("dbig") {
+			edgeIdx = i
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dbig edge")
+	}
+	viaEdge := sp.Apply(sp.InitialState(), partition.Action{Kind: partition.ActActivateEdge, Edge: edgeIdx})
+	// Same layout via direct partition actions.
+	direct := sp.InitialState()
+	fIdx := sp.TableIndex("fact")
+	ki := sp.Tables[fIdx].KeyIndex(partition.Key{"f_big"})
+	direct = sp.Apply(direct, partition.Action{Kind: partition.ActPartition, Table: fIdx, Key: ki})
+	if !viaEdge.SameLayout(direct) {
+		t.Fatalf("layouts differ: %s vs %s", viaEdge, direct)
+	}
+	if a, b := m.QueryCost(viaEdge, g), m.QueryCost(direct, g); a != b {
+		t.Fatalf("edge bit changed cost: %v vs %v", a, b)
+	}
+}
+
+func TestDeterministicAcrossModels(t *testing.T) {
+	// Two models over equal catalogs agree exactly.
+	sp := cmSpace()
+	g := mustGraph(t, "SELECT * FROM fact f, dsmall s WHERE f.f_small = s.s_id")
+	m1 := New(cmCatalog(), hardware.PostgresXLDisk())
+	m2 := New(cmCatalog(), hardware.PostgresXLDisk())
+	st := sp.InitialState()
+	if a, b := m1.QueryCost(st, g), m2.QueryCost(st, g); a != b {
+		t.Fatalf("models disagree: %v vs %v", a, b)
+	}
+}

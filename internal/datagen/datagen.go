@@ -1,0 +1,161 @@
+// Package datagen provides deterministic synthetic data generators used to
+// materialize the benchmark databases at "repro scale" (ratio-preserving
+// row counts small enough for a laptop, documented in DESIGN.md). All
+// generators are seeded, so every experiment is reproducible bit-for-bit.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"partadvisor/internal/relation"
+	"partadvisor/internal/valenc"
+)
+
+// Gen wraps a seeded RNG with column-generator helpers.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the underlying RNG for ad-hoc draws.
+func (g *Gen) Rand() *rand.Rand { return g.rng }
+
+// Seq returns 0, 1, ..., n-1 — surrogate keys.
+func (g *Gen) Seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// SeqFrom returns start, start+1, ..., start+n-1.
+func (g *Gen) SeqFrom(n int, start int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)
+	}
+	return out
+}
+
+// Uniform returns n values uniform in [0, max).
+func (g *Gen) Uniform(n int, max int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.rng.Int63n(max)
+	}
+	return out
+}
+
+// UniformRange returns n values uniform in [lo, hi].
+func (g *Gen) UniformRange(n int, lo, hi int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + g.rng.Int63n(hi-lo+1)
+	}
+	return out
+}
+
+// FK returns n foreign-key values drawn uniformly from refKeys.
+func (g *Gen) FK(n int, refKeys []int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = refKeys[g.rng.Intn(len(refKeys))]
+	}
+	return out
+}
+
+// FKZipf returns n foreign-key values drawn from refKeys with a Zipfian
+// (skewed) distribution of exponent s > 1.
+func (g *Gen) FKZipf(n int, refKeys []int64, s float64) []int64 {
+	z := rand.NewZipf(g.rng, s, 1, uint64(len(refKeys)-1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = refKeys[z.Uint64()]
+	}
+	return out
+}
+
+// Mod returns n values i % m — round-robin category assignment (e.g. the
+// 10 districts per warehouse of TPC-C).
+func (g *Gen) Mod(n int, m int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) % m
+	}
+	return out
+}
+
+// Strings returns n dictionary-encoded values drawn uniformly from the
+// given string vocabulary.
+func (g *Gen) Strings(n int, vocab []string) []int64 {
+	enc := make([]int64, len(vocab))
+	for i, s := range vocab {
+		enc[i] = valenc.EncodeString(s)
+	}
+	return g.FK(n, enc)
+}
+
+// Dates returns n yyyymmdd values uniform over the year range [loYear,
+// hiYear] (using 28-day months to stay valid).
+func (g *Gen) Dates(n int, loYear, hiYear int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		y := loYear + g.rng.Intn(hiYear-loYear+1)
+		m := 1 + g.rng.Intn(12)
+		d := 1 + g.rng.Intn(28)
+		out[i] = valenc.EncodeDate(y, m, d)
+	}
+	return out
+}
+
+// DateDim fills a date-dimension relation: one row per day over the year
+// range, with derived year/month columns.
+func DateDim(name string, loYear, hiYear int) *relation.Relation {
+	r := relation.New(name, []string{"d_datekey", "d_year", "d_month", "d_week"})
+	week := int64(0)
+	for y := loYear; y <= hiYear; y++ {
+		for m := 1; m <= 12; m++ {
+			for d := 1; d <= 28; d++ {
+				r.AppendRow(valenc.EncodeDate(y, m, d), int64(y), int64(m), week%52+1)
+				if d%7 == 0 {
+					week++
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Table assembles a relation from named columns (all the same length).
+func Table(name string, cols map[string][]int64, order []string) *relation.Relation {
+	r := relation.New(name, order)
+	n := len(cols[order[0]])
+	for _, c := range order {
+		if len(cols[c]) != n {
+			panic("datagen: ragged columns for " + name + "." + c)
+		}
+	}
+	for row := 0; row < n; row++ {
+		vals := make([]int64, len(order))
+		for i, c := range order {
+			vals[i] = cols[c][row]
+		}
+		r.AppendRow(vals...)
+	}
+	return r
+}
+
+// ScaleRows applies a scale factor to a base count, keeping at least min.
+func ScaleRows(base int, scale float64, min int) int {
+	n := int(math.Round(float64(base) * scale))
+	if n < min {
+		return min
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package datagen
+
+import (
+	"testing"
+
+	"partadvisor/internal/valenc"
+)
+
+func TestSeqAndSeqFrom(t *testing.T) {
+	g := New(1)
+	s := g.Seq(5)
+	if len(s) != 5 || s[0] != 0 || s[4] != 4 {
+		t.Fatalf("Seq = %v", s)
+	}
+	s2 := g.SeqFrom(3, 10)
+	if s2[0] != 10 || s2[2] != 12 {
+		t.Fatalf("SeqFrom = %v", s2)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := New(2)
+	for _, v := range g.Uniform(1000, 7) {
+		if v < 0 || v >= 7 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+	}
+	for _, v := range g.UniformRange(1000, -5, 5) {
+		if v < -5 || v > 5 {
+			t.Fatalf("UniformRange out of range: %d", v)
+		}
+	}
+}
+
+func TestFKDrawsFromRefs(t *testing.T) {
+	g := New(3)
+	refs := []int64{10, 20, 30}
+	seen := map[int64]bool{}
+	for _, v := range g.FK(300, refs) {
+		seen[v] = true
+		if v != 10 && v != 20 && v != 30 {
+			t.Fatalf("FK drew %d", v)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("FK never drew all refs: %v", seen)
+	}
+}
+
+func TestFKZipfSkews(t *testing.T) {
+	g := New(4)
+	refs := make([]int64, 100)
+	for i := range refs {
+		refs[i] = int64(i)
+	}
+	counts := map[int64]int{}
+	for _, v := range g.FKZipf(10000, refs, 1.5) {
+		counts[v]++
+	}
+	if counts[0] < counts[50]*2 {
+		t.Fatalf("Zipf not skewed: head %d vs mid %d", counts[0], counts[50])
+	}
+}
+
+func TestModAndStrings(t *testing.T) {
+	g := New(5)
+	m := g.Mod(10, 3)
+	if m[0] != 0 || m[1] != 1 || m[3] != 0 {
+		t.Fatalf("Mod = %v", m)
+	}
+	vals := g.Strings(100, []string{"A", "B"})
+	encA, encB := valenc.EncodeString("A"), valenc.EncodeString("B")
+	for _, v := range vals {
+		if v != encA && v != encB {
+			t.Fatalf("Strings drew unknown encoding %d", v)
+		}
+	}
+}
+
+func TestDatesValid(t *testing.T) {
+	g := New(6)
+	for _, v := range g.Dates(500, 2000, 2002) {
+		y := v / 10000
+		m := (v / 100) % 100
+		d := v % 100
+		if y < 2000 || y > 2002 || m < 1 || m > 12 || d < 1 || d > 28 {
+			t.Fatalf("bad date %d", v)
+		}
+	}
+}
+
+func TestDateDim(t *testing.T) {
+	r := DateDim("d", 2000, 2001)
+	if r.Rows() != 2*12*28 {
+		t.Fatalf("DateDim rows = %d", r.Rows())
+	}
+	if r.Col("d_year")[0] != 2000 {
+		t.Fatalf("first year = %d", r.Col("d_year")[0])
+	}
+}
+
+func TestTableAssembly(t *testing.T) {
+	g := New(7)
+	r := Table("t", map[string][]int64{"a": g.Seq(3), "b": {9, 9, 9}}, []string{"a", "b"})
+	if r.Rows() != 3 || r.Col("b")[2] != 9 {
+		t.Fatalf("Table = %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ragged Table accepted")
+		}
+	}()
+	Table("t", map[string][]int64{"a": {1}, "b": {1, 2}}, []string{"a", "b"})
+}
+
+func TestScaleRows(t *testing.T) {
+	if got := ScaleRows(1000, 0.5, 10); got != 500 {
+		t.Fatalf("ScaleRows = %d", got)
+	}
+	if got := ScaleRows(1000, 0.001, 10); got != 10 {
+		t.Fatalf("ScaleRows min = %d", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(9).Uniform(100, 1000)
+	b := New(9).Uniform(100, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed generators differ")
+		}
+	}
+}

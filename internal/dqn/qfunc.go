@@ -1,0 +1,251 @@
+package dqn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"partadvisor/internal/nn"
+)
+
+// QFunc abstracts a learned Q-function over a fixed global action list.
+type QFunc interface {
+	// Values returns Q(state, a) for each action index in actions, using
+	// the online network.
+	Values(state []float64, actions []int) []float64
+	// Train performs one optimization step on the batch and returns the TD
+	// loss before the step.
+	Train(batch []Transition, gamma float64) float64
+	// SoftUpdate blends the online weights into the target network.
+	SoftUpdate(tau float64)
+	// Save and Load serialize the online network (the target network is
+	// reset to a copy on Load).
+	Save() ([]byte, error)
+	Load(data []byte) error
+}
+
+// MultiHeadQ maps a state to one Q-value per global action — the fast head.
+type MultiHeadQ struct {
+	online *nn.Network
+	target *nn.Network
+	opt    nn.Optimizer
+	n      int // number of actions
+	// Double selects Double-DQN targets: the online network picks the next
+	// action, the target network evaluates it.
+	Double bool
+
+	batchIn, batchTarget, batchMask, nextIn *nn.Matrix
+	scratch                                 []Transition
+}
+
+// NewMultiHeadQ builds the head with the paper's layer sizes: hidden layers
+// as given (Table 1: 128-64) between the state input and |A| outputs.
+func NewMultiHeadQ(stateDim int, hidden []int, numActions int, lr float64, rng *rand.Rand) *MultiHeadQ {
+	dims := append(append([]int{stateDim}, hidden...), numActions)
+	online := nn.NewNetwork(dims, rng)
+	return &MultiHeadQ{
+		online: online,
+		target: online.Clone(),
+		opt:    nn.NewAdam(lr),
+		n:      numActions,
+	}
+}
+
+// Values implements QFunc.
+func (q *MultiHeadQ) Values(state []float64, actions []int) []float64 {
+	all := q.online.Predict(state)
+	out := make([]float64, len(actions))
+	for i, a := range actions {
+		out[i] = all[a]
+	}
+	return out
+}
+
+// Train implements QFunc with masked MSE: only the taken action's head
+// receives a gradient.
+func (q *MultiHeadQ) Train(batch []Transition, gamma float64) float64 {
+	b := len(batch)
+	if b == 0 {
+		return 0
+	}
+	if q.batchIn == nil || q.batchIn.Rows != b {
+		stateDim := q.online.InDim()
+		q.batchIn = nn.NewMatrix(b, stateDim)
+		q.nextIn = nn.NewMatrix(b, stateDim)
+		q.batchTarget = nn.NewMatrix(b, q.n)
+		q.batchMask = nn.NewMatrix(b, q.n)
+	}
+	q.batchTarget.Zero()
+	q.batchMask.Zero()
+	for i, tr := range batch {
+		copy(q.batchIn.Row(i), tr.State)
+		copy(q.nextIn.Row(i), tr.Next)
+	}
+	// Bootstrapped targets from the target network. The forward pass over
+	// the online network must happen before TrainBatch reuses its scratch
+	// buffers, so copy the needed values first when Double is on.
+	nextQ := q.target.Forward(q.nextIn)
+	nextTarget := append([]float64(nil), nextQ.Data...)
+	cols := nextQ.Cols
+	var nextOnline []float64
+	if q.Double {
+		on := q.online.Forward(q.nextIn)
+		nextOnline = append([]float64(nil), on.Data...)
+	}
+	for i, tr := range batch {
+		y := tr.Reward
+		if !tr.Terminal && len(tr.NextValid) > 0 {
+			if q.Double {
+				// argmax over the online net, evaluated by the target net.
+				bestA, bestV := tr.NextValid[0], math.Inf(-1)
+				for _, a := range tr.NextValid {
+					if v := nextOnline[i*cols+a]; v > bestV {
+						bestV = v
+						bestA = a
+					}
+				}
+				y += gamma * nextTarget[i*cols+bestA]
+			} else {
+				best := math.Inf(-1)
+				for _, a := range tr.NextValid {
+					if v := nextTarget[i*cols+a]; v > best {
+						best = v
+					}
+				}
+				y += gamma * best
+			}
+		}
+		q.batchTarget.Set(i, tr.Action, y)
+		q.batchMask.Set(i, tr.Action, 1)
+	}
+	return q.online.TrainBatch(q.opt, q.batchIn, q.batchTarget, q.batchMask)
+}
+
+// SoftUpdate implements QFunc.
+func (q *MultiHeadQ) SoftUpdate(tau float64) { q.target.SoftUpdateFrom(q.online, tau) }
+
+// Save implements QFunc.
+func (q *MultiHeadQ) Save() ([]byte, error) { return q.online.MarshalBinary() }
+
+// Load implements QFunc.
+func (q *MultiHeadQ) Load(data []byte) error {
+	if err := q.online.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	q.target = q.online.Clone()
+	return nil
+}
+
+// Online exposes the online network (weight surgery in incremental
+// training, diagnostics in tests).
+func (q *MultiHeadQ) Online() *nn.Network { return q.online }
+
+// ScalarQ is the paper-faithful head: Q(s, a) = net(s ⊕ feat(a)). The global
+// action-feature table is fixed at construction.
+type ScalarQ struct {
+	online *nn.Network
+	target *nn.Network
+	opt    nn.Optimizer
+	feats  [][]float64
+}
+
+// NewScalarQ builds the scalar head over the given per-action feature rows.
+func NewScalarQ(stateDim int, hidden []int, actionFeats [][]float64, lr float64, rng *rand.Rand) *ScalarQ {
+	if len(actionFeats) == 0 {
+		panic("dqn: ScalarQ needs action features")
+	}
+	dims := append(append([]int{stateDim + len(actionFeats[0])}, hidden...), 1)
+	online := nn.NewNetwork(dims, rng)
+	return &ScalarQ{online: online, target: online.Clone(), opt: nn.NewAdam(lr), feats: actionFeats}
+}
+
+func (q *ScalarQ) input(state []float64, action int) []float64 {
+	f := q.feats[action]
+	row := make([]float64, len(state)+len(f))
+	copy(row, state)
+	copy(row[len(state):], f)
+	return row
+}
+
+// Values implements QFunc by batching all requested actions through one
+// forward pass.
+func (q *ScalarQ) Values(state []float64, actions []int) []float64 {
+	rows := make([][]float64, len(actions))
+	for i, a := range actions {
+		rows[i] = q.input(state, a)
+	}
+	out := q.online.Forward(nn.FromRows(rows))
+	res := make([]float64, len(actions))
+	for i := range actions {
+		res[i] = out.At(i, 0)
+	}
+	return res
+}
+
+// Train implements QFunc. Targets require a max over next-state actions per
+// sample; all (sample, next-action) pairs are batched into one target-net
+// forward pass.
+func (q *ScalarQ) Train(batch []Transition, gamma float64) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var nextRows [][]float64
+	offsets := make([]int, len(batch)+1)
+	for i, tr := range batch {
+		if !tr.Terminal {
+			for _, a := range tr.NextValid {
+				nextRows = append(nextRows, q.input(tr.Next, a))
+			}
+		}
+		offsets[i+1] = len(nextRows)
+	}
+	var nextQ *nn.Matrix
+	if len(nextRows) > 0 {
+		nextQ = q.target.Forward(nn.FromRows(nextRows))
+	}
+	inRows := make([][]float64, len(batch))
+	target := nn.NewMatrix(len(batch), 1)
+	for i, tr := range batch {
+		inRows[i] = q.input(tr.State, tr.Action)
+		y := tr.Reward
+		if lo, hi := offsets[i], offsets[i+1]; hi > lo {
+			best := math.Inf(-1)
+			for r := lo; r < hi; r++ {
+				if v := nextQ.At(r, 0); v > best {
+					best = v
+				}
+			}
+			y += gamma * best
+		}
+		target.Set(i, 0, y)
+	}
+	return q.online.TrainBatch(q.opt, nn.FromRows(inRows), target, nil)
+}
+
+// SoftUpdate implements QFunc.
+func (q *ScalarQ) SoftUpdate(tau float64) { q.target.SoftUpdateFrom(q.online, tau) }
+
+// Save implements QFunc.
+func (q *ScalarQ) Save() ([]byte, error) { return q.online.MarshalBinary() }
+
+// Load implements QFunc.
+func (q *ScalarQ) Load(data []byte) error {
+	if err := q.online.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	q.target = q.online.Clone()
+	return nil
+}
+
+// Online exposes the online network.
+func (q *ScalarQ) Online() *nn.Network { return q.online }
+
+// assertSameDim guards feature-table consistency in tests.
+func assertSameDim(feats [][]float64) error {
+	for i := 1; i < len(feats); i++ {
+		if len(feats[i]) != len(feats[0]) {
+			return fmt.Errorf("dqn: action feature %d has dim %d, want %d", i, len(feats[i]), len(feats[0]))
+		}
+	}
+	return nil
+}

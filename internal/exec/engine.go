@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"fmt"
+
+	"partadvisor/internal/cluster"
+	"partadvisor/internal/costmodel"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/relation"
+	"partadvisor/internal/schema"
+	"partadvisor/internal/sqlparse"
+	"partadvisor/internal/stats"
+)
+
+// Flavor selects the engine personality.
+type Flavor int
+
+const (
+	// Disk models Postgres-XL: disk-bound scans, and the optimizer's cost
+	// estimates are exposed (with their join-count-proportional error).
+	Disk Flavor = iota
+	// Memory models System-X: memory-bound scans so network costs dominate,
+	// and — as in the paper — optimizer cost estimates are NOT accessible.
+	Memory
+)
+
+// String names the flavor.
+func (f Flavor) String() string {
+	if f == Memory {
+		return "memory"
+	}
+	return "disk"
+}
+
+// estimateNoiseSigma is the per-join log-error of exposed optimizer
+// estimates (Disk flavor), calibrated so that estimates are usable on
+// star-schema queries (2–4 joins) but badly misleading on 8-way TPC-DS
+// joins, following Leis et al.
+const estimateNoiseSigma = 0.7
+
+// Engine is one deployed distributed database.
+type Engine struct {
+	Schema *schema.Schema
+	HW     hardware.Profile
+	Flavor Flavor
+
+	cluster *cluster.Cluster
+	trueCat *stats.Catalog
+	estCat  *stats.Catalog
+	estim   *costmodel.NoisyModel
+
+	// Counters for experiment accounting.
+	QueriesExecuted int
+	Repartitions    int
+	BytesMoved      int64
+}
+
+// New builds an engine over materialized data. Tables without data are
+// loaded empty.
+func New(sch *schema.Schema, data map[string]*relation.Relation, hw hardware.Profile, flavor Flavor) *Engine {
+	e := &Engine{Schema: sch, HW: hw, Flavor: flavor, cluster: cluster.New(hw.Nodes)}
+	for _, t := range sch.Tables {
+		rel := data[t.Name]
+		if rel == nil {
+			rel = relation.New(t.Name, t.AttributeNames())
+		}
+		e.cluster.Load(t.Name, rel, t.RowWidth())
+	}
+	e.trueCat = BuildCatalog(sch, data)
+	for _, t := range sch.Tables {
+		if e.trueCat.Table(t.Name) == nil {
+			e.trueCat.SetTable(t.Name, &stats.TableStats{Rows: 0, RowWidth: t.RowWidth(), Columns: map[string]*stats.ColumnStats{}})
+		}
+	}
+	e.Analyze()
+	return e
+}
+
+// Cluster exposes the underlying cluster (tests, diagnostics).
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// TrueCatalog exposes the maintained true statistics.
+func (e *Engine) TrueCatalog() *stats.Catalog { return e.trueCat }
+
+// EstCatalog exposes the optimizer's (possibly stale) statistics.
+func (e *Engine) EstCatalog() *stats.Catalog { return e.estCat }
+
+// designOf converts a partitioning state's table design to the cluster form.
+func designOf(st *partition.State, table string) cluster.Design {
+	if key, ok := st.KeyOf(table); ok {
+		return cluster.Design{Key: key}
+	}
+	return cluster.Design{Replicated: true}
+}
+
+// Deploy applies the designs of the given tables (all schema tables when
+// tables is nil) and returns the simulated repartitioning time: moved bytes
+// over the interconnect plus a fixed per-changed-table overhead. The
+// caller implements lazy repartitioning by passing only the tables the next
+// queries touch.
+func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
+	if tables == nil {
+		tables = e.Schema.TableNames()
+	}
+	var seconds float64
+	for _, name := range tables {
+		want := designOf(st, name)
+		if e.cluster.Design(name).Equal(want) {
+			continue
+		}
+		bytes := e.cluster.Deploy(name, want)
+		e.Repartitions++
+		e.BytesMoved += bytes
+		seconds += float64(bytes)/(float64(e.HW.Nodes)*e.HW.NetBytesPerSec) + e.HW.RepartitionOverheadSec
+	}
+	return seconds
+}
+
+// CurrentDesign returns the deployed design of a table.
+func (e *Engine) CurrentDesign(table string) cluster.Design { return e.cluster.Design(table) }
+
+// Run executes a query and returns the simulated wall time in seconds.
+func (e *Engine) Run(g *sqlparse.Graph) float64 {
+	sec, _ := e.RunWithLimit(g, 0)
+	return sec
+}
+
+// RunWithLimit executes a query, aborting once the accumulated simulated
+// time exceeds limit (0 = no limit). It returns the consumed time and
+// whether the query was aborted — the paper's §4.2 timeout optimization.
+func (e *Engine) RunWithLimit(g *sqlparse.Graph, limit float64) (seconds float64, aborted bool) {
+	e.QueriesExecuted++
+	x := newExecutor(e, g, limit)
+	return x.run()
+}
+
+// Explain executes the query with plan tracing and returns the chosen
+// operators (scan placements, join order and distribution strategies) —
+// an EXPLAIN ANALYZE equivalent for the simulated engine.
+func (e *Engine) Explain(g *sqlparse.Graph) (plan []string, seconds float64) {
+	x := newExecutor(e, g, 0)
+	x.trace = &plan
+	seconds, _ = x.run()
+	return plan, seconds
+}
+
+// EstimateCost exposes the optimizer's cost estimate for a hypothetical
+// partitioning ("what-if" mode). It returns ok == false on the Memory
+// flavor, mirroring System-X not exposing estimates (§7.1).
+func (e *Engine) EstimateCost(st *partition.State, g *sqlparse.Graph) (float64, bool) {
+	if e.Flavor == Memory {
+		return 0, false
+	}
+	return e.estim.QueryCost(st, g), true
+}
+
+// Analyze refreshes the optimizer's statistics from the true statistics
+// (ANALYZE). Until called after bulk updates, estimates are stale.
+func (e *Engine) Analyze() {
+	e.estCat = e.trueCat.Clone()
+	e.estim = &costmodel.NoisyModel{
+		Base:         costmodel.New(e.estCat, e.HW),
+		SigmaPerJoin: estimateNoiseSigma,
+	}
+}
+
+// BulkLoad appends rows to a table following its current design, updating
+// true statistics but leaving optimizer statistics stale (paper Exp. 3a).
+func (e *Engine) BulkLoad(table string, rows *relation.Relation) {
+	t := e.Schema.Table(table)
+	if t == nil {
+		panic(fmt.Sprintf("exec: bulk load into unknown table %q", table))
+	}
+	e.cluster.Append(table, rows)
+	e.trueCat.SetTable(table, BuildTableStats(e.cluster.Base(table), t))
+}

@@ -1,0 +1,812 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partadvisor/internal/relation"
+	"partadvisor/internal/sqlparse"
+)
+
+// intermediate column width in bytes (int64 columns).
+const colWidth = 8
+
+// dist is one distributed (intermediate) relation during execution.
+type dist struct {
+	mask    uint64               // bitmask over g.Refs
+	shards  []*relation.Relation // per node; nil when replicated
+	replica *relation.Relation   // full copy when replicated
+	// partCols records the hash key: position i holds the set of
+	// equivalent qualified column names the shards are hashed by. nil means
+	// unknown placement (round-robin).
+	partCols [][]string
+	estRows  float64 // optimizer's cardinality estimate (drives strategy)
+}
+
+func (d *dist) replicated() bool { return d.replica != nil }
+
+func (d *dist) numCols() int {
+	if d.replicated() {
+		return d.replica.NumCols()
+	}
+	return d.shards[0].NumCols()
+}
+
+func (d *dist) realRows() int {
+	if d.replicated() {
+		return d.replica.Rows()
+	}
+	n := 0
+	for _, s := range d.shards {
+		n += s.Rows()
+	}
+	return n
+}
+
+func (d *dist) estBytes() float64 { return d.estRows * float64(d.numCols()) * colWidth }
+
+// jpred is a crossing join predicate normalized so that aCol belongs to the
+// first operand.
+type jpred struct {
+	aCol, bCol string
+	semi, anti bool
+	outerA     bool // for semi/anti: the surviving (outer) side is a
+}
+
+// predsString renders join predicates for plan traces.
+func predsString(preds []jpred) string {
+	out := ""
+	for i, p := range preds {
+		if i > 0 {
+			out += " AND "
+		}
+		out += p.aCol + "=" + p.bCol
+	}
+	return out
+}
+
+// executor runs one query.
+type executor struct {
+	e     *Engine
+	g     *sqlparse.Graph
+	limit float64
+
+	time    float64
+	aborted bool
+
+	aliasIdx map[string]int
+	colTable map[string]string // qualified col -> base table
+	colBase  map[string]string // qualified col -> base column
+	items    []*dist
+	// trace records the planned operators when non-nil (Engine.Explain).
+	trace *[]string
+}
+
+func newExecutor(e *Engine, g *sqlparse.Graph, limit float64) *executor {
+	x := &executor{
+		e: e, g: g, limit: limit,
+		aliasIdx: make(map[string]int, len(g.Refs)),
+		colTable: make(map[string]string),
+		colBase:  make(map[string]string),
+	}
+	for i, r := range g.Refs {
+		x.aliasIdx[r.Alias] = i
+	}
+	return x
+}
+
+func (x *executor) charge(seconds float64) bool {
+	x.time += seconds
+	if x.limit > 0 && x.time >= x.limit {
+		x.aborted = true
+		return false
+	}
+	return true
+}
+
+// tracef records one plan step when tracing is enabled.
+func (x *executor) tracef(format string, args ...interface{}) {
+	if x.trace != nil {
+		*x.trace = append(*x.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// run executes scans then joins and returns (simulated seconds, aborted).
+func (x *executor) run() (float64, bool) {
+	x.time = x.e.HW.QueryOverheadSec
+	for _, ref := range x.g.Refs {
+		d := x.scan(ref)
+		x.items = append(x.items, d)
+		if x.aborted {
+			return x.time, true
+		}
+	}
+	for len(x.items) > 1 {
+		ai, bi := x.pickJoin()
+		if ai < 0 {
+			break // remaining items are cartesian components; nothing to join
+		}
+		joined := x.join(x.items[ai], x.items[bi])
+		// Remove bi first (bi > ai is not guaranteed; handle both orders).
+		if ai > bi {
+			ai, bi = bi, ai
+		}
+		x.items[ai] = joined
+		x.items = append(x.items[:bi], x.items[bi+1:]...)
+		if x.aborted {
+			return x.time, true
+		}
+	}
+	return x.time, false
+}
+
+// neededCols returns the qualified columns the executor must materialize for
+// an alias: its join columns plus the select-list/GROUP BY columns it
+// contributes (so shuffled intermediates carry realistic payload widths),
+// with one fallback column so row counts survive projection.
+func (x *executor) neededCols(alias, table string) []string {
+	set := make(map[string]bool)
+	for _, j := range x.g.Joins {
+		if j.LeftAlias == alias {
+			set[j.LeftCol] = true
+		}
+		if j.RightAlias == alias {
+			set[j.RightCol] = true
+		}
+	}
+	for _, o := range x.g.Outputs {
+		if o.Alias == alias {
+			set[o.Column] = true
+		}
+	}
+	if len(set) == 0 {
+		set[x.e.Schema.MustTable(table).Attributes[0].Name] = true
+	}
+	cols := make([]string, 0, len(set))
+	for c := range set {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// scan reads one alias: per-node filter + project, charging scan bandwidth
+// on the stored bytes and CPU per scanned row.
+func (x *executor) scan(ref sqlparse.TableRef) *dist {
+	e := x.e
+	baseCols := x.neededCols(ref.Alias, ref.Table)
+	qualify := func(c string) string { return ref.Alias + "." + c }
+	for _, c := range baseCols {
+		x.colTable[qualify(c)] = ref.Table
+		x.colBase[qualify(c)] = c
+	}
+	filters := x.g.FiltersFor(ref.Alias)
+	apply := func(shard *relation.Relation) *relation.Relation {
+		filtered := shard
+		if len(filters) > 0 {
+			cols := make([][]int64, len(filters))
+			for i, f := range filters {
+				cols[i] = shard.Col(f.Column)
+			}
+			filtered = shard.Filter(func(row int) bool {
+				for i, f := range filters {
+					if !f.Matches(cols[i][row]) {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		return filtered.Project(baseCols).Rename(ref.Alias, qualify)
+	}
+
+	rowWidth := float64(e.cluster.RowWidth(ref.Table))
+	shards, replica, replicated := e.cluster.Shards(ref.Table)
+	d := &dist{mask: 1 << uint(x.aliasIdx[ref.Alias]), estRows: x.estScanRows(ref)}
+	if replicated {
+		d.replica = apply(replica)
+		bytes := float64(replica.Rows()) * rowWidth
+		x.charge(bytes/e.HW.ScanBytesPerSec + float64(replica.Rows())/e.HW.CPUTuplesPerSec)
+		x.tracef("scan %s as %s [replicated, %d rows]", ref.Table, ref.Alias, replica.Rows())
+		return d
+	}
+	d.shards = make([]*relation.Relation, len(shards))
+	maxSec := 0.0
+	for i, s := range shards {
+		d.shards[i] = apply(s)
+		sec := float64(s.Rows())*rowWidth/e.HW.ScanBytesPerSec + float64(s.Rows())/e.HW.CPUTuplesPerSec
+		if sec > maxSec {
+			maxSec = sec
+		}
+	}
+	x.charge(maxSec)
+	x.tracef("scan %s as %s [%s, %d rows]", ref.Table, ref.Alias, e.cluster.Design(ref.Table), d.realRows())
+	if design := e.cluster.Design(ref.Table); len(design.Key) > 0 {
+		d.partCols = make([][]string, len(design.Key))
+		for i, k := range design.Key {
+			d.partCols[i] = []string{qualify(k)}
+		}
+	}
+	return d
+}
+
+// estScanRows is the optimizer's (possibly stale) estimate of an alias's
+// filtered cardinality.
+func (x *executor) estScanRows(ref sqlparse.TableRef) float64 {
+	cat := x.e.estCat
+	rows := float64(cat.Rows(ref.Table))
+	for _, f := range x.g.FiltersFor(ref.Alias) {
+		s := cat.Selectivity(ref.Table, f.Column, f.Op, f.Args)
+		if f.Neg {
+			s = 1 - s
+		}
+		rows *= s
+	}
+	return math.Max(rows, 1)
+}
+
+// crossingPreds returns the normalized join predicates between two
+// intermediates (empty if unrelated).
+func (x *executor) crossingPreds(a, b *dist) []jpred {
+	var out []jpred
+	for _, j := range x.g.Joins {
+		li, lok := x.aliasIdx[j.LeftAlias]
+		ri, rok := x.aliasIdx[j.RightAlias]
+		if !lok || !rok {
+			continue
+		}
+		lInA := a.mask&(1<<uint(li)) != 0
+		rInA := a.mask&(1<<uint(ri)) != 0
+		lInB := b.mask&(1<<uint(li)) != 0
+		rInB := b.mask&(1<<uint(ri)) != 0
+		lq := j.LeftAlias + "." + j.LeftCol
+		rq := j.RightAlias + "." + j.RightCol
+		switch {
+		case lInA && rInB:
+			out = append(out, jpred{aCol: lq, bCol: rq, semi: j.Semi, anti: j.Anti, outerA: true})
+		case lInB && rInA:
+			out = append(out, jpred{aCol: rq, bCol: lq, semi: j.Semi, anti: j.Anti, outerA: false})
+		}
+	}
+	return out
+}
+
+// pickJoin chooses the next pair of intermediates: the joinable pair with
+// the smallest estimated output (greedy optimizer driven by estimated
+// statistics).
+func (x *executor) pickJoin() (int, int) {
+	bi, bj := -1, -1
+	best := math.Inf(1)
+	for i := 0; i < len(x.items); i++ {
+		for j := i + 1; j < len(x.items); j++ {
+			preds := x.crossingPreds(x.items[i], x.items[j])
+			if len(preds) == 0 {
+				continue
+			}
+			if est := x.estJoinRows(x.items[i], x.items[j], preds); est < best {
+				best, bi, bj = est, i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// estJoinRows is the optimizer's output estimate for a join.
+func (x *executor) estJoinRows(a, b *dist, preds []jpred) float64 {
+	rows := a.estRows * b.estRows
+	for _, p := range preds {
+		da := x.estDistinct(p.aCol, a.estRows)
+		db := x.estDistinct(p.bCol, b.estRows)
+		rows /= math.Max(math.Max(da, db), 1)
+	}
+	semi, anti, outerA := classifySemi(preds)
+	switch {
+	case anti:
+		outer := a.estRows
+		if !outerA {
+			outer = b.estRows
+		}
+		rows = math.Max(outer-rows, 1)
+	case semi:
+		outer := a.estRows
+		if !outerA {
+			outer = b.estRows
+		}
+		rows = math.Min(rows, outer)
+	}
+	return math.Max(rows, 1)
+}
+
+func (x *executor) estDistinct(qcol string, sideRows float64) float64 {
+	table, col := x.colTable[qcol], x.colBase[qcol]
+	d := float64(x.e.estCat.Distinct(table, col))
+	return math.Min(d, math.Max(sideRows, 1))
+}
+
+// classifySemi reports whether the predicate set forms a semi/anti join with
+// a consistent outer side.
+func classifySemi(preds []jpred) (semi, anti, outerA bool) {
+	allSemi := true
+	anyAnti := false
+	outerA = preds[0].outerA
+	for _, p := range preds {
+		if !p.semi && !p.anti {
+			allSemi = false
+		}
+		if p.anti {
+			anyAnti = true
+		}
+		if p.outerA != outerA {
+			allSemi = false
+		}
+	}
+	if !allSemi {
+		return false, false, true
+	}
+	return true, anyAnti, outerA
+}
+
+// join executes one distributed join, choosing the cheapest strategy under
+// *estimated* sizes and paying real costs.
+func (x *executor) join(a, b *dist) *dist {
+	preds := x.crossingPreds(a, b)
+	e := x.e
+	n := float64(e.HW.Nodes)
+	estOut := x.estJoinRows(a, b, preds)
+
+	// Resolve semi/anti orientation: the executor's local join keeps "a" as
+	// the outer side, so swap when the outer side is b.
+	semi, anti, outerA := classifySemi(preds)
+	if (semi || anti) && !outerA {
+		a, b = b, a
+		for i := range preds {
+			preds[i].aCol, preds[i].bCol = preds[i].bCol, preds[i].aCol
+			preds[i].outerA = true
+		}
+	}
+	mode := modeInner
+	if anti {
+		mode = modeAnti
+	} else if semi {
+		mode = modeSemi
+	}
+
+	out := &dist{mask: a.mask | b.mask, estRows: estOut}
+
+	switch {
+	case a.replicated() && b.replicated():
+		x.tracef("join %s [both-replicated, local]", predsString(preds))
+		joined, cpuRows := localHashJoin(a.replica, b.replica, preds, mode)
+		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec)
+		out.replica = joined
+		return out
+	case a.replicated() && mode != modeInner:
+		// Semi/anti join with a replicated outer side: every node holds all
+		// outer rows, so per-node independent joins would multiply-count
+		// matches. Gather the inner side to every node and compute the
+		// (identical) result once; it is replicated.
+		x.tracef("join %s [semi/anti against replicated outer: gather inner]", predsString(preds))
+		full, movedB, movedR := x.broadcast(b)
+		x.chargeNet(movedB, movedR)
+		joined, cpuRows := localHashJoin(a.replica, full, preds, mode)
+		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec)
+		out.replica = joined
+		return out
+	case a.replicated() || b.replicated():
+		x.tracef("join %s [one side replicated, local]", predsString(preds))
+		// Local join against the replicated side on every node.
+		part, repl := a, b
+		swapped := false
+		if a.replicated() {
+			part, repl = b, a
+			swapped = true
+		}
+		out.shards = make([]*relation.Relation, len(part.shards))
+		maxCPU := 0.0
+		for i, shard := range part.shards {
+			var joined *relation.Relation
+			var cpuRows int
+			if swapped {
+				joined, cpuRows = localHashJoin(repl.replica, shard, preds, mode)
+			} else {
+				joined, cpuRows = localHashJoin(shard, repl.replica, preds, mode)
+			}
+			out.shards[i] = joined
+			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec; sec > maxCPU {
+				maxCPU = sec
+			}
+		}
+		x.charge(maxCPU)
+		out.partCols = augmentPartCols(part.partCols, preds)
+		return out
+	}
+
+	// Both sides partitioned. Candidate strategies by estimated bytes.
+	if merged := colocatedPartCols(a, b, preds); merged != nil {
+		x.tracef("join %s [co-located]", predsString(preds))
+		x.localJoinShards(out, a.shards, b.shards, preds, mode)
+		out.partCols = merged
+		return out
+	}
+	aAligned := alignedKeys(a.partCols, preds, true)
+	bAligned := alignedKeys(b.partCols, preds, false)
+
+	type strategy struct {
+		name string
+		cost float64
+	}
+	cands := []strategy{
+		{"broadcast-b", b.estBytes() * (n - 1)},
+		{"broadcast-a", a.estBytes() * (n - 1)},
+		{"shuffle-both", (a.estBytes() + b.estBytes()) * (n - 1) / n},
+	}
+	if aAligned != nil {
+		cands = append(cands, strategy{"shuffle-b-to-a", b.estBytes() * (n - 1) / n})
+	}
+	if bAligned != nil {
+		cands = append(cands, strategy{"shuffle-a-to-b", a.estBytes() * (n - 1) / n})
+	}
+	// Broadcasting the outer side of a semi/anti join would duplicate or
+	// lose outer rows; disallow it.
+	if mode != modeInner {
+		filtered := cands[:0]
+		for _, c := range cands {
+			if c.name != "broadcast-a" {
+				filtered = append(filtered, c)
+			}
+		}
+		cands = filtered
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	x.tracef("join %s [%s]", predsString(preds), best.name)
+
+	switch best.name {
+	case "broadcast-b":
+		full, movedB, movedR := x.broadcast(b)
+		x.chargeNet(movedB, movedR)
+		out.shards = make([]*relation.Relation, len(a.shards))
+		maxCPU := 0.0
+		for i, shard := range a.shards {
+			joined, cpuRows := localHashJoin(shard, full, preds, mode)
+			out.shards[i] = joined
+			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec; sec > maxCPU {
+				maxCPU = sec
+			}
+		}
+		x.charge(maxCPU)
+		out.partCols = augmentPartCols(a.partCols, preds)
+	case "broadcast-a":
+		full, movedB, movedR := x.broadcast(a)
+		x.chargeNet(movedB, movedR)
+		out.shards = make([]*relation.Relation, len(b.shards))
+		maxCPU := 0.0
+		for i, shard := range b.shards {
+			joined, cpuRows := localHashJoin(full, shard, preds, mode)
+			out.shards[i] = joined
+			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec; sec > maxCPU {
+				maxCPU = sec
+			}
+		}
+		x.charge(maxCPU)
+		out.partCols = augmentPartCols(b.partCols, preds)
+	case "shuffle-b-to-a":
+		keysB := pairedCols(a.partCols, preds)
+		bShards, movedB, movedR := x.shuffle(b.shards, keysB)
+		x.chargeNet(movedB, movedR)
+		x.localJoinShards(out, a.shards, bShards, preds, mode)
+		out.partCols = augmentPartCols(a.partCols, preds)
+	case "shuffle-a-to-b":
+		keysA := pairedColsB(b.partCols, preds)
+		aShards, movedB, movedR := x.shuffle(a.shards, keysA)
+		x.chargeNet(movedB, movedR)
+		x.localJoinShards(out, aShards, b.shards, preds, mode)
+		out.partCols = augmentPartCols(b.partCols, preds)
+	default: // shuffle-both
+		sorted := append([]jpred(nil), preds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].aCol < sorted[j].aCol })
+		keysA := make([]string, len(sorted))
+		keysB := make([]string, len(sorted))
+		pc := make([][]string, len(sorted))
+		for i, p := range sorted {
+			keysA[i], keysB[i] = p.aCol, p.bCol
+			pc[i] = []string{p.aCol, p.bCol}
+		}
+		aShards, movedBytesA, movedRowsA := x.shuffle(a.shards, keysA)
+		bShards, movedBytesB, movedRowsB := x.shuffle(b.shards, keysB)
+		x.chargeNet(movedBytesA+movedBytesB, movedRowsA+movedRowsB)
+		x.localJoinShards(out, aShards, bShards, preds, mode)
+		out.partCols = pc
+	}
+	return out
+}
+
+// serializationSpeedup: tuples (de)serialize this many times faster than
+// they are processed by a hash join (kept consistent with the cost model).
+const serializationSpeedup = 4
+
+// chargeNet books data movement: wire time plus per-tuple (de)serialization
+// CPU — distributed engines rarely shuffle at wire speed.
+func (x *executor) chargeNet(movedBytes, movedRows int64) {
+	n := float64(x.e.HW.Nodes)
+	x.charge(float64(movedBytes)/(n*x.e.HW.NetBytesPerSec) + float64(movedRows)/(n*serializationSpeedup*x.e.HW.CPUTuplesPerSec))
+}
+
+// localJoinShards joins co-located shard pairs, charging the straggler
+// (max-over-nodes) CPU time.
+func (x *executor) localJoinShards(out *dist, aShards, bShards []*relation.Relation, preds []jpred, mode joinMode) {
+	out.shards = make([]*relation.Relation, len(aShards))
+	maxCPU := 0.0
+	for i := range aShards {
+		joined, cpuRows := localHashJoin(aShards[i], bShards[i], preds, mode)
+		out.shards[i] = joined
+		if sec := float64(cpuRows) / x.e.HW.CPUTuplesPerSec; sec > maxCPU {
+			maxCPU = sec
+		}
+	}
+	x.charge(maxCPU)
+}
+
+// broadcast concatenates all shards into a full copy shipped to every node.
+func (x *executor) broadcast(d *dist) (full *relation.Relation, movedBytes, movedRows int64) {
+	full = relation.New(d.shards[0].Name, d.shards[0].Columns())
+	for _, s := range d.shards {
+		full.Concat(s)
+	}
+	movedRows = int64(full.Rows()) * int64(x.e.HW.Nodes-1)
+	movedBytes = movedRows * int64(full.NumCols()) * colWidth
+	return full, movedBytes, movedRows
+}
+
+// shuffle rehashes shards by the given qualified columns, counting the bytes
+// of rows that change node.
+func (x *executor) shuffle(shards []*relation.Relation, cols []string) (out []*relation.Relation, movedBytes, movedRows int64) {
+	n := len(shards)
+	out = make([]*relation.Relation, n)
+	for i := range out {
+		out[i] = relation.New(shards[0].Name, shards[0].Columns())
+	}
+	for node, shard := range shards {
+		idxs := make([]int, len(cols))
+		for i, c := range cols {
+			idxs[i] = shard.ColIndex(c)
+			if idxs[i] < 0 {
+				panic(fmt.Sprintf("exec: shuffle column %q missing from %v", c, shard.Columns()))
+			}
+		}
+		rows := shard.Rows()
+		for row := 0; row < rows; row++ {
+			target := int(shard.HashRow(row, idxs) % uint64(n))
+			if target != node {
+				movedRows++
+			}
+			out[target].AppendFrom(shard, row)
+		}
+	}
+	return out, movedRows * int64(shards[0].NumCols()) * colWidth, movedRows
+}
+
+// colocatedPartCols reports whether a and b are already co-partitioned for
+// the given predicates; when they are, it returns the merged hash-key
+// position sets of the join result (nil otherwise).
+func colocatedPartCols(a, b *dist, preds []jpred) [][]string {
+	if a.partCols == nil || b.partCols == nil || len(a.partCols) != len(b.partCols) {
+		return nil
+	}
+	merged := make([][]string, len(a.partCols))
+	used := make([]bool, len(preds))
+	for i := range a.partCols {
+		found := false
+		for pi, p := range preds {
+			if used[pi] {
+				continue
+			}
+			if containsStr(a.partCols[i], p.aCol) && containsStr(b.partCols[i], p.bCol) {
+				used[pi] = true
+				found = true
+				merged[i] = dedupStrs(append(append(append([]string{}, a.partCols[i]...), b.partCols[i]...), p.aCol, p.bCol))
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return merged
+}
+
+// alignedKeys reports whether the given side's partitioning is exactly
+// covered by join predicates (so only the other side must move). It returns
+// the predicate permutation pairing positions, or nil.
+func alignedKeys(partCols [][]string, preds []jpred, sideA bool) []int {
+	if partCols == nil {
+		return nil
+	}
+	perm := make([]int, len(partCols))
+	used := make([]bool, len(preds))
+	for i := range partCols {
+		found := false
+		for pi, p := range preds {
+			if used[pi] {
+				continue
+			}
+			col := p.aCol
+			if !sideA {
+				col = p.bCol
+			}
+			if containsStr(partCols[i], col) {
+				used[pi] = true
+				perm[i] = pi
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return perm
+}
+
+// pairedCols returns, for each hash position of the aligned a side, the
+// b-side column that must be hashed to co-locate with it.
+func pairedCols(aPartCols [][]string, preds []jpred) []string {
+	perm := alignedKeys(aPartCols, preds, true)
+	out := make([]string, len(perm))
+	for i, pi := range perm {
+		out[i] = preds[pi].bCol
+	}
+	return out
+}
+
+// pairedColsB is pairedCols with the roles reversed (shuffle a to b).
+func pairedColsB(bPartCols [][]string, preds []jpred) []string {
+	perm := alignedKeys(bPartCols, preds, false)
+	out := make([]string, len(perm))
+	for i, pi := range perm {
+		out[i] = preds[pi].aCol
+	}
+	return out
+}
+
+// augmentPartCols adds predicate-equivalent column names to existing hash
+// positions so downstream joins can recognize co-location through either
+// side's name.
+func augmentPartCols(partCols [][]string, preds []jpred) [][]string {
+	if partCols == nil {
+		return nil
+	}
+	out := make([][]string, len(partCols))
+	for i, set := range partCols {
+		ns := append([]string{}, set...)
+		for _, p := range preds {
+			if containsStr(set, p.aCol) {
+				ns = append(ns, p.bCol)
+			}
+			if containsStr(set, p.bCol) {
+				ns = append(ns, p.aCol)
+			}
+		}
+		out[i] = dedupStrs(ns)
+	}
+	return out
+}
+
+func containsStr(set []string, s string) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupStrs(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// joinMode selects inner / semi / anti hash-join semantics.
+type joinMode int
+
+const (
+	modeInner joinMode = iota
+	modeSemi           // keep outer rows with >= 1 match (first match's columns)
+	modeAnti           // keep outer rows with no match (zero-filled inner columns)
+)
+
+// localHashJoin joins two co-located relations. It returns the joined
+// relation and the number of processed tuples (build + probe + output) for
+// CPU accounting.
+func localHashJoin(a, b *relation.Relation, preds []jpred, mode joinMode) (*relation.Relation, int) {
+	aIdx := make([]int, len(preds))
+	bIdx := make([]int, len(preds))
+	for i, p := range preds {
+		aIdx[i] = a.ColIndex(p.aCol)
+		bIdx[i] = b.ColIndex(p.bCol)
+		if aIdx[i] < 0 || bIdx[i] < 0 {
+			panic(fmt.Sprintf("exec: join columns %q/%q missing (%v / %v)", p.aCol, p.bCol, a.Columns(), b.Columns()))
+		}
+	}
+	outCols := append(append([]string{}, a.Columns()...), b.Columns()...)
+	out := relation.New(a.Name+"⋈"+b.Name, outCols)
+
+	// Build on b.
+	table := make(map[uint64][]int32, b.Rows())
+	for row := 0; row < b.Rows(); row++ {
+		h := b.HashRow(row, bIdx)
+		table[h] = append(table[h], int32(row))
+	}
+	aKey := make([][]int64, len(preds))
+	bKey := make([][]int64, len(preds))
+	for i, p := range preds {
+		aKey[i] = a.Col(p.aCol)
+		bKey[i] = b.Col(p.bCol)
+	}
+	keysEqual := func(ar, br int) bool {
+		for i := range preds {
+			if aKey[i][ar] != bKey[i][br] {
+				return false
+			}
+		}
+		return true
+	}
+	aCols := make([][]int64, a.NumCols())
+	for i, c := range a.Columns() {
+		aCols[i] = a.Col(c)
+	}
+	bCols := make([][]int64, b.NumCols())
+	for i, c := range b.Columns() {
+		bCols[i] = b.Col(c)
+	}
+	emit := func(ar, br int) {
+		vals := make([]int64, 0, len(outCols))
+		for _, c := range aCols {
+			vals = append(vals, c[ar])
+		}
+		if br >= 0 {
+			for _, c := range bCols {
+				vals = append(vals, c[br])
+			}
+		} else {
+			for range bCols {
+				vals = append(vals, 0)
+			}
+		}
+		out.AppendRow(vals...)
+	}
+	for row := 0; row < a.Rows(); row++ {
+		h := a.HashRow(row, aIdx)
+		matched := false
+		for _, br := range table[h] {
+			if !keysEqual(row, int(br)) {
+				continue
+			}
+			matched = true
+			if mode == modeAnti {
+				break
+			}
+			emit(row, int(br))
+			if mode == modeSemi {
+				break
+			}
+		}
+		if mode == modeAnti && !matched {
+			emit(row, -1)
+		}
+	}
+	cpuRows := a.Rows() + b.Rows() + out.Rows()
+	return out, cpuRows
+}

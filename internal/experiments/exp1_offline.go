@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/hardware"
+)
+
+// Table1 renders the hyperparameter table (paper Table 1) from the live
+// default configuration, so drift between code and documentation is
+// impossible.
+func Table1() *Result {
+	hp := PaperConfig().HP(true)
+	r := &Result{
+		ID:     "table1",
+		Title:  "Hyperparameters used for DRL training (paper Table 1)",
+		Header: []string{"Parameter", "Value"},
+	}
+	r.AddRow("Learning Rate", fmt.Sprintf("%g", hp.DQN.LearningRate))
+	r.AddRow("tau (Target network update)", fmt.Sprintf("%g", hp.DQN.Tau))
+	r.AddRow("Optimizer", "Adam")
+	r.AddRow("Experience Replay Buffer Size", hp.DQN.BufferSize)
+	r.AddRow("Batch Size for Experience Replay", hp.DQN.BatchSize)
+	r.AddRow("Epsilon Decay", fmt.Sprintf("%g", hp.DQN.EpsilonDecay))
+	r.AddRow("tmax (Max Stepsize)", hp.Tmax)
+	r.AddRow("Episodes", fmt.Sprintf("%d/%d", PaperConfig().HP(false).Episodes, hp.Episodes))
+	r.AddRow("Network Layout", fmt.Sprintf("%d-%d", hp.DQN.Hidden[0], hp.DQN.Hidden[1]))
+	r.AddRow("gamma (Reward Discount)", fmt.Sprintf("%g", hp.DQN.Gamma))
+	return r
+}
+
+// fig3Case identifies one subfigure of Fig. 3.
+type fig3Case struct {
+	id      string
+	bench   func() *benchmarks.Benchmark
+	hw      hardware.Profile
+	flavor  exec.Flavor
+	complex bool
+}
+
+func fig3Cases() []fig3Case {
+	return []fig3Case{
+		{"fig3a", benchmarks.SSB, hardware.PostgresXLDisk(), exec.Disk, false},
+		{"fig3b", benchmarks.SSB, hardware.SystemXMemory(), exec.Memory, false},
+		{"fig3c", benchmarks.TPCDS, hardware.PostgresXLDisk(), exec.Disk, true},
+		{"fig3d", benchmarks.TPCDS, hardware.SystemXMemory(), exec.Memory, true},
+		{"fig3e", benchmarks.TPCCH, hardware.PostgresXLDisk(), exec.Disk, true},
+		{"fig3f", benchmarks.TPCCH, hardware.SystemXMemory(), exec.Memory, true},
+	}
+}
+
+// Fig3 reproduces Exp. 1 (offline training): workload runtime of the
+// partitionings found by Heuristic (a), Heuristic (b), the
+// Minimum-Optimizer baseline (Disk engines only) and the offline-trained
+// DRL agent, for SSB / TPC-DS / TPC-CH on both engine flavors.
+func Fig3(cfg Config, only string) ([]*Result, error) {
+	var out []*Result
+	for _, c := range fig3Cases() {
+		if only != "" && only != c.id {
+			continue
+		}
+		res, err := runFig3Case(cfg, c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runFig3Case(cfg Config, c fig3Case) (*Result, error) {
+	b := c.bench()
+	s := newSetup(cfg, b, c.hw, c.flavor)
+	res := &Result{
+		ID:     c.id,
+		Title:  fmt.Sprintf("Offline RL vs baselines — %s (%s)", b.Name, c.flavor),
+		Header: []string{"Approach", "Workload runtime (sim s)"},
+	}
+
+	ha, hb := s.heuristics()
+	res.AddRow("Heuristic (a)", s.evalWorkload(ha))
+	res.AddRow("Heuristic (b)", s.evalWorkload(hb))
+
+	if mo := s.minOptimizer(); mo != nil {
+		res.AddRow("Minimum Optimizer", s.evalWorkload(mo))
+		res.Notef("minimum-optimizer partitioning: %s", mo)
+	} else {
+		res.AddRow("Minimum Optimizer", "not available")
+	}
+
+	adv, err := s.trainOfflineAdvisor(cfg, c.complex, cfg.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	st, _, err := adv.Suggest(b.Workload.UniformFreq())
+	if err != nil {
+		return nil, err
+	}
+	res.AddRow("RL", s.evalWorkload(st))
+	res.Notef("RL partitioning: %s", st)
+	return res, nil
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r := Table1()
+	want := map[string]string{
+		"Learning Rate":                    "0.0005",
+		"tau (Target network update)":      "0.001",
+		"Optimizer":                        "Adam",
+		"Experience Replay Buffer Size":    "10000",
+		"Batch Size for Experience Replay": "32",
+		"Epsilon Decay":                    "0.997",
+		"tmax (Max Stepsize)":              "100",
+		"Episodes":                         "600/1200",
+		"Network Layout":                   "128-64",
+		"gamma (Reward Discount)":          "0.99",
+	}
+	got := map[string]string{}
+	for _, row := range r.Rows {
+		got[row[0]] = row[1]
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Table1[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestRenderFormatsTable(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", Header: []string{"A", "BB"}}
+	r.AddRow("v", 1.5)
+	r.Notef("hello %d", 7)
+	out := r.Render()
+	for _, want := range []string{"== x: T ==", "A", "BB", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", TestConfig()); err == nil {
+		t.Fatalf("unknown id accepted")
+	}
+}
+
+func TestIDsCovered(t *testing.T) {
+	// Every listed ID must be runnable (structure check at tiny scale for
+	// the cheap ones; the expensive ones are covered by dedicated tests and
+	// the bench harness).
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+// parseRuntimeCell extracts a numeric cell (fails on "not available").
+func parseRuntimeCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig3SSBBothFlavors(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Scale = 0.2
+	for _, id := range []string{"fig3a", "fig3b"} {
+		rs, err := Fig3(cfg, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		r := rs[0]
+		if len(r.Rows) != 4 {
+			t.Fatalf("%s rows = %v", id, r.Rows)
+		}
+		// Disk exposes the optimizer baseline; memory does not.
+		moCell := r.Rows[2][1]
+		if id == "fig3a" && moCell == "not available" {
+			t.Fatalf("fig3a lost the minimum-optimizer baseline")
+		}
+		if id == "fig3b" && moCell != "not available" {
+			t.Fatalf("fig3b should not have optimizer estimates")
+		}
+		// All runtimes positive.
+		for _, row := range r.Rows {
+			if row[1] == "not available" {
+				continue
+			}
+			if v := parseRuntimeCell(t, row[1]); v <= 0 {
+				t.Fatalf("%s %s runtime %v", id, row[0], v)
+			}
+		}
+	}
+}
+
+func TestFig4aAndFig4bStructure(t *testing.T) {
+	cfg := TestConfig()
+	r4a, run, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r4a.Rows) != 5 {
+		t.Fatalf("fig4a rows = %v", r4a.Rows)
+	}
+	r4b, err := Fig4b(cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r4b.Rows) != 4 {
+		t.Fatalf("fig4b rows = %v", r4b.Rows)
+	}
+	if r4b.Rows[0][0] != "+0%" || r4b.Rows[3][0] != "+60%" {
+		t.Fatalf("fig4b levels = %v", r4b.Rows)
+	}
+	// Runtimes must grow with data volume for every approach.
+	for col := 1; col <= 4; col++ {
+		base := parseRuntimeCell(t, r4b.Rows[0][col])
+		last := parseRuntimeCell(t, r4b.Rows[3][col])
+		if last <= base {
+			t.Errorf("fig4b col %d: runtime did not grow with +60%% data (%v -> %v)", col, base, last)
+		}
+	}
+}
+
+func TestTable2SpeedupsPositive(t *testing.T) {
+	cfg := TestConfig()
+	r, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("table2 rows = %v", r.Rows)
+	}
+	times := make([]float64, 0, 5)
+	for _, row := range r.Rows {
+		times = append(times, parseRuntimeCell(t, row[1]))
+	}
+	// Each cumulative optimization must not increase training time.
+	for i := 1; i < len(times); i++ {
+		if times[i] > times[i-1]*1.0001 {
+			t.Errorf("table2 row %d time %v > previous %v", i, times[i], times[i-1])
+		}
+	}
+	// The runtime cache must be a significant win.
+	if times[1] >= times[0] {
+		t.Errorf("runtime cache saved nothing: %v vs %v", times[1], times[0])
+	}
+}
+
+func TestFig5AccuraciesInRange(t *testing.T) {
+	cfg := TestConfig()
+	r, committee, err := Fig5(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committee == nil || len(committee.Refs) == 0 {
+		t.Fatalf("no committee built")
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("fig5 rows = %v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.Atoi(strings.TrimSuffix(cell, "%"))
+			if err != nil || v < 0 || v > 100 {
+				t.Fatalf("accuracy cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	cfg := TestConfig()
+	r, err := Fig6(cfg, []int{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("fig6 rows = %v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		v, err := strconv.Atoi(strings.TrimSuffix(row[1], "%"))
+		if err != nil {
+			t.Fatalf("fig6 median %q", row[1])
+		}
+		if v < 0 || v > 120 {
+			t.Fatalf("fig6 incremental ratio %d%% out of range", v)
+		}
+	}
+}
+
+func TestFig8Structure(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Scale = 0.5
+	r, err := Fig8(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("fig8 rows = %v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		for _, cell := range row[1:] {
+			if !strings.HasSuffix(cell, "x") {
+				t.Fatalf("speedup cell %q", cell)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+			if err != nil || v < 0.99 {
+				t.Fatalf("speedup %q below 1", cell)
+			}
+		}
+	}
+}
+
+func TestMeasureAccuracyHelper(t *testing.T) {
+	// A dominant fixed suggester must score 100%; a clearly inferior one 0%.
+	cfg := TestConfig()
+	s := newSetup(cfg, tpcchBench(), diskHW(), diskFlavor())
+	sp := s.space
+	good := sp.InitialState()
+	// Replicate the largest table: strictly worse for every mix.
+	bad := sp.Apply(good, partition.Action{Kind: partition.ActReplicate, Table: sp.TableIndex("orderline")})
+	cost := func(st *partition.State, freq workload.FreqVector) float64 {
+		return s.cm.WorkloadCost(st, s.bench.Workload, freq)
+	}
+	approaches := []suggester{
+		fixedSuggester("good", good),
+		fixedSuggester("bad", bad),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	acc, err := measureAccuracy(cost, approaches,
+		func(r *rand.Rand) workload.FreqVector { return s.bench.Workload.SampleUniform(r) },
+		10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc["good"] != 1 {
+		t.Fatalf("good accuracy = %v", acc["good"])
+	}
+	if acc["bad"] != 0 {
+		t.Fatalf("bad accuracy = %v", acc["bad"])
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// The entire pipeline — data generation, training, measurement — is
+	// seeded: the same config must reproduce identical result rows.
+	cfg := TestConfig()
+	r1, err := Fig8(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fig8(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("row counts differ")
+	}
+	for i := range r1.Rows {
+		for j := range r1.Rows[i] {
+			if r1.Rows[i][j] != r2.Rows[i][j] {
+				t.Fatalf("row %d cell %d differs: %q vs %q", i, j, r1.Rows[i][j], r2.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestAblationsExperiment(t *testing.T) {
+	cfg := TestConfig()
+	rs, err := Run("ablations", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if len(r.Rows) != 4 {
+		t.Fatalf("ablations rows = %v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if v := parseRuntimeCell(t, row[1]); v <= 0 {
+			t.Fatalf("%s runtime %v", row[0], v)
+		}
+	}
+}
+
+func TestFig7Structure(t *testing.T) {
+	cfg := TestConfig()
+	r7a, exploit, explore, err := Fig7a(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r7a.Rows) != 4 {
+		t.Fatalf("fig7a rows = %v", r7a.Rows)
+	}
+	for _, row := range r7a.Rows {
+		if v := parseRuntimeCell(t, row[1]); v <= 0 {
+			t.Fatalf("%s runtime %v", row[0], v)
+		}
+	}
+	r7b, err := Fig7b(cfg, nil, nil, exploit, explore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r7b.Rows) != 4 {
+		t.Fatalf("fig7b rows = %v", r7b.Rows)
+	}
+}
+
+func TestReproAndPaperConfigsSane(t *testing.T) {
+	for _, cfg := range []Config{ReproConfig(), PaperConfig()} {
+		if cfg.Scale <= 0 || cfg.SampleRate <= 0 || cfg.Mixes <= 0 || cfg.HP == nil {
+			t.Fatalf("config incomplete: %+v", cfg)
+		}
+		if err := cfg.HP(true).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

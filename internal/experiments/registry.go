@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IDs returns the known experiment identifiers in presentation order.
+func IDs() []string {
+	return []string{
+		"table1",
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f",
+		"fig4a", "fig4b",
+		"table2",
+		"fig5", "fig6",
+		"fig7a", "fig7b",
+		"fig8a", "fig8b",
+		"ablations",
+	}
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) ([]*Result, error) {
+	switch id {
+	case "table1":
+		return []*Result{Table1()}, nil
+	case "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f":
+		return Fig3(cfg, id)
+	case "fig3":
+		return Fig3(cfg, "")
+	case "fig4a":
+		r, _, err := Fig4a(cfg)
+		return []*Result{r}, err
+	case "fig4b":
+		r, err := Fig4b(cfg, nil)
+		return []*Result{r}, err
+	case "table2":
+		r, err := Table2(cfg)
+		return []*Result{r}, err
+	case "fig5":
+		r, _, err := Fig5(cfg, nil)
+		return []*Result{r}, err
+	case "fig6":
+		r, err := Fig6(cfg, nil, 0)
+		return []*Result{r}, err
+	case "fig7a":
+		r, _, _, err := Fig7a(cfg, nil)
+		return []*Result{r}, err
+	case "fig7b":
+		r, err := Fig7b(cfg, nil, nil, nil, nil)
+		return []*Result{r}, err
+	case "fig8a":
+		r, err := Fig8(cfg, false)
+		return []*Result{r}, err
+	case "fig8b":
+		r, err := Fig8(cfg, true)
+		return []*Result{r}, err
+	case "ablations":
+		r, err := Ablations(cfg)
+		return []*Result{r}, err
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+}
+
+// RunAll executes every experiment, sharing the expensive TPC-CH online run
+// across fig4a/fig4b/table2/fig5/fig7.
+func RunAll(cfg Config) ([]*Result, error) {
+	var out []*Result
+	add := func(rs []*Result, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, rs...)
+		return nil
+	}
+	if err := add(Run("table1", cfg)); err != nil {
+		return out, err
+	}
+	if err := add(Fig3(cfg, "")); err != nil {
+		return out, err
+	}
+	r4a, run, err := Fig4a(cfg)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, r4a)
+	rT2, err := Table2(cfg)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, rT2)
+	r5, committee, err := Fig5(cfg, run)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, r5)
+	r6, err := Fig6(cfg, nil, 0)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, r6)
+	r7a, exploit, explore, err := Fig7a(cfg, run)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, r7a)
+	r7b, err := Fig7b(cfg, run, committee, exploit, explore)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, r7b)
+	// Fig. 4b bulk-loads into the shared TPC-CH engine, so it must run
+	// after every other consumer of the shared online run.
+	r4b, err := Fig4b(cfg, run)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, r4b)
+	if err := add(Run("fig8a", cfg)); err != nil {
+		return out, err
+	}
+	if err := add(Run("fig8b", cfg)); err != nil {
+		return out, err
+	}
+	// Restore presentation order.
+	order := make(map[string]int, len(IDs()))
+	for i, id := range IDs() {
+		order[id] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool { return order[out[i].ID] < order[out[j].ID] })
+	return out, nil
+}

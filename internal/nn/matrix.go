@@ -1,0 +1,140 @@
+// Package nn is a small, dependency-free neural-network library: dense
+// matrices, fully connected layers with ReLU/linear activations, mean
+// squared error, SGD and Adam optimizers, and gob serialization. It exists
+// because the paper's advisor is built on Keras, which has no Go
+// counterpart; the package implements exactly the subset the paper needs
+// (feed-forward nets, 2 hidden layers, ReLU, linear output, Adam, MSE).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all of equal length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes dst = a × b. dst must be pre-shaped (a.Rows × b.Cols) and
+// distinct from a and b. The inner loop is ordered for cache-friendly access
+// (ikj), which is what makes pure-Go DQN training tractable.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch: (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range ar {
+			if av == 0 {
+				continue // one-hot inputs are mostly zero
+			}
+			br := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ × b (used for weight gradients).
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulATB shape mismatch: (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for r := 0; r < a.Rows; r++ {
+		ar := a.Data[r*a.Cols : (r+1)*a.Cols]
+		br := b.Data[r*b.Cols : (r+1)*b.Cols]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a × bᵀ (used to backpropagate deltas).
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulABT shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			br := b.Data[j*b.Cols : (j+1)*b.Cols]
+			s := 0.0
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			dr[j] = s
+		}
+	}
+}
+
+// XavierInit fills the matrix with Glorot-uniform weights for a layer with
+// the given fan-in and fan-out, using the provided RNG for determinism.
+func (m *Matrix) XavierInit(fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

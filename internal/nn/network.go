@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+const (
+	// ReLU is max(0, x) — the paper uses it on every hidden layer.
+	ReLU Activation = iota
+	// Linear is the identity — the paper's output layer (a Q-value).
+	Linear
+)
+
+// Dense is a fully connected layer: out = act(in·W + b).
+type Dense struct {
+	W, B *Matrix
+	Act  Activation
+
+	// forward scratch (per batch size, reallocated on change)
+	in, preAct, out *Matrix
+	// gradients
+	gradW, gradB *Matrix
+}
+
+// NewDense builds a layer with Xavier-initialized weights.
+func NewDense(inDim, outDim int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:     NewMatrix(inDim, outDim),
+		B:     NewMatrix(1, outDim),
+		Act:   act,
+		gradW: NewMatrix(inDim, outDim),
+		gradB: NewMatrix(1, outDim),
+	}
+	d.W.XavierInit(inDim, outDim, rng)
+	return d
+}
+
+// Forward computes the layer output for a batch, caching activations for
+// Backward.
+func (d *Dense) Forward(in *Matrix) *Matrix {
+	if d.preAct == nil || d.preAct.Rows != in.Rows {
+		d.preAct = NewMatrix(in.Rows, d.W.Cols)
+		d.out = NewMatrix(in.Rows, d.W.Cols)
+	}
+	d.in = in
+	MatMul(d.preAct, in, d.W)
+	for i := 0; i < d.preAct.Rows; i++ {
+		row := d.preAct.Row(i)
+		for j := range row {
+			row[j] += d.B.Data[j]
+		}
+	}
+	switch d.Act {
+	case ReLU:
+		for i, v := range d.preAct.Data {
+			if v > 0 {
+				d.out.Data[i] = v
+			} else {
+				d.out.Data[i] = 0
+			}
+		}
+	case Linear:
+		copy(d.out.Data, d.preAct.Data)
+	}
+	return d.out
+}
+
+// Backward takes dL/d(out) and returns dL/d(in), accumulating weight and
+// bias gradients (overwriting previous ones).
+func (d *Dense) Backward(gradOut *Matrix) *Matrix {
+	// Apply activation derivative in place on a copy.
+	delta := gradOut.Clone()
+	if d.Act == ReLU {
+		for i := range delta.Data {
+			if d.preAct.Data[i] <= 0 {
+				delta.Data[i] = 0
+			}
+		}
+	}
+	MatMulATB(d.gradW, d.in, delta)
+	d.gradB.Zero()
+	for i := 0; i < delta.Rows; i++ {
+		row := delta.Row(i)
+		for j, v := range row {
+			d.gradB.Data[j] += v
+		}
+	}
+	gradIn := NewMatrix(delta.Rows, d.W.Rows)
+	MatMulABT(gradIn, delta, d.W)
+	return gradIn
+}
+
+// Network is a feed-forward stack of dense layers.
+type Network struct {
+	Layers []*Dense
+}
+
+// NewNetwork builds a net with the given layer widths, ReLU on hidden layers
+// and a linear output — the paper's architecture is dims = [in, 128, 64, out].
+func NewNetwork(dims []int, rng *rand.Rand) *Network {
+	if len(dims) < 2 {
+		panic("nn: network needs at least input and output dims")
+	}
+	n := &Network{}
+	for i := 0; i < len(dims)-1; i++ {
+		act := ReLU
+		if i == len(dims)-2 {
+			act = Linear
+		}
+		n.Layers = append(n.Layers, NewDense(dims[i], dims[i+1], act, rng))
+	}
+	return n
+}
+
+// InDim and OutDim return the input/output widths.
+func (n *Network) InDim() int  { return n.Layers[0].W.Rows }
+func (n *Network) OutDim() int { return n.Layers[len(n.Layers)-1].W.Cols }
+
+// Forward runs a batch through the network.
+func (n *Network) Forward(in *Matrix) *Matrix {
+	out := in
+	for _, l := range n.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict runs a single input vector and returns a copied output vector.
+func (n *Network) Predict(in []float64) []float64 {
+	m := FromRows([][]float64{in})
+	out := n.Forward(m)
+	res := make([]float64, out.Cols)
+	copy(res, out.Row(0))
+	return res
+}
+
+// Backward backpropagates dL/d(out) through all layers, leaving gradients in
+// each layer.
+func (n *Network) Backward(gradOut *Matrix) {
+	g := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// TrainBatch performs one optimizer step on (inputs, targets) with an
+// optional per-sample-per-output mask (nil = all outputs count). Masked MSE
+// is what DQN needs: only the taken action's Q-output receives a gradient.
+// It returns the masked mean squared error before the update.
+func (n *Network) TrainBatch(opt Optimizer, in, target, mask *Matrix) float64 {
+	out := n.Forward(in)
+	if out.Rows != target.Rows || out.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: target shape (%dx%d) != output (%dx%d)", target.Rows, target.Cols, out.Rows, out.Cols))
+	}
+	grad := NewMatrix(out.Rows, out.Cols)
+	loss := 0.0
+	count := 0.0
+	for i := range out.Data {
+		mv := 1.0
+		if mask != nil {
+			mv = mask.Data[i]
+		}
+		if mv == 0 {
+			continue
+		}
+		diff := out.Data[i] - target.Data[i]
+		loss += diff * diff
+		count++
+		grad.Data[i] = 2 * diff
+	}
+	if count > 0 {
+		loss /= count
+		for i := range grad.Data {
+			grad.Data[i] /= count
+		}
+	}
+	n.Backward(grad)
+	opt.Step(n)
+	return loss
+}
+
+// Clone deep-copies the network (used for target networks).
+func (n *Network) Clone() *Network {
+	c := &Network{}
+	for _, l := range n.Layers {
+		c.Layers = append(c.Layers, &Dense{
+			W: l.W.Clone(), B: l.B.Clone(), Act: l.Act,
+			gradW: NewMatrix(l.W.Rows, l.W.Cols),
+			gradB: NewMatrix(1, l.B.Cols),
+		})
+	}
+	return c
+}
+
+// SoftUpdateFrom blends source weights into this network:
+// θ' ← (1−τ)·θ' + τ·θ — the paper's target-network update with τ = 1e-3.
+func (n *Network) SoftUpdateFrom(src *Network, tau float64) {
+	if len(n.Layers) != len(src.Layers) {
+		panic("nn: SoftUpdateFrom layer count mismatch")
+	}
+	for li, l := range n.Layers {
+		s := src.Layers[li]
+		for i := range l.W.Data {
+			l.W.Data[i] = (1-tau)*l.W.Data[i] + tau*s.W.Data[i]
+		}
+		for i := range l.B.Data {
+			l.B.Data[i] = (1-tau)*l.B.Data[i] + tau*s.B.Data[i]
+		}
+	}
+}
+
+// netGob is the serialized form.
+type netGob struct {
+	Dims []int
+	Acts []Activation
+	W    [][]float64
+	B    [][]float64
+}
+
+// MarshalBinary encodes the network with encoding/gob.
+func (n *Network) MarshalBinary() ([]byte, error) {
+	g := netGob{}
+	for i, l := range n.Layers {
+		if i == 0 {
+			g.Dims = append(g.Dims, l.W.Rows)
+		}
+		g.Dims = append(g.Dims, l.W.Cols)
+		g.Acts = append(g.Acts, l.Act)
+		g.W = append(g.W, append([]float64(nil), l.W.Data...))
+		g.B = append(g.B, append([]float64(nil), l.B.Data...))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a network previously encoded with MarshalBinary.
+func (n *Network) UnmarshalBinary(data []byte) error {
+	var g netGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	if len(g.Dims) < 2 || len(g.W) != len(g.Dims)-1 {
+		return fmt.Errorf("nn: corrupt network encoding")
+	}
+	n.Layers = nil
+	for i := 0; i < len(g.Dims)-1; i++ {
+		l := &Dense{
+			W:     &Matrix{Rows: g.Dims[i], Cols: g.Dims[i+1], Data: g.W[i]},
+			B:     &Matrix{Rows: 1, Cols: g.Dims[i+1], Data: g.B[i]},
+			Act:   g.Acts[i],
+			gradW: NewMatrix(g.Dims[i], g.Dims[i+1]),
+			gradB: NewMatrix(1, g.Dims[i+1]),
+		}
+		if len(l.W.Data) != l.W.Rows*l.W.Cols || len(l.B.Data) != l.B.Cols {
+			return fmt.Errorf("nn: corrupt layer %d encoding", i)
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	return nil
+}
+
+// L2Distance returns the mean squared difference of parameters between two
+// identically shaped networks (used in tests and drift diagnostics).
+func (n *Network) L2Distance(o *Network) float64 {
+	sum, count := 0.0, 0.0
+	for li, l := range n.Layers {
+		ol := o.Layers[li]
+		for i := range l.W.Data {
+			d := l.W.Data[i] - ol.W.Data[i]
+			sum += d * d
+			count++
+		}
+		for i := range l.B.Data {
+			d := l.B.Data[i] - ol.B.Data[i]
+			sum += d * d
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / count)
+}

@@ -1,0 +1,77 @@
+package nn
+
+import "math"
+
+// Optimizer applies one parameter update from the gradients stored in the
+// network's layers.
+type Optimizer interface {
+	Step(n *Network)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// Step applies W ← W − lr·∇W for every layer.
+func (o *SGD) Step(n *Network) {
+	for _, l := range n.Layers {
+		for i := range l.W.Data {
+			l.W.Data[i] -= o.LR * l.gradW.Data[i]
+		}
+		for i := range l.B.Data {
+			l.B.Data[i] -= o.LR * l.gradB.Data[i]
+		}
+	}
+}
+
+// Adam implements Kingma & Ba's optimizer — the paper trains its Q-networks
+// with Adam at learning rate 5e-4 (Table 1).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t  int
+	mW []*Matrix
+	vW []*Matrix
+	mB []*Matrix
+	vB []*Matrix
+}
+
+// NewAdam returns Adam with the standard β/ε defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies a bias-corrected Adam update. Moment buffers are allocated
+// lazily to match the network's shapes; the optimizer is bound to one
+// network.
+func (o *Adam) Step(n *Network) {
+	if o.mW == nil {
+		for _, l := range n.Layers {
+			o.mW = append(o.mW, NewMatrix(l.W.Rows, l.W.Cols))
+			o.vW = append(o.vW, NewMatrix(l.W.Rows, l.W.Cols))
+			o.mB = append(o.mB, NewMatrix(1, l.B.Cols))
+			o.vB = append(o.vB, NewMatrix(1, l.B.Cols))
+		}
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for li, l := range n.Layers {
+		update := func(param, grad, m, v []float64) {
+			for i := range param {
+				g := grad[i]
+				m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+				v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+				mHat := m[i] / c1
+				vHat := v[i] / c2
+				param[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+			}
+		}
+		update(l.W.Data, l.gradW.Data, o.mW[li].Data, o.vW[li].Data)
+		update(l.B.Data, l.gradB.Data, o.mB[li].Data, o.vB[li].Data)
+	}
+}

@@ -1,0 +1,232 @@
+// Package relation provides the in-memory columnar table representation of
+// the execution engine. All values are int64 (strings are dictionary-encoded
+// via package valenc, dates as yyyymmdd integers) — a common simplification
+// in analytical-engine prototypes that keeps scans, hashing and joins simple
+// and fast.
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Relation is a named set of equal-length int64 columns.
+type Relation struct {
+	Name string
+	cols []string
+	idx  map[string]int
+	data [][]int64
+}
+
+// New creates an empty relation with the given columns.
+func New(name string, cols []string) *Relation {
+	r := &Relation{Name: name, cols: append([]string(nil), cols...), idx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := r.idx[c]; dup {
+			panic(fmt.Sprintf("relation %s: duplicate column %q", name, c))
+		}
+		r.idx[c] = i
+	}
+	r.data = make([][]int64, len(cols))
+	return r
+}
+
+// Columns returns the column names in order.
+func (r *Relation) Columns() []string { return r.cols }
+
+// NumCols returns the number of columns.
+func (r *Relation) NumCols() int { return len(r.cols) }
+
+// Rows returns the number of rows.
+func (r *Relation) Rows() int {
+	if len(r.data) == 0 {
+		return 0
+	}
+	return len(r.data[0])
+}
+
+// Col returns the storage of the named column (shared, do not resize).
+func (r *Relation) Col(name string) []int64 {
+	i, ok := r.idx[name]
+	if !ok {
+		panic(fmt.Sprintf("relation %s: no column %q (have %v)", r.Name, name, r.cols))
+	}
+	return r.data[i]
+}
+
+// HasCol reports whether the column exists.
+func (r *Relation) HasCol(name string) bool {
+	_, ok := r.idx[name]
+	return ok
+}
+
+// ColIndex returns the position of the column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	if i, ok := r.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// AppendRow appends one row (len must equal NumCols).
+func (r *Relation) AppendRow(vals ...int64) {
+	if len(vals) != len(r.cols) {
+		panic(fmt.Sprintf("relation %s: AppendRow got %d values, want %d", r.Name, len(vals), len(r.cols)))
+	}
+	for i, v := range vals {
+		r.data[i] = append(r.data[i], v)
+	}
+}
+
+// AppendFrom appends row i of src (which must share this relation's column
+// set, matched by name).
+func (r *Relation) AppendFrom(src *Relation, row int) {
+	for ci, c := range r.cols {
+		r.data[ci] = append(r.data[ci], src.Col(c)[row])
+	}
+}
+
+// Grow pre-allocates capacity for n additional rows.
+func (r *Relation) Grow(n int) {
+	for i := range r.data {
+		if cap(r.data[i])-len(r.data[i]) < n {
+			nd := make([]int64, len(r.data[i]), len(r.data[i])+n)
+			copy(nd, r.data[i])
+			r.data[i] = nd
+		}
+	}
+}
+
+// Project returns a relation view restricted to the given columns (storage
+// is shared with the receiver).
+func (r *Relation) Project(cols []string) *Relation {
+	p := New(r.Name, cols)
+	for i, c := range cols {
+		p.data[i] = r.Col(c)
+	}
+	return p
+}
+
+// Rename returns a relation with the same storage but renamed columns
+// (e.g. qualifying base columns with a query alias).
+func (r *Relation) Rename(newName string, rename func(col string) string) *Relation {
+	cols := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = rename(c)
+	}
+	p := New(newName, cols)
+	copy(p.data, r.data)
+	return p
+}
+
+// Filter returns the rows (as a new relation) for which keep returns true.
+func (r *Relation) Filter(keep func(row int) bool) *Relation {
+	out := New(r.Name, r.cols)
+	n := r.Rows()
+	for row := 0; row < n; row++ {
+		if keep(row) {
+			for ci := range r.cols {
+				out.data[ci] = append(out.data[ci], r.data[ci][row])
+			}
+		}
+	}
+	return out
+}
+
+// Sample returns a deterministic Bernoulli sample of the rows at the given
+// rate, guaranteeing at least minRows rows when the relation has that many
+// (the paper's online phase requires a minimum table size after sampling,
+// §4.2).
+func (r *Relation) Sample(rate float64, minRows int, rng *rand.Rand) *Relation {
+	n := r.Rows()
+	out := r.Filter(func(int) bool { return rng.Float64() < rate })
+	if out.Rows() >= minRows || out.Rows() == n {
+		return out
+	}
+	// Top up deterministically with a prefix of the remaining rows.
+	need := minRows
+	if need > n {
+		need = n
+	}
+	out2 := New(r.Name, r.cols)
+	step := n / need
+	if step < 1 {
+		step = 1
+	}
+	for row := 0; row < n && out2.Rows() < need; row += step {
+		out2.AppendFrom(r, row)
+	}
+	return out2
+}
+
+// HashRow hashes the given key columns of one row (FNV-1a over the raw
+// int64 bytes). Used to assign rows to cluster nodes.
+func (r *Relation) HashRow(row int, keyCols []int) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, ci := range keyCols {
+		v := uint64(r.data[ci][row])
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> uint(s)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// SplitByHash hash-partitions the relation into n shards by the given key
+// columns.
+func (r *Relation) SplitByHash(keyCols []string, n int) []*Relation {
+	idxs := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		idxs[i] = r.ColIndex(c)
+		if idxs[i] < 0 {
+			panic(fmt.Sprintf("relation %s: no key column %q", r.Name, c))
+		}
+	}
+	shards := make([]*Relation, n)
+	for i := range shards {
+		shards[i] = New(r.Name, r.cols)
+	}
+	rows := r.Rows()
+	for row := 0; row < rows; row++ {
+		node := int(r.HashRow(row, idxs) % uint64(n))
+		for ci := range r.cols {
+			shards[node].data[ci] = append(shards[node].data[ci], r.data[ci][row])
+		}
+	}
+	return shards
+}
+
+// SplitRoundRobin splits the relation into n equal shards (the layout of
+// freshly bulk-loaded rows before any explicit partitioning).
+func (r *Relation) SplitRoundRobin(n int) []*Relation {
+	shards := make([]*Relation, n)
+	for i := range shards {
+		shards[i] = New(r.Name, r.cols)
+	}
+	rows := r.Rows()
+	for row := 0; row < rows; row++ {
+		for ci := range r.cols {
+			shards[row%n].data[ci] = append(shards[row%n].data[ci], r.data[ci][row])
+		}
+	}
+	return shards
+}
+
+// Concat appends all rows of src (same columns by name).
+func (r *Relation) Concat(src *Relation) {
+	for ci, c := range r.cols {
+		r.data[ci] = append(r.data[ci], src.Col(c)...)
+	}
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.Name, r.cols)
+	for i := range r.data {
+		c.data[i] = append([]int64(nil), r.data[i]...)
+	}
+	return c
+}

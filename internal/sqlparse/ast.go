@@ -1,0 +1,95 @@
+package sqlparse
+
+import "partadvisor/internal/stats"
+
+// SelectStmt is the AST of one (possibly nested) SELECT query.
+type SelectStmt struct {
+	// SelectList holds the raw text of each projection item; projections do
+	// not influence partitioning and are preserved only for round-tripping.
+	SelectList []string
+	// From lists the referenced tables with their aliases.
+	From []TableRef
+	// Where is the conjunctive/disjunctive condition tree (nil if absent).
+	Where Expr
+	// GroupBy and OrderBy hold raw column texts; Limit is -1 if absent.
+	GroupBy []string
+	OrderBy []string
+	Limit   int64
+}
+
+// TableRef references a base table under an alias ("customer c"; the alias
+// defaults to the table name).
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Expr is a node of the WHERE condition tree.
+type Expr interface{ isExpr() }
+
+// AndExpr is the conjunction of its operands.
+type AndExpr struct{ Operands []Expr }
+
+// OrExpr is the disjunction of its operands.
+type OrExpr struct{ Operands []Expr }
+
+// NotExpr negates its operand. Only NOT IN / NOT EXISTS survive analysis.
+type NotExpr struct{ Operand Expr }
+
+// ColRef references alias.column (Qualifier may be empty and is resolved
+// against the FROM list during analysis).
+type ColRef struct {
+	Qualifier string
+	Column    string
+}
+
+// CmpExpr compares two operands, each either a ColRef or a literal int64.
+// Column-to-column equality is a join predicate; column-to-literal
+// comparisons are filters.
+type CmpExpr struct {
+	Op          stats.CompareOp
+	Left, Right Operand
+}
+
+// BetweenExpr is "col BETWEEN lo AND hi".
+type BetweenExpr struct {
+	Col    ColRef
+	Lo, Hi int64
+}
+
+// InListExpr is "col IN (v1, v2, ...)".
+type InListExpr struct {
+	Col  ColRef
+	Vals []int64
+}
+
+// InSubqueryExpr is "col [NOT] IN (SELECT ...)".
+type InSubqueryExpr struct {
+	Col ColRef
+	Sub *SelectStmt
+	Not bool
+}
+
+// ExistsExpr is "[NOT] EXISTS (SELECT ...)".
+type ExistsExpr struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+// Operand is either a column reference or an integer literal.
+type Operand struct {
+	Col   *ColRef
+	Value int64
+}
+
+// IsCol reports whether the operand is a column reference.
+func (o Operand) IsCol() bool { return o.Col != nil }
+
+func (*AndExpr) isExpr()        {}
+func (*OrExpr) isExpr()         {}
+func (*NotExpr) isExpr()        {}
+func (*CmpExpr) isExpr()        {}
+func (*BetweenExpr) isExpr()    {}
+func (*InListExpr) isExpr()     {}
+func (*InSubqueryExpr) isExpr() {}
+func (*ExistsExpr) isExpr()     {}

@@ -1,0 +1,198 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"partadvisor/internal/stats"
+)
+
+// Additional edge-path coverage for the parser and analyzer.
+
+func TestParseAliasForms(t *testing.T) {
+	// Bare alias, AS alias, and no alias.
+	stmt, err := Parse("SELECT * FROM orders o, customer AS c, item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From[0].Alias != "o" || stmt.From[1].Alias != "c" || stmt.From[2].Alias != "item" {
+		t.Fatalf("aliases = %+v", stmt.From)
+	}
+	// AS must be followed by an identifier.
+	if _, err := Parse("SELECT * FROM orders AS 5"); err == nil {
+		t.Fatalf("AS 5 accepted")
+	}
+}
+
+func TestParseOperandErrors(t *testing.T) {
+	bad := []string{
+		"SELECT * FROM t WHERE a. = 1",            // missing column after dot
+		"SELECT * FROM t WHERE a = WHERE",         // keyword as operand
+		"SELECT * FROM t WHERE a = ,",             // punctuation operand
+		"SELECT * FROM t WHERE a BETWEEN x AND 3", // non-literal BETWEEN bound
+		"SELECT * FROM t WHERE 3 BETWEEN 1 AND 5", // BETWEEN needs a column
+		"SELECT * FROM t WHERE 5 IN (1, 2)",       // IN needs a column
+		"SELECT * FROM t WHERE a IN (1, )",        // trailing comma
+		"SELECT * FROM t WHERE a ~ 3",             // unknown operator symbol -> lex error
+		"SELECT * FROM t WHERE a IS 5",            // IS must be [NOT] NULL
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestParseNegativeLiteralViaMinusOperand(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE -5 < a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := stmt.Where.(*CmpExpr)
+	if cmp.Left.Value != -5 {
+		t.Fatalf("left literal = %d", cmp.Left.Value)
+	}
+}
+
+func TestParseDoubleNotCancels(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE NOT NOT EXISTS (SELECT x FROM u WHERE u.x = t.y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	not, ok := stmt.Where.(*NotExpr)
+	if ok {
+		// NOT(NOT EXISTS ...) folds into EXISTS with Not toggled twice.
+		if ex, ok := not.Operand.(*ExistsExpr); ok && ex.Not {
+			t.Fatalf("double NOT left Not=true")
+		}
+		return
+	}
+	ex, ok := stmt.Where.(*ExistsExpr)
+	if !ok || ex.Not {
+		t.Fatalf("Where = %#v", stmt.Where)
+	}
+}
+
+func TestParseHavingSkippedWithParens(t *testing.T) {
+	stmt, err := Parse(`SELECT a, count(b) FROM orders GROUP BY a
+		HAVING count(b) > (1 + 2) ORDER BY a LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Limit != 5 || len(stmt.OrderBy) != 1 {
+		t.Fatalf("clauses after HAVING lost: %+v", stmt)
+	}
+}
+
+func TestAnalyzeInSubqueryProjectionErrors(t *testing.T) {
+	sch := analyzeSchema()
+	bad := []string{
+		// Two projected columns.
+		"SELECT * FROM customer c WHERE c.c_id IN (SELECT o_c_id, o_id FROM orders)",
+		// Aggregate projection is not a simple column.
+		"SELECT * FROM customer c WHERE c.c_id IN (SELECT max(o_c_id) FROM orders)",
+		// Three-part projection.
+		"SELECT * FROM customer c WHERE c.c_id IN (SELECT a.b.c FROM orders)",
+	}
+	for _, sql := range bad {
+		if _, err := ParseAndAnalyze(sql, sch); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+	}
+}
+
+func TestAnalyzeNotOverUnsupported(t *testing.T) {
+	sch := analyzeSchema()
+	_, err := ParseAndAnalyze("SELECT * FROM orders o1, orders o2 WHERE NOT (o1.o_id = 1 AND o2.o_id = 2)", sch)
+	if err == nil || !strings.Contains(err.Error(), "NOT") {
+		t.Fatalf("NOT over conjunction accepted: %v", err)
+	}
+}
+
+func TestAnalyzeLiteralFlipsAllOperators(t *testing.T) {
+	sch := analyzeSchema()
+	cases := map[string]stats.CompareOp{
+		"5 = o_id":  stats.OpEq,
+		"5 <> o_id": stats.OpNe,
+		"5 < o_id":  stats.OpGt,
+		"5 <= o_id": stats.OpGe,
+		"5 > o_id":  stats.OpLt,
+		"5 >= o_id": stats.OpLe,
+	}
+	for pred, want := range cases {
+		g, err := ParseAndAnalyze("SELECT * FROM orders WHERE "+pred, sch)
+		if err != nil {
+			t.Fatalf("%s: %v", pred, err)
+		}
+		if len(g.Filters) != 1 || g.Filters[0].Op != want {
+			t.Errorf("%s: filter = %+v, want op %v", pred, g.Filters, want)
+		}
+	}
+}
+
+func TestAnalyzeOutputsCollected(t *testing.T) {
+	sch := analyzeSchema()
+	g, err := ParseAndAnalyze(`SELECT o.o_date, sum(ol_amount), count(*)
+		FROM orders o, orderline ol WHERE ol.ol_o_id = o.o_id
+		GROUP BY o.o_date`, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ColumnRef]bool{
+		{Alias: "o", Column: "o_date"}:     true,
+		{Alias: "ol", Column: "ol_amount"}: true,
+	}
+	got := map[ColumnRef]bool{}
+	for _, o := range g.Outputs {
+		got[o] = true
+	}
+	for cr := range want {
+		if !got[cr] {
+			t.Errorf("missing output column %+v (have %v)", cr, g.Outputs)
+		}
+	}
+	// count(*) and the aggregate names must not appear.
+	for _, o := range g.Outputs {
+		if o.Column == "sum" || o.Column == "count" {
+			t.Errorf("aggregate name leaked into outputs: %+v", o)
+		}
+	}
+}
+
+func TestAnalyzeOutputsDeduplicated(t *testing.T) {
+	sch := analyzeSchema()
+	g, err := ParseAndAnalyze("SELECT o_date, o_date FROM orders GROUP BY o_date", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Outputs) != 1 {
+		t.Fatalf("Outputs = %v", g.Outputs)
+	}
+}
+
+func TestParseProjectedColumnForms(t *testing.T) {
+	if _, err := parseProjectedColumn("  x  "); err != nil {
+		t.Fatalf("simple column rejected: %v", err)
+	}
+	c, err := parseProjectedColumn("t . x")
+	if err != nil || c.Qualifier != "t" || c.Column != "x" {
+		t.Fatalf("qualified column = %+v, %v", c, err)
+	}
+	for _, bad := range []string{"", "1abc", "sum ( x )", "a.b.c"} {
+		if _, err := parseProjectedColumn(bad); err == nil {
+			t.Errorf("parseProjectedColumn(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestIsSimpleIdent(t *testing.T) {
+	cases := map[string]bool{
+		"abc": true, "a_1": true, "_x": true,
+		"": false, "1a": false, "a b": false, "a.b": false,
+	}
+	for s, want := range cases {
+		if got := isSimpleIdent(s); got != want {
+			t.Errorf("isSimpleIdent(%q) = %v", s, got)
+		}
+	}
+}

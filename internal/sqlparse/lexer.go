@@ -1,0 +1,120 @@
+// Package sqlparse implements a lexer, recursive-descent parser and semantic
+// analyzer for the OLAP subset of SQL used by the partitioning advisor:
+// select–project–join queries with conjunctive predicates, GROUP BY / ORDER
+// BY / HAVING / LIMIT clauses, and nested subqueries via IN / NOT IN /
+// EXISTS / NOT EXISTS.
+//
+// The analyzer flattens a parsed query (including arbitrarily nested
+// subqueries) into a Graph: the set of referenced base tables, the
+// alias-level join edges, and the executable single-column filters. The
+// Graph is all a partitioning advisor — and this repository's execution
+// engine — needs; select lists, grouping and ordering are parsed but do not
+// influence partitioning decisions.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // operators and punctuation: ( ) , . = <> < <= > >= + - * /
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// isKeyword reports whether the token is the given SQL keyword
+// (case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// isSymbol reports whether the token is the given symbol.
+func (t token) isSymbol(s string) bool {
+	return t.kind == tokSymbol && t.text == s
+}
+
+// lex splits the input into tokens. It returns an error for unterminated
+// strings or unexpected characters.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		case strings.ContainsRune("(),.=+-*/;", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,286 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"partadvisor/internal/stats"
+	"partadvisor/internal/valenc"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, b.c FROM t WHERE x >= 10 AND y <> 'abc' -- comment\n;")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "b", ".", "c", "FROM", "t", "WHERE", "x", ">=", "10", "AND", "y", "<>", "abc", ";", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token texts = %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Fatalf("missing EOF token")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex("a != b <= c < d > e")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	ops := []string{}
+	for _, tk := range toks {
+		if tk.kind == tokSymbol {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"<>", "<=", "<", ">"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatalf("lex accepted unterminated string")
+	}
+	if _, err := lex("a ! b"); err == nil {
+		t.Fatalf("lex accepted lone '!'")
+	}
+	if _, err := lex("a # b"); err == nil {
+		t.Fatalf("lex accepted '#'")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM customer c, lineorder l WHERE l.lo_custkey = c.c_custkey;")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.From) != 2 || stmt.From[0].Alias != "c" || stmt.From[1].Table != "lineorder" {
+		t.Fatalf("From = %+v", stmt.From)
+	}
+	cmp, ok := stmt.Where.(*CmpExpr)
+	if !ok {
+		t.Fatalf("Where = %T, want CmpExpr", stmt.Where)
+	}
+	if !cmp.Left.IsCol() || cmp.Left.Col.Qualifier != "l" || cmp.Left.Col.Column != "lo_custkey" {
+		t.Fatalf("Left = %+v", cmp.Left)
+	}
+}
+
+func TestParseSelectListAggregates(t *testing.T) {
+	stmt, err := Parse("SELECT sum(lo_extendedprice * lo_discount) AS revenue, count(*) FROM lineorder")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.SelectList) != 2 {
+		t.Fatalf("SelectList = %v", stmt.SelectList)
+	}
+	if !strings.Contains(stmt.SelectList[0], "sum") {
+		t.Fatalf("SelectList[0] = %q", stmt.SelectList[0])
+	}
+}
+
+func TestParseJoinOnSyntax(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w WHERE a.v > 5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.From) != 3 {
+		t.Fatalf("From = %+v", stmt.From)
+	}
+	and, ok := stmt.Where.(*AndExpr)
+	if !ok || len(and.Operands) != 2 {
+		t.Fatalf("Where = %#v", stmt.Where)
+	}
+}
+
+func TestParseLeftOuterJoin(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.From) != 2 {
+		t.Fatalf("From = %+v", stmt.From)
+	}
+}
+
+func TestParseClauses(t *testing.T) {
+	stmt, err := Parse(`SELECT d_year, sum(lo_revenue)
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND d_year BETWEEN 1992 AND 1997
+		GROUP BY d_year
+		HAVING sum(lo_revenue) > 100
+		ORDER BY d_year
+		LIMIT 10`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0] != "d_year" {
+		t.Fatalf("GroupBy = %v", stmt.GroupBy)
+	}
+	if len(stmt.OrderBy) != 1 {
+		t.Fatalf("OrderBy = %v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Fatalf("Limit = %d", stmt.Limit)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	stmt, err := Parse(`SELECT * FROM t WHERE a = 1 AND b <> 2 AND c < 3 AND d <= 4 AND e > 5 AND f >= 6
+		AND g BETWEEN 7 AND 8 AND h IN (9, 10, 11) AND i = 'str' AND j IS NOT NULL AND NOT k = 12`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and, ok := stmt.Where.(*AndExpr)
+	if !ok {
+		t.Fatalf("Where = %T", stmt.Where)
+	}
+	if len(and.Operands) != 11 {
+		t.Fatalf("got %d conjuncts, want 11", len(and.Operands))
+	}
+	// String literal encodes deterministically.
+	cmp := and.Operands[8].(*CmpExpr)
+	if cmp.Right.Value != valenc.EncodeString("str") {
+		t.Fatalf("string literal encoding mismatch")
+	}
+	// NOT over comparison.
+	not, ok := and.Operands[10].(*NotExpr)
+	if !ok {
+		t.Fatalf("operand 10 = %T, want NotExpr", and.Operands[10])
+	}
+	if _, ok := not.Operand.(*CmpExpr); !ok {
+		t.Fatalf("NOT operand = %T", not.Operand)
+	}
+}
+
+func TestParseNegativeAndDecimalLiterals(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE a = -5 AND b < 3.7")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and := stmt.Where.(*AndExpr)
+	if got := and.Operands[0].(*CmpExpr).Right.Value; got != -5 {
+		t.Fatalf("negative literal = %d", got)
+	}
+	if got := and.Operands[1].(*CmpExpr).Right.Value; got != 3 {
+		t.Fatalf("decimal literal = %d, want truncation to 3", got)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM orders WHERE o_id IN (SELECT ol_o_id FROM orderline WHERE ol_amount > 5)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in, ok := stmt.Where.(*InSubqueryExpr)
+	if !ok {
+		t.Fatalf("Where = %T", stmt.Where)
+	}
+	if in.Not {
+		t.Fatalf("unexpected NOT")
+	}
+	if in.Sub == nil || len(in.Sub.From) != 1 || in.Sub.From[0].Table != "orderline" {
+		t.Fatalf("subquery = %+v", in.Sub)
+	}
+}
+
+func TestParseNotInAndNotExists(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM a WHERE x NOT IN (SELECT y FROM b) AND NOT EXISTS (SELECT z FROM c WHERE c.z = a.x)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and := stmt.Where.(*AndExpr)
+	in := and.Operands[0].(*InSubqueryExpr)
+	if !in.Not {
+		t.Fatalf("NOT IN lost its negation")
+	}
+	ex := and.Operands[1].(*ExistsExpr)
+	if !ex.Not {
+		t.Fatalf("NOT EXISTS lost its negation")
+	}
+}
+
+func TestParseOrCondition(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE a = 1 OR a = 2 OR a IN (3, 4)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	or, ok := stmt.Where.(*OrExpr)
+	if !ok || len(or.Operands) != 3 {
+		t.Fatalf("Where = %#v", stmt.Where)
+	}
+}
+
+func TestParseParenthesizedCondition(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE (a = 1 OR a = 2) AND b > 3")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and, ok := stmt.Where.(*AndExpr)
+	if !ok || len(and.Operands) != 2 {
+		t.Fatalf("Where = %#v", stmt.Where)
+	}
+	if _, ok := and.Operands[0].(*OrExpr); !ok {
+		t.Fatalf("first conjunct = %T, want OrExpr", and.Operands[0])
+	}
+}
+
+func TestParseLiteralOnLeft(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE 10 < a")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cmp := stmt.Where.(*CmpExpr)
+	if cmp.Left.IsCol() || !cmp.Right.IsCol() {
+		t.Fatalf("operand shapes wrong: %+v", cmp)
+	}
+	if cmp.Op != stats.OpLt {
+		t.Fatalf("op = %v", cmp.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                      // empty
+		"FROM t",                                // missing SELECT
+		"SELECT FROM t",                         // empty select list
+		"SELECT * FROM",                         // missing table
+		"SELECT * FROM t WHERE",                 // missing condition
+		"SELECT * FROM t WHERE a =",             // missing operand
+		"SELECT * FROM t WHERE a = 1 x",         // can't be an alias: trailing after WHERE
+		"SELECT * FROM t LIMIT x",               // bad limit
+		"SELECT * FROM t WHERE a BETWEEN 1 2",   // missing AND
+		"SELECT * FROM t WHERE 1 = 2",           // literal-literal comparison survives parse but analysis must fail; parser accepts
+		"SELECT * FROM t WHERE a IN ()",         // empty IN
+		"SELECT * FROM t JOIN u",                // missing ON
+		"SELECT * FROM t WHERE EXISTS (SELECT)", // bad subquery
+		"SELECT * FROM t WHERE (a = 1",          // unbalanced paren
+	}
+	for _, sql := range bad {
+		if sql == "SELECT * FROM t WHERE 1 = 2" {
+			continue // parseable; rejected at analysis
+		}
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestParseTrailingInput(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t; SELECT * FROM u"); err == nil {
+		t.Fatalf("Parse accepted two statements")
+	}
+}

@@ -1,0 +1,361 @@
+// Package stats holds table- and column-level statistics and selectivity
+// estimation. Two kinds of statistics flow through the system:
+//
+//   - true statistics, maintained by the execution engine from the actual
+//     data, feeding the "physics" of simulated query runtimes, and
+//   - estimated statistics, the view of a query optimizer: derived from the
+//     true statistics at ANALYZE time, then possibly stale after bulk
+//     updates, and perturbed by a deterministic per-query error that grows
+//     with the number of joins (following the observation of Leis et al.
+//     that optimizer estimates degrade on complex queries).
+//
+// The Minimum-Optimizer baseline of the paper consumes only estimated
+// statistics; the network-centric cost model of the offline training phase
+// consumes plain metadata (row counts and widths).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ColumnStats summarizes the value distribution of a single column.
+type ColumnStats struct {
+	// Distinct is the number of distinct values.
+	Distinct int64
+	// Min and Max bound the value domain.
+	Min, Max int64
+	// Histogram holds equi-width bucket counts over [Min, Max]; it may be
+	// nil, in which case a uniform distribution is assumed.
+	Histogram []int64
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	// Rows is the table cardinality.
+	Rows int64
+	// RowWidth is the width of one row in bytes.
+	RowWidth int
+	// Columns maps column name to its statistics. Columns without an entry
+	// are treated as having Rows distinct values (i.e. key-like).
+	Columns map[string]*ColumnStats
+}
+
+// Catalog maps table names to statistics. It is the unit handed to cost
+// models and planners.
+type Catalog struct {
+	Tables map[string]*TableStats
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{Tables: make(map[string]*TableStats)}
+}
+
+// Clone deep-copies the catalog. The execution engine clones its true
+// statistics into the estimated catalog at ANALYZE time.
+func (c *Catalog) Clone() *Catalog {
+	out := NewCatalog()
+	for name, ts := range c.Tables {
+		cp := &TableStats{Rows: ts.Rows, RowWidth: ts.RowWidth, Columns: make(map[string]*ColumnStats, len(ts.Columns))}
+		for col, cs := range ts.Columns {
+			h := make([]int64, len(cs.Histogram))
+			copy(h, cs.Histogram)
+			hc := h
+			if cs.Histogram == nil {
+				hc = nil
+			}
+			cp.Columns[col] = &ColumnStats{Distinct: cs.Distinct, Min: cs.Min, Max: cs.Max, Histogram: hc}
+		}
+		out.Tables[name] = cp
+	}
+	return out
+}
+
+// Table returns statistics for the named table, or nil.
+func (c *Catalog) Table(name string) *TableStats {
+	return c.Tables[name]
+}
+
+// MustTable returns statistics for the named table and panics if absent.
+func (c *Catalog) MustTable(name string) *TableStats {
+	ts := c.Tables[name]
+	if ts == nil {
+		panic(fmt.Sprintf("stats: no statistics for table %q", name))
+	}
+	return ts
+}
+
+// SetTable registers statistics for a table.
+func (c *Catalog) SetTable(name string, ts *TableStats) {
+	c.Tables[name] = ts
+}
+
+// Rows returns the cardinality of the named table (0 if unknown).
+func (c *Catalog) Rows(table string) int64 {
+	if ts := c.Tables[table]; ts != nil {
+		return ts.Rows
+	}
+	return 0
+}
+
+// Bytes returns the total size of the named table in bytes (0 if unknown).
+func (c *Catalog) Bytes(table string) int64 {
+	if ts := c.Tables[table]; ts != nil {
+		return ts.Rows * int64(ts.RowWidth)
+	}
+	return 0
+}
+
+// Column returns statistics for table.column; if the column has no recorded
+// statistics, key-like statistics (Distinct == Rows) are synthesized.
+func (c *Catalog) Column(table, column string) ColumnStats {
+	ts := c.Tables[table]
+	if ts == nil {
+		return ColumnStats{Distinct: 1}
+	}
+	if cs := ts.Columns[column]; cs != nil {
+		return *cs
+	}
+	d := ts.Rows
+	if d < 1 {
+		d = 1
+	}
+	return ColumnStats{Distinct: d, Min: 0, Max: d - 1}
+}
+
+// Distinct returns the distinct count of table.column (>= 1).
+func (c *Catalog) Distinct(table, column string) int64 {
+	d := c.Column(table, column).Distinct
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// CompareOp enumerates the comparison operators supported by predicates.
+type CompareOp int
+
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween // inclusive range, Args[0] <= v <= Args[1]
+	OpIn      // v in Args
+)
+
+// String renders the operator in SQL-ish syntax.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "BETWEEN"
+	case OpIn:
+		return "IN"
+	}
+	return fmt.Sprintf("CompareOp(%d)", int(op))
+}
+
+// Matches reports whether value v satisfies the predicate (op, args). It is
+// the single definition of predicate semantics shared by the selectivity
+// estimator and the execution engine's filters.
+func Matches(v int64, op CompareOp, args []int64) bool {
+	switch op {
+	case OpEq:
+		return len(args) == 1 && v == args[0]
+	case OpNe:
+		return len(args) == 1 && v != args[0]
+	case OpLt:
+		return len(args) == 1 && v < args[0]
+	case OpLe:
+		return len(args) == 1 && v <= args[0]
+	case OpGt:
+		return len(args) == 1 && v > args[0]
+	case OpGe:
+		return len(args) == 1 && v >= args[0]
+	case OpBetween:
+		return len(args) == 2 && v >= args[0] && v <= args[1]
+	case OpIn:
+		for _, a := range args {
+			if v == a {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Selectivity estimates the fraction of rows of table.column that satisfy
+// the predicate (op, args), using histograms when available and uniformity
+// assumptions otherwise. The result is clamped to [0, 1].
+func (c *Catalog) Selectivity(table, column string, op CompareOp, args []int64) float64 {
+	cs := c.Column(table, column)
+	switch op {
+	case OpEq:
+		return clamp01(1 / float64(maxi64(cs.Distinct, 1)))
+	case OpNe:
+		return clamp01(1 - 1/float64(maxi64(cs.Distinct, 1)))
+	case OpIn:
+		return clamp01(float64(len(args)) / float64(maxi64(cs.Distinct, 1)))
+	case OpLt:
+		if len(args) != 1 {
+			return 1
+		}
+		return cs.rangeFraction(cs.Min, args[0]-1)
+	case OpLe:
+		if len(args) != 1 {
+			return 1
+		}
+		return cs.rangeFraction(cs.Min, args[0])
+	case OpGt:
+		if len(args) != 1 {
+			return 1
+		}
+		return cs.rangeFraction(args[0]+1, cs.Max)
+	case OpGe:
+		if len(args) != 1 {
+			return 1
+		}
+		return cs.rangeFraction(args[0], cs.Max)
+	case OpBetween:
+		if len(args) != 2 {
+			return 1
+		}
+		return cs.rangeFraction(args[0], args[1])
+	}
+	return 1
+}
+
+// rangeFraction estimates the fraction of values in [lo, hi].
+func (cs ColumnStats) rangeFraction(lo, hi int64) float64 {
+	if hi < lo {
+		return 0
+	}
+	if lo <= cs.Min && hi >= cs.Max {
+		return 1
+	}
+	if cs.Max <= cs.Min {
+		if lo <= cs.Min && cs.Min <= hi {
+			return 1
+		}
+		return 0
+	}
+	lo = maxi64(lo, cs.Min)
+	hi = mini64(hi, cs.Max)
+	if hi < lo {
+		return 0
+	}
+	if len(cs.Histogram) == 0 {
+		return clamp01(float64(hi-lo+1) / float64(cs.Max-cs.Min+1))
+	}
+	// Histogram path: sum full buckets, interpolate partial ones.
+	total := int64(0)
+	for _, b := range cs.Histogram {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	nb := len(cs.Histogram)
+	width := float64(cs.Max-cs.Min+1) / float64(nb)
+	sum := 0.0
+	for i := 0; i < nb; i++ {
+		bLo := float64(cs.Min) + float64(i)*width
+		bHi := bLo + width - 1
+		oLo := math.Max(bLo, float64(lo))
+		oHi := math.Min(bHi, float64(hi))
+		if oHi < oLo {
+			continue
+		}
+		frac := (oHi - oLo + 1) / width
+		if frac > 1 {
+			frac = 1
+		}
+		sum += frac * float64(cs.Histogram[i])
+	}
+	return clamp01(sum / float64(total))
+}
+
+// SkewFactor measures the imbalance of the column's histogram: the ratio of
+// the heaviest bucket to the average bucket (>= 1). Planners use it to model
+// straggler effects when a table is partitioned on a skewed or low-distinct
+// column.
+func (c *Catalog) SkewFactor(table, column string) float64 {
+	cs := c.Column(table, column)
+	if len(cs.Histogram) == 0 || cs.Distinct <= 1 {
+		return 1
+	}
+	total, maxB := int64(0), int64(0)
+	for _, b := range cs.Histogram {
+		total += b
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	avg := float64(total) / float64(len(cs.Histogram))
+	if avg == 0 {
+		return 1
+	}
+	f := float64(maxB) / avg
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// Scale multiplies all row counts (and histogram buckets) by factor,
+// emulating bulk data growth without re-deriving statistics. It is used to
+// model *true* statistics after updates; estimated statistics go stale by
+// simply not being scaled until ANALYZE.
+func (c *Catalog) Scale(factor float64) {
+	for _, ts := range c.Tables {
+		ts.Rows = int64(math.Round(float64(ts.Rows) * factor))
+		for _, cs := range ts.Columns {
+			for i := range cs.Histogram {
+				cs.Histogram[i] = int64(math.Round(float64(cs.Histogram[i]) * factor))
+			}
+		}
+	}
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

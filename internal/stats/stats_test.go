@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testCatalog() *Catalog {
+	c := NewCatalog()
+	c.SetTable("orders", &TableStats{
+		Rows:     1000,
+		RowWidth: 40,
+		Columns: map[string]*ColumnStats{
+			"o_id":     {Distinct: 1000, Min: 0, Max: 999},
+			"o_status": {Distinct: 4, Min: 0, Max: 3},
+			"o_amount": {Distinct: 100, Min: 0, Max: 99, Histogram: []int64{700, 100, 100, 100}},
+		},
+	})
+	return c
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := testCatalog()
+	if got := c.Rows("orders"); got != 1000 {
+		t.Fatalf("Rows = %d", got)
+	}
+	if got := c.Rows("missing"); got != 0 {
+		t.Fatalf("Rows(missing) = %d", got)
+	}
+	if got := c.Bytes("orders"); got != 40000 {
+		t.Fatalf("Bytes = %d", got)
+	}
+	if got := c.Bytes("missing"); got != 0 {
+		t.Fatalf("Bytes(missing) = %d", got)
+	}
+	if c.Table("orders") == nil || c.Table("missing") != nil {
+		t.Fatalf("Table lookup broken")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	c := testCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustTable did not panic")
+		}
+	}()
+	c.MustTable("missing")
+}
+
+func TestColumnFallbacks(t *testing.T) {
+	c := testCatalog()
+	// Unknown column on known table: key-like.
+	cs := c.Column("orders", "o_unknown")
+	if cs.Distinct != 1000 {
+		t.Fatalf("fallback distinct = %d, want rows", cs.Distinct)
+	}
+	// Unknown table.
+	cs = c.Column("missing", "x")
+	if cs.Distinct != 1 {
+		t.Fatalf("missing-table distinct = %d, want 1", cs.Distinct)
+	}
+	if d := c.Distinct("orders", "o_status"); d != 4 {
+		t.Fatalf("Distinct = %d", d)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := testCatalog()
+	cp := c.Clone()
+	cp.Tables["orders"].Rows = 5
+	cp.Tables["orders"].Columns["o_amount"].Histogram[0] = 1
+	if c.Rows("orders") != 1000 {
+		t.Fatalf("Clone shares Rows")
+	}
+	if c.Tables["orders"].Columns["o_amount"].Histogram[0] != 700 {
+		t.Fatalf("Clone shares histogram")
+	}
+	if cp.Tables["orders"].Columns["o_status"].Histogram != nil {
+		t.Fatalf("Clone invented a histogram")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		v    int64
+		op   CompareOp
+		args []int64
+		want bool
+	}{
+		{5, OpEq, []int64{5}, true},
+		{5, OpEq, []int64{6}, false},
+		{5, OpNe, []int64{6}, true},
+		{5, OpNe, []int64{5}, false},
+		{5, OpLt, []int64{6}, true},
+		{5, OpLt, []int64{5}, false},
+		{5, OpLe, []int64{5}, true},
+		{5, OpGt, []int64{4}, true},
+		{5, OpGt, []int64{5}, false},
+		{5, OpGe, []int64{5}, true},
+		{5, OpBetween, []int64{1, 5}, true},
+		{5, OpBetween, []int64{6, 9}, false},
+		{5, OpIn, []int64{1, 5, 7}, true},
+		{5, OpIn, []int64{1, 7}, false},
+		{5, OpEq, nil, false}, // malformed args
+	}
+	for _, tc := range cases {
+		if got := Matches(tc.v, tc.op, tc.args); got != tc.want {
+			t.Errorf("Matches(%d, %v, %v) = %v, want %v", tc.v, tc.op, tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestCompareOpString(t *testing.T) {
+	ops := map[CompareOp]string{OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpBetween: "BETWEEN", OpIn: "IN"}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := CompareOp(99).String(); got != "CompareOp(99)" {
+		t.Errorf("unknown op String = %q", got)
+	}
+}
+
+func TestSelectivityEquality(t *testing.T) {
+	c := testCatalog()
+	if got := c.Selectivity("orders", "o_status", OpEq, []int64{1}); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("eq selectivity = %v, want 0.25", got)
+	}
+	if got := c.Selectivity("orders", "o_status", OpNe, []int64{1}); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("ne selectivity = %v, want 0.75", got)
+	}
+	if got := c.Selectivity("orders", "o_status", OpIn, []int64{1, 2}); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("in selectivity = %v, want 0.5", got)
+	}
+}
+
+func TestSelectivityRangeUniform(t *testing.T) {
+	c := testCatalog()
+	// o_id uniform in [0, 999].
+	if got := c.Selectivity("orders", "o_id", OpLt, []int64{100}); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("lt selectivity = %v, want 0.1", got)
+	}
+	if got := c.Selectivity("orders", "o_id", OpGe, []int64{900}); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("ge selectivity = %v, want 0.1", got)
+	}
+	if got := c.Selectivity("orders", "o_id", OpBetween, []int64{0, 999}); got != 1 {
+		t.Fatalf("full-range selectivity = %v, want 1", got)
+	}
+	if got := c.Selectivity("orders", "o_id", OpBetween, []int64{2000, 3000}); got != 0 {
+		t.Fatalf("out-of-range selectivity = %v, want 0", got)
+	}
+}
+
+func TestSelectivityHistogram(t *testing.T) {
+	c := testCatalog()
+	// o_amount histogram [700,100,100,100] over [0,99]; bucket width 25.
+	// [0,24] is exactly the first bucket: 700/1000.
+	if got := c.Selectivity("orders", "o_amount", OpBetween, []int64{0, 24}); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("hist selectivity = %v, want 0.7", got)
+	}
+	// Upper half [50,99]: buckets 3+4 = 200/1000.
+	if got := c.Selectivity("orders", "o_amount", OpGe, []int64{50}); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("hist upper selectivity = %v, want 0.2", got)
+	}
+}
+
+func TestSelectivityMalformedArgs(t *testing.T) {
+	c := testCatalog()
+	if got := c.Selectivity("orders", "o_id", OpLt, nil); got != 1 {
+		t.Fatalf("malformed-args selectivity = %v, want 1 (no filtering)", got)
+	}
+	if got := c.Selectivity("orders", "o_id", OpBetween, []int64{1}); got != 1 {
+		t.Fatalf("malformed BETWEEN selectivity = %v, want 1", got)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	c := testCatalog()
+	// Property: selectivity is always within [0, 1] for arbitrary range args.
+	f := func(lo, hi int64) bool {
+		for _, op := range []CompareOp{OpLt, OpLe, OpGt, OpGe} {
+			s := c.Selectivity("orders", "o_amount", op, []int64{lo})
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		s := c.Selectivity("orders", "o_amount", OpBetween, []int64{lo, hi})
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectivityMonotoneProperty(t *testing.T) {
+	c := testCatalog()
+	// Property: widening a BETWEEN range never decreases selectivity.
+	f := func(lo, width, extra uint16) bool {
+		l := int64(lo) % 100
+		h := l + int64(width)%100
+		s1 := c.Selectivity("orders", "o_amount", OpBetween, []int64{l, h})
+		s2 := c.Selectivity("orders", "o_amount", OpBetween, []int64{l, h + int64(extra)%100})
+		return s2 >= s1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewFactor(t *testing.T) {
+	c := testCatalog()
+	// o_amount: max bucket 700 vs avg 250 -> 2.8.
+	if got := c.SkewFactor("orders", "o_amount"); math.Abs(got-2.8) > 1e-9 {
+		t.Fatalf("SkewFactor = %v, want 2.8", got)
+	}
+	// No histogram -> 1.
+	if got := c.SkewFactor("orders", "o_id"); got != 1 {
+		t.Fatalf("SkewFactor(o_id) = %v, want 1", got)
+	}
+	if got := c.SkewFactor("missing", "x"); got != 1 {
+		t.Fatalf("SkewFactor(missing) = %v, want 1", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := testCatalog()
+	c.Scale(1.6)
+	if got := c.Rows("orders"); got != 1600 {
+		t.Fatalf("scaled rows = %d, want 1600", got)
+	}
+	if got := c.Tables["orders"].Columns["o_amount"].Histogram[0]; got != 1120 {
+		t.Fatalf("scaled histogram bucket = %d, want 1120", got)
+	}
+}
+
+func TestRangeFractionDegenerate(t *testing.T) {
+	cs := ColumnStats{Distinct: 1, Min: 5, Max: 5}
+	if got := cs.rangeFraction(5, 5); got != 1 {
+		t.Fatalf("degenerate in-range = %v, want 1", got)
+	}
+	if got := cs.rangeFraction(6, 7); got != 0 {
+		t.Fatalf("degenerate out-of-range = %v, want 0", got)
+	}
+}

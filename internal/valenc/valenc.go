@@ -1,0 +1,23 @@
+// Package valenc defines the dictionary encoding of non-integer SQL values.
+//
+// The execution engine stores every column as int64 (a common simplification
+// in analytical prototypes). String values are mapped to int64 via FNV-1a so
+// that a string literal in a query and the same string produced by the data
+// generators encode to the identical value, making equality predicates on
+// categorical columns work end to end. Dates are encoded by the generators
+// as yyyymmdd integers and appear as plain integer literals in queries.
+package valenc
+
+import "hash/fnv"
+
+// EncodeString deterministically maps a string to a non-negative int64.
+func EncodeString(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// EncodeDate encodes a calendar date as the integer yyyymmdd.
+func EncodeDate(year, month, day int) int64 {
+	return int64(year)*10000 + int64(month)*100 + int64(day)
+}

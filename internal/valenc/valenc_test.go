@@ -1,0 +1,29 @@
+package valenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeStringDeterministicAndNonNegative(t *testing.T) {
+	if EncodeString("EUROPE") != EncodeString("EUROPE") {
+		t.Fatalf("non-deterministic encoding")
+	}
+	if EncodeString("a") == EncodeString("b") {
+		t.Fatalf("trivial collision")
+	}
+	f := func(s string) bool { return EncodeString(s) >= 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDate(t *testing.T) {
+	if got := EncodeDate(2007, 3, 15); got != 20070315 {
+		t.Fatalf("EncodeDate = %d", got)
+	}
+	// Dates order naturally as integers.
+	if EncodeDate(2007, 12, 31) >= EncodeDate(2008, 1, 1) {
+		t.Fatalf("date ordering broken")
+	}
+}

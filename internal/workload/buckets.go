@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SelectivityBuckets implements the paper's §3.2 mechanism for recurring
+// query templates invoked with different parameter values: queries are
+// "bucketized into classes with different selectivity ranges" and each
+// bucket owns one entry of the frequency vector. A new parameterization of a
+// known template is supported without retraining by finding its bucket and
+// bumping that slot's frequency.
+type SelectivityBuckets struct {
+	// Template is the query-template name the buckets belong to.
+	Template string
+	// Bounds are the ascending upper bounds of the selectivity ranges;
+	// bucket i covers (Bounds[i-1], Bounds[i]] with an implicit final
+	// bucket up to 1.0.
+	Bounds []float64
+	// Slots maps bucket index -> frequency-vector slot.
+	Slots []int
+}
+
+// NewSelectivityBuckets validates and builds a bucketing: bounds must be
+// strictly ascending within (0, 1), and there must be exactly one slot per
+// bucket (len(bounds)+1).
+func NewSelectivityBuckets(template string, bounds []float64, slots []int) (*SelectivityBuckets, error) {
+	if len(slots) != len(bounds)+1 {
+		return nil, fmt.Errorf("buckets %s: need %d slots for %d bounds, got %d", template, len(bounds)+1, len(bounds), len(slots))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return nil, fmt.Errorf("buckets %s: bounds must be ascending", template)
+	}
+	for i, b := range bounds {
+		if b <= 0 || b >= 1 {
+			return nil, fmt.Errorf("buckets %s: bound %d = %v out of (0,1)", template, i, b)
+		}
+		if i > 0 && bounds[i-1] == b {
+			return nil, fmt.Errorf("buckets %s: duplicate bound %v", template, b)
+		}
+	}
+	return &SelectivityBuckets{Template: template, Bounds: bounds, Slots: append([]int(nil), slots...)}, nil
+}
+
+// Bucket returns the bucket index for a selectivity in [0, 1].
+func (b *SelectivityBuckets) Bucket(selectivity float64) int {
+	for i, bound := range b.Bounds {
+		if selectivity <= bound {
+			return i
+		}
+	}
+	return len(b.Bounds)
+}
+
+// Slot returns the frequency-vector slot for a selectivity.
+func (b *SelectivityBuckets) Slot(selectivity float64) int {
+	return b.Slots[b.Bucket(selectivity)]
+}
+
+// Record bumps the frequency slot corresponding to the observed selectivity
+// by the given count. The caller re-normalizes the vector afterwards.
+func (b *SelectivityBuckets) Record(f FreqVector, selectivity float64, count float64) error {
+	slot := b.Slot(selectivity)
+	if slot < 0 || slot >= len(f) {
+		return fmt.Errorf("buckets %s: slot %d out of range for vector of size %d", b.Template, slot, len(f))
+	}
+	f[slot] += count
+	return nil
+}

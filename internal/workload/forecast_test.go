@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForecasterLevelOnly(t *testing.T) {
+	f, err := NewForecaster(2, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before observations: zero forecast.
+	z := f.Forecast(1)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("empty forecast = %v", z)
+	}
+	// Constant input converges to the input.
+	for i := 0; i < 20; i++ {
+		if err := f.Observe(FreqVector{1, 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc := f.Forecast(3)
+	if math.Abs(fc[0]-1) > 1e-6 || math.Abs(fc[1]-0.5) > 1e-3 {
+		t.Fatalf("constant forecast = %v", fc)
+	}
+	// Without trend, the horizon does not matter.
+	fc10 := f.Forecast(10)
+	for i := range fc {
+		if fc[i] != fc10[i] {
+			t.Fatalf("level-only forecast depends on steps: %v vs %v", fc, fc10)
+		}
+	}
+}
+
+func TestForecasterTrendExtrapolates(t *testing.T) {
+	f, err := NewForecaster(1, 0.6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		if err := f.Observe(FreqVector{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One normalized slot is always 1 after Normalize; check raw level via
+	// a two-slot variant instead.
+	f2, _ := NewForecaster(2, 0.6, true)
+	for _, v := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		f2.Observe(FreqVector{v, 1})
+	}
+	near := f2.Forecast(1)
+	far := f2.Forecast(5)
+	if far[0] <= near[0] {
+		t.Fatalf("rising series should extrapolate up: %v vs %v", near[0], far[0])
+	}
+}
+
+func TestForecasterClampsNegative(t *testing.T) {
+	f, _ := NewForecaster(2, 0.9, true)
+	for _, v := range []float64{1.0, 0.6, 0.2, 0.05} {
+		f.Observe(FreqVector{v, 1})
+	}
+	fc := f.Forecast(10) // strong downward trend would go negative
+	if fc[0] < 0 {
+		t.Fatalf("negative forecast %v", fc)
+	}
+}
+
+func TestForecasterValidation(t *testing.T) {
+	if _, err := NewForecaster(2, 1.5, false); err == nil {
+		t.Fatalf("alpha > 1 accepted")
+	}
+	f, _ := NewForecaster(2, 0.5, false)
+	if err := f.Observe(FreqVector{1}); err == nil {
+		t.Fatalf("size mismatch accepted")
+	}
+	if f.Observations() != 0 {
+		t.Fatalf("failed observation counted")
+	}
+}
