@@ -23,6 +23,7 @@ import (
 	"partadvisor/internal/benchmarks"
 	"partadvisor/internal/core"
 	"partadvisor/internal/costmodel"
+	"partadvisor/internal/env"
 	"partadvisor/internal/exec"
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
@@ -135,9 +136,10 @@ type Session struct {
 	Cost    *CostModel
 	Advisor *Advisor
 
-	hw   HardwareProfile
-	data map[string]*Relation
-	seed int64
+	hw        HardwareProfile
+	data      map[string]*Relation
+	seed      int64
+	costCache *env.CostCache
 }
 
 // NewSession materializes a benchmark database on a cluster and builds an
@@ -168,12 +170,18 @@ func NewSession(b *Benchmark, hw HardwareProfile, seed int64) (*Session, error) 
 	}, nil
 }
 
-// OfflineCost returns the offline training/inference cost function
-// (network-centric estimates over the deployment's metadata).
+// OfflineCost returns the offline training/inference cost function:
+// network-centric estimates over the deployment's metadata, memoized behind
+// a bounded thread-safe cache (offline episodes re-evaluate identical
+// (partitioning, mix) costs thousands of times, and the parallel committee
+// shares this function across expert trainers).
 func (s *Session) OfflineCost() func(*Partitioning, FreqVector) float64 {
-	return func(st *Partitioning, freq FreqVector) float64 {
-		return s.Cost.WorkloadCost(st, s.Bench.Workload, freq)
+	if s.costCache == nil {
+		s.costCache = env.NewCostCache(func(st *Partitioning, freq FreqVector) float64 {
+			return s.Cost.WorkloadCost(st, s.Bench.Workload, freq)
+		}, 0)
 	}
+	return s.costCache.Cost
 }
 
 // TrainOffline bootstraps the advisor on the cost model (Algorithm 1).

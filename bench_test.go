@@ -11,6 +11,7 @@ package bench
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"partadvisor/internal/benchmarks"
@@ -20,6 +21,7 @@ import (
 	"partadvisor/internal/exec"
 	"partadvisor/internal/experiments"
 	"partadvisor/internal/hardware"
+	"partadvisor/internal/nn"
 	"partadvisor/internal/partition"
 	"partadvisor/internal/workload"
 )
@@ -161,6 +163,104 @@ func BenchmarkTrainingEpisode(b *testing.B) {
 		if err := adv.TrainOffline(cost, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallelism benches -----------------------------------------------------
+
+// benchTrainOfflineSSB trains the SSB advisor with the paper's 128-64 hidden
+// layers and the given nn worker count, behind the bounded cost cache. With
+// workers=1 every parallel path runs its sequential branch, so the pair of
+// benches below measures the worker-pool speedup directly. The row-block
+// parallelism preserves accumulation order, so the trained networks are
+// bitwise identical across worker counts (see TestCommitteeParallelMatchesSequential
+// in internal/core for the committee-level identity check).
+func benchTrainOfflineSSB(b *testing.B, workers int) {
+	b.Helper()
+	prev := nn.MaxWorkers()
+	nn.SetMaxWorkers(workers)
+	defer nn.SetMaxWorkers(prev)
+	bench := benchmarks.SSB()
+	data := bench.Generate(0.05, 1)
+	cat := exec.BuildCatalog(bench.Schema, data)
+	cm := costmodel.New(cat, hardware.PostgresXLDisk())
+	hp := core.Test()
+	hp.Episodes = 30
+	hp.DQN.Hidden = []int{128, 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv, err := core.New(bench.Space(), bench.Workload, hp, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := env.NewCostCache(func(st *partition.State, f workload.FreqVector) float64 {
+			return cm.WorkloadCost(st, bench.Workload, f)
+		}, 0)
+		if err := adv.TrainOffline(cache.Cost, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainOfflineSSBSequential vs ...Parallel: the tentpole speedup
+// claim. On a ≥4-core machine the parallel variant should be ≥2× faster;
+// on fewer cores the pool is starved and the gap shrinks accordingly.
+func BenchmarkTrainOfflineSSBSequential(b *testing.B) { benchTrainOfflineSSB(b, 1) }
+func BenchmarkTrainOfflineSSBParallel(b *testing.B) {
+	benchTrainOfflineSSB(b, runtime.GOMAXPROCS(0))
+}
+
+// benchCommitteeBuild builds the §5 committee sequentially or with
+// goroutine-per-expert training.
+func benchCommitteeBuild(b *testing.B, sequential bool) {
+	b.Helper()
+	bench := benchmarks.Micro()
+	data := bench.Generate(0.2, 1)
+	cat := exec.BuildCatalog(bench.Schema, data)
+	cm := costmodel.New(cat, hardware.SystemXMemory())
+	sp := bench.Space()
+	hp := core.Test()
+	hp.Episodes = 30
+	cost := func(st *partition.State, f workload.FreqVector) float64 {
+		return cm.WorkloadCost(st, bench.Workload, f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naive, err := core.New(sp, bench.Workload, hp, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := naive.TrainOffline(cost, nil); err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultCommitteeConfig(naive)
+		cfg.ExpertEpisodes = 10
+		cfg.Sequential = sequential
+		if _, err := core.BuildCommittee(naive, cost, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitteeBuildSequential(b *testing.B) { benchCommitteeBuild(b, true) }
+func BenchmarkCommitteeBuildParallel(b *testing.B)   { benchCommitteeBuild(b, false) }
+
+// BenchmarkCostCache measures the memoization win on the offline cost hot
+// path: repeated (state, mix) evaluations against TPC-CH's 7-way-join query.
+func BenchmarkCostCache(b *testing.B) {
+	bench := benchmarks.TPCCH()
+	data := bench.Generate(0.1, 1)
+	cat := exec.BuildCatalog(bench.Schema, data)
+	cm := costmodel.New(cat, hardware.PostgresXLDisk())
+	sp := bench.Space()
+	st := sp.InitialState()
+	freq := bench.Workload.UniformFreq()
+	cache := env.NewCostCache(func(s *partition.State, f workload.FreqVector) float64 {
+		return cm.WorkloadCost(s, bench.Workload, f)
+	}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Cost(st, freq)
 	}
 }
 

@@ -132,16 +132,27 @@ func (m *LearnedCostModel) Minimize(freq workload.FreqVector, maxSteps int, expl
 	}
 	cur := m.Predict(st, freq)
 	for step := 0; step < maxSteps; step++ {
-		var bestNext *partition.State
-		bestCost := cur
+		// Score every valid neighbor in one batched forward pass instead of
+		// per-neighbor Predict calls (same math per row, one matmul).
+		var neighbors []*partition.State
+		var rows [][]float64
 		for _, a := range m.sp.Actions() {
 			if !m.sp.Valid(st, a) {
 				continue
 			}
 			next := m.sp.Apply(st, a)
-			if c := m.Predict(next, freq); c < bestCost {
+			neighbors = append(neighbors, next)
+			rows = append(rows, m.encode(next, freq))
+		}
+		if len(neighbors) == 0 {
+			break
+		}
+		var bestNext *partition.State
+		bestCost := cur
+		for i, out := range m.net.PredictBatch(rows) {
+			if c := out[0]; c < bestCost {
 				bestCost = c
-				bestNext = next
+				bestNext = neighbors[i]
 			}
 		}
 		if bestNext == nil {

@@ -33,6 +33,11 @@ type Advisor struct {
 	EpisodesTrained int
 	// StepsTrained counts environment steps taken during training.
 	StepsTrained int
+	// TrainUpdates counts actual gradient updates (TrainStep calls that
+	// found a full batch); experiment logging divides accumulated loss by
+	// this, not by StepsTrained, to keep training curves honest while the
+	// replay buffer is still filling.
+	TrainUpdates int
 
 	rng *rand.Rand
 }
@@ -110,7 +115,9 @@ func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes
 				Next:      next,
 				NextValid: nextValid,
 			})
-			a.Agent.TrainStep()
+			if _, trained := a.Agent.TrainStep(); trained {
+				a.TrainUpdates++
+			}
 			a.StepsTrained++
 			obs = next
 			if done {

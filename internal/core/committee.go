@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"partadvisor/internal/env"
 	"partadvisor/internal/partition"
@@ -40,6 +41,15 @@ type CommitteeConfig struct {
 	// SamplerAttempts caps rejection sampling per subspace draw.
 	SamplerAttempts int
 	Seed            int64
+	// Sequential disables the parallel expert trainers (one goroutine per
+	// subspace expert). Each expert always owns an independently seeded
+	// rand.Rand, so for a deterministic cost function the parallel and
+	// sequential paths produce bitwise-identical experts; with a measured,
+	// stateful cost (OnlineCost) calls are serialized through a mutex and
+	// remain correct, but timeout bookkeeping can interleave differently
+	// across runs. Flip this for strict run-to-run reproducibility on
+	// measured costs, or for the sequential baseline in benchmarks.
+	Sequential bool
 }
 
 // DefaultCommitteeConfig derives expert settings from the naive advisor's
@@ -80,7 +90,12 @@ func BuildCommittee(naive *Advisor, cost env.CostFunc, cfg CommitteeConfig) (*Co
 		}
 	}
 
-	// One expert per subspace, trained on mixes assigned to it.
+	// One expert per subspace, trained on mixes assigned to it. Experts are
+	// constructed sequentially (cheap, and keeps the seeding order obvious)
+	// and trained in parallel: each expert owns its networks and its
+	// independently seeded rand.Rand, so the only shared state is the cost
+	// function, which is serialized through a mutex. For a deterministic
+	// cost the result is bitwise identical to sequential training.
 	hp := cfg.ExpertHP
 	if cfg.ExpertEpisodes > 0 {
 		hp.Episodes = cfg.ExpertEpisodes
@@ -89,6 +104,10 @@ func BuildCommittee(naive *Advisor, cost env.CostFunc, cfg CommitteeConfig) (*Co
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.Sequential && len(c.Refs) > 1 {
+		c.cost = env.SynchronizedCost(cost)
+	}
+	samplers := make([]FreqSampler, len(c.Refs))
 	for j := range c.Refs {
 		expert, err := New(naive.Space, naive.WL, hp, cfg.Seed+int64(j)*101)
 		if err != nil {
@@ -103,7 +122,7 @@ func BuildCommittee(naive *Advisor, cost env.CostFunc, cfg CommitteeConfig) (*Co
 		}
 		expert.Agent.Epsilon = hp.DQN.EpsilonAfter(hp.OnlineEpsilonFromEpisode)
 		subspace := j
-		sampler := func(rng *rand.Rand) workload.FreqVector {
+		samplers[j] = func(rng *rand.Rand) workload.FreqVector {
 			for attempt := 0; attempt < cfg.SamplerAttempts; attempt++ {
 				f := naive.WL.SampleUniform(rng)
 				if c.Assign(f) == subspace {
@@ -113,10 +132,31 @@ func BuildCommittee(naive *Advisor, cost env.CostFunc, cfg CommitteeConfig) (*Co
 			// Rare subspace: fall back to the extreme mix closest to it.
 			return naive.WL.SampleUniform(rng)
 		}
-		if err := expert.TrainOffline(cost, sampler); err != nil {
-			return nil, err
-		}
 		c.Experts = append(c.Experts, expert)
+	}
+	if cfg.Sequential || len(c.Refs) <= 1 {
+		for j, expert := range c.Experts {
+			if err := expert.TrainOffline(c.cost, samplers[j]); err != nil {
+				return nil, fmt.Errorf("core: committee expert %d: %w", j, err)
+			}
+		}
+		return c, nil
+	}
+	errs := make([]error, len(c.Experts))
+	var wg sync.WaitGroup
+	for j, expert := range c.Experts {
+		j, expert := j, expert
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[j] = expert.TrainOffline(c.cost, samplers[j])
+		}()
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: committee expert %d: %w", j, err)
+		}
 	}
 	return c, nil
 }

@@ -121,16 +121,18 @@ func (a *Agent) Greedy(state []float64, valid []int) int {
 func (a *Agent) Observe(t Transition) { a.Buffer.Add(t) }
 
 // TrainStep samples a minibatch, trains the online network and softly
-// updates the target network. It is a no-op (returning 0) until the buffer
-// holds one full batch.
-func (a *Agent) TrainStep() float64 {
+// updates the target network. It is a no-op until the buffer holds one full
+// batch; trained distinguishes that case from a genuine zero loss, so
+// training-curve logging doesn't record phantom zero-loss points while the
+// buffer is filling.
+func (a *Agent) TrainStep() (loss float64, trained bool) {
 	if a.Buffer.Len() < a.cfg.BatchSize {
-		return 0
+		return 0, false
 	}
 	a.scratch = a.Buffer.Sample(a.rng, a.cfg.BatchSize, a.scratch)
-	loss := a.Q.Train(a.scratch, a.cfg.Gamma)
+	loss = a.Q.Train(a.scratch, a.cfg.Gamma)
 	a.Q.SoftUpdate(a.cfg.Tau)
-	return loss
+	return loss, true
 }
 
 // DecayEpsilon applies one episode's ε decay (Table 1: ×0.997).

@@ -249,12 +249,21 @@ func TestTrainStepNoopUntilBatchFull(t *testing.T) {
 	cfg.BatchSize = 8
 	agent, _ := NewAgent(q, cfg, rng)
 	before, _ := q.Save()
-	if loss := agent.TrainStep(); loss != 0 {
-		t.Fatalf("TrainStep on empty buffer = %v", loss)
+	if loss, trained := agent.TrainStep(); trained || loss != 0 {
+		t.Fatalf("TrainStep on empty buffer = (%v, %v)", loss, trained)
 	}
 	after, _ := q.Save()
 	if string(before) != string(after) {
 		t.Fatalf("TrainStep mutated weights before batch full")
+	}
+	// Fill the buffer to one batch: now TrainStep must report trained=true,
+	// so a logged zero loss is a genuine zero and not a buffer-warmup no-op.
+	for i := 0; i < 8; i++ {
+		agent.Observe(Transition{State: []float64{1, 0}, Action: i % 2, Reward: 1,
+			Next: []float64{0, 1}, NextValid: []int{0, 1}})
+	}
+	if _, trained := agent.TrainStep(); !trained {
+		t.Fatalf("TrainStep with a full batch reported trained=false")
 	}
 }
 

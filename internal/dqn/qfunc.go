@@ -127,11 +127,20 @@ func (q *MultiHeadQ) SoftUpdate(tau float64) { q.target.SoftUpdateFrom(q.online,
 // Save implements QFunc.
 func (q *MultiHeadQ) Save() ([]byte, error) { return q.online.MarshalBinary() }
 
-// Load implements QFunc.
+// Load implements QFunc. The checkpoint's input/output widths must match the
+// constructed head: a checkpoint from a different schema encoding or action
+// space would otherwise load fine and then panic (or silently misbehave) on
+// the first Values call.
 func (q *MultiHeadQ) Load(data []byte) error {
-	if err := q.online.UnmarshalBinary(data); err != nil {
+	var net nn.Network
+	if err := net.UnmarshalBinary(data); err != nil {
 		return err
 	}
+	if net.InDim() != q.online.InDim() || net.OutDim() != q.n {
+		return fmt.Errorf("dqn: checkpoint shape %dx%d does not match multi-head Q %dx%d (state dim × action count) — was it saved for a different schema or action space?",
+			net.InDim(), net.OutDim(), q.online.InDim(), q.n)
+	}
+	q.online = &net
 	q.target = q.online.Clone()
 	return nil
 }
@@ -147,6 +156,8 @@ type ScalarQ struct {
 	target *nn.Network
 	opt    nn.Optimizer
 	feats  [][]float64
+
+	inferIn *nn.Matrix // reused Values input batch
 }
 
 // NewScalarQ builds the scalar head over the given per-action feature rows.
@@ -168,13 +179,19 @@ func (q *ScalarQ) input(state []float64, action int) []float64 {
 }
 
 // Values implements QFunc by batching all requested actions through one
-// forward pass.
+// forward pass over a reused input matrix: greedy inference costs one
+// network evaluation per step regardless of how many actions are valid.
 func (q *ScalarQ) Values(state []float64, actions []int) []float64 {
-	rows := make([][]float64, len(actions))
-	for i, a := range actions {
-		rows[i] = q.input(state, a)
+	inDim := q.online.InDim()
+	if q.inferIn == nil || q.inferIn.Rows != len(actions) {
+		q.inferIn = nn.NewMatrix(len(actions), inDim)
 	}
-	out := q.online.Forward(nn.FromRows(rows))
+	for i, a := range actions {
+		row := q.inferIn.Row(i)
+		copy(row, state)
+		copy(row[len(state):], q.feats[a])
+	}
+	out := q.online.Forward(q.inferIn)
 	res := make([]float64, len(actions))
 	for i := range actions {
 		res[i] = out.At(i, 0)
@@ -228,11 +245,19 @@ func (q *ScalarQ) SoftUpdate(tau float64) { q.target.SoftUpdateFrom(q.online, ta
 // Save implements QFunc.
 func (q *ScalarQ) Save() ([]byte, error) { return q.online.MarshalBinary() }
 
-// Load implements QFunc.
+// Load implements QFunc. The checkpoint must consume state ⊕ action-feature
+// rows of this head's width and emit a single Q-value; anything else comes
+// from a different schema or action encoding and is rejected.
 func (q *ScalarQ) Load(data []byte) error {
-	if err := q.online.UnmarshalBinary(data); err != nil {
+	var net nn.Network
+	if err := net.UnmarshalBinary(data); err != nil {
 		return err
 	}
+	if net.InDim() != q.online.InDim() || net.OutDim() != 1 {
+		return fmt.Errorf("dqn: checkpoint shape %dx%d does not match scalar Q %dx1 (state dim + %d action features) — was it saved for a different schema or action space?",
+			net.InDim(), net.OutDim(), q.online.InDim(), len(q.feats[0]))
+	}
+	q.online = &net
 	q.target = q.online.Clone()
 	return nil
 }

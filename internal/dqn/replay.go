@@ -49,9 +49,19 @@ func NewBuffer(capacity int) *Buffer {
 	return &Buffer{data: make([]Transition, capacity)}
 }
 
-// Add stores a transition, evicting the oldest when full.
+// Add stores a transition, evicting the oldest when full. The State, Next
+// and NextValid slices are deep-copied into buffer-owned storage (reusing
+// the evicted slot's capacity): callers routinely reuse their encoding
+// buffers between steps, and an aliased store would silently corrupt
+// replayed experiences.
 func (b *Buffer) Add(t Transition) {
-	b.data[b.next] = t
+	slot := &b.data[b.next]
+	slot.State = append(slot.State[:0], t.State...)
+	slot.Next = append(slot.Next[:0], t.Next...)
+	slot.NextValid = append(slot.NextValid[:0], t.NextValid...)
+	slot.Action = t.Action
+	slot.Reward = t.Reward
+	slot.Terminal = t.Terminal
 	b.next = (b.next + 1) % len(b.data)
 	if b.size < len(b.data) {
 		b.size++

@@ -1,0 +1,128 @@
+package env
+
+import (
+	"sync"
+	"testing"
+
+	"partadvisor/internal/partition"
+	"partadvisor/internal/schema"
+	"partadvisor/internal/workload"
+)
+
+// cacheSpace builds a tiny two-table design space for cache tests.
+func cacheSpace(t *testing.T) *partition.Space {
+	t.Helper()
+	sch := schema.New("cache", []*schema.Table{
+		{Name: "a", Attributes: []schema.Attribute{{Name: "id", Width: 8}}, PrimaryKey: []string{"id"}},
+		{Name: "b", Attributes: []schema.Attribute{{Name: "id", Width: 8}}, PrimaryKey: []string{"id"}},
+	}, nil)
+	return partition.NewSpace(sch, nil, partition.Options{})
+}
+
+func TestCostCacheMemoizes(t *testing.T) {
+	sp := cacheSpace(t)
+	calls := 0
+	base := func(st *partition.State, freq workload.FreqVector) float64 {
+		calls++
+		return freq[0] * 10
+	}
+	cc := NewCostCache(base, 16)
+	st := sp.InitialState()
+	f1 := workload.FreqVector{0.5}
+	f2 := workload.FreqVector{0.25}
+
+	if got := cc.Cost(st, f1); got != 5 {
+		t.Fatalf("Cost = %v", got)
+	}
+	if got := cc.Cost(st, f1); got != 5 {
+		t.Fatalf("cached Cost = %v", got)
+	}
+	if calls != 1 {
+		t.Fatalf("base called %d times for one distinct key", calls)
+	}
+	// A different mix or a different layout is a different key.
+	cc.Cost(st, f2)
+	alt := sp.Apply(st, partition.Action{Kind: partition.ActReplicate, Table: 0})
+	cc.Cost(alt, f1)
+	if calls != 3 {
+		t.Fatalf("base called %d times for three distinct keys", calls)
+	}
+	if hits, misses := cc.Stats(); hits != 1 || misses != 3 {
+		t.Fatalf("stats = (%d, %d), want (1, 3)", hits, misses)
+	}
+}
+
+func TestCostCacheBoundRotatesGenerations(t *testing.T) {
+	sp := cacheSpace(t)
+	calls := 0
+	base := func(st *partition.State, freq workload.FreqVector) float64 {
+		calls++
+		return freq[0]
+	}
+	cc := NewCostCache(base, 4)
+	st := sp.InitialState()
+	for i := 0; i < 100; i++ {
+		cc.Cost(st, workload.FreqVector{float64(i)})
+	}
+	if cc.Len() > 8 { // at most two generations of 4
+		t.Fatalf("cache grew past its bound: %d entries", cc.Len())
+	}
+	if calls != 100 {
+		t.Fatalf("distinct keys collided: %d base calls", calls)
+	}
+	// A cold-generation hit must not call base again.
+	calls = 0
+	cc.Cost(st, workload.FreqVector{99})
+	cc.Cost(st, workload.FreqVector{98})
+	if calls != 0 {
+		t.Fatalf("recent entries evicted too eagerly: %d base calls", calls)
+	}
+}
+
+func TestCostCacheInvalidate(t *testing.T) {
+	sp := cacheSpace(t)
+	val := 1.0
+	base := func(st *partition.State, freq workload.FreqVector) float64 { return val }
+	cc := NewCostCache(base, 16)
+	st := sp.InitialState()
+	f := workload.FreqVector{1}
+	if got := cc.Cost(st, f); got != 1 {
+		t.Fatalf("Cost = %v", got)
+	}
+	val = 2
+	if got := cc.Cost(st, f); got != 1 {
+		t.Fatalf("cache did not serve the memoized value: %v", got)
+	}
+	cc.Invalidate()
+	if got := cc.Cost(st, f); got != 2 {
+		t.Fatalf("Invalidate did not drop entries: %v", got)
+	}
+}
+
+// TestCostCacheConcurrent exercises the cache (and its serialized base
+// calls) from many goroutines under -race.
+func TestCostCacheConcurrent(t *testing.T) {
+	sp := cacheSpace(t)
+	statefulCounter := 0 // deliberately unsynchronized stateful base
+	base := func(st *partition.State, freq workload.FreqVector) float64 {
+		statefulCounter++
+		return freq[0] * 2
+	}
+	cc := NewCostCache(base, 32)
+	st := sp.InitialState()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := workload.FreqVector{float64(i % 16)}
+				if got := cc.Cost(st, f); got != f[0]*2 {
+					t.Errorf("Cost(%v) = %v", f, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"partadvisor/internal/cluster"
 	"partadvisor/internal/costmodel"
@@ -39,18 +40,25 @@ func (f Flavor) String() string {
 // joins, following Leis et al.
 const estimateNoiseSigma = 0.7
 
-// Engine is one deployed distributed database.
+// Engine is one deployed distributed database. Its stateful operations
+// (Deploy, Run/RunWithLimit, Explain, EstimateCost, Analyze, BulkLoad) are
+// serialized by an internal mutex, so one engine can be shared by concurrent
+// advisors — e.g. the parallel committee's expert trainers measuring costs
+// while an experiment loop executes queries.
 type Engine struct {
 	Schema *schema.Schema
 	HW     hardware.Profile
 	Flavor Flavor
 
+	mu      sync.Mutex
 	cluster *cluster.Cluster
 	trueCat *stats.Catalog
 	estCat  *stats.Catalog
 	estim   *costmodel.NoisyModel
 
-	// Counters for experiment accounting.
+	// Counters for experiment accounting. They are updated under the
+	// engine mutex; concurrent readers must use Counters() for a coherent
+	// snapshot (direct field reads are only safe single-threaded).
 	QueriesExecuted int
 	Repartitions    int
 	BytesMoved      int64
@@ -100,6 +108,8 @@ func designOf(st *partition.State, table string) cluster.Design {
 // caller implements lazy repartitioning by passing only the tables the next
 // queries touch.
 func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if tables == nil {
 		tables = e.Schema.TableNames()
 	}
@@ -118,7 +128,18 @@ func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 }
 
 // CurrentDesign returns the deployed design of a table.
-func (e *Engine) CurrentDesign(table string) cluster.Design { return e.cluster.Design(table) }
+func (e *Engine) CurrentDesign(table string) cluster.Design {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cluster.Design(table)
+}
+
+// Counters returns a coherent snapshot of the accounting counters.
+func (e *Engine) Counters() (queriesExecuted, repartitions int, bytesMoved int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.QueriesExecuted, e.Repartitions, e.BytesMoved
+}
 
 // Run executes a query and returns the simulated wall time in seconds.
 func (e *Engine) Run(g *sqlparse.Graph) float64 {
@@ -130,6 +151,8 @@ func (e *Engine) Run(g *sqlparse.Graph) float64 {
 // time exceeds limit (0 = no limit). It returns the consumed time and
 // whether the query was aborted — the paper's §4.2 timeout optimization.
 func (e *Engine) RunWithLimit(g *sqlparse.Graph, limit float64) (seconds float64, aborted bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.QueriesExecuted++
 	x := newExecutor(e, g, limit)
 	return x.run()
@@ -139,6 +162,8 @@ func (e *Engine) RunWithLimit(g *sqlparse.Graph, limit float64) (seconds float64
 // operators (scan placements, join order and distribution strategies) —
 // an EXPLAIN ANALYZE equivalent for the simulated engine.
 func (e *Engine) Explain(g *sqlparse.Graph) (plan []string, seconds float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	x := newExecutor(e, g, 0)
 	x.trace = &plan
 	seconds, _ = x.run()
@@ -152,12 +177,16 @@ func (e *Engine) EstimateCost(st *partition.State, g *sqlparse.Graph) (float64, 
 	if e.Flavor == Memory {
 		return 0, false
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.estim.QueryCost(st, g), true
 }
 
 // Analyze refreshes the optimizer's statistics from the true statistics
 // (ANALYZE). Until called after bulk updates, estimates are stale.
 func (e *Engine) Analyze() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.estCat = e.trueCat.Clone()
 	e.estim = &costmodel.NoisyModel{
 		Base:         costmodel.New(e.estCat, e.HW),
@@ -172,6 +201,8 @@ func (e *Engine) BulkLoad(table string, rows *relation.Relation) {
 	if t == nil {
 		panic(fmt.Sprintf("exec: bulk load into unknown table %q", table))
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.cluster.Append(table, rows)
 	e.trueCat.SetTable(table, BuildTableStats(e.cluster.Base(table), t))
 }

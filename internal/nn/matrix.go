@@ -64,18 +64,17 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// MatMul computes dst = a × b. dst must be pre-shaped (a.Rows × b.Cols) and
-// distinct from a and b. The inner loop is ordered for cache-friendly access
-// (ikj), which is what makes pure-Go DQN training tractable.
-func MatMul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("nn: MatMul shape mismatch: (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
+// matMulRows computes dst rows [lo, hi) of a × b. The inner loop is ordered
+// for cache-friendly access (ikj), which is what makes pure-Go DQN training
+// tractable; each output row depends only on the matching input row, so
+// disjoint row ranges can run on different workers.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
 		dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range dr {
+			dr[j] = 0
+		}
 		for k, av := range ar {
 			if av == 0 {
 				continue // one-hot inputs are mostly zero
@@ -88,35 +87,55 @@ func MatMul(dst, a, b *Matrix) {
 	}
 }
 
-// MatMulATB computes dst = aᵀ × b (used for weight gradients).
+// MatMul computes dst = a × b. dst must be pre-shaped (a.Rows × b.Cols) and
+// distinct from a and b. Large batches are split into row blocks across the
+// shared worker pool; results are bitwise identical to the sequential path.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch: (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelFor(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi)
+	})
+}
+
+// MatMulATB computes dst = aᵀ × b (used for weight gradients). Row blocks of
+// dst (columns of a) are independent, so the pool splits on them; for each
+// output element the accumulation still runs over a's rows in ascending
+// order, keeping parallel results bitwise identical to sequential ones.
 func MatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulATB shape mismatch: (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for r := 0; r < a.Rows; r++ {
-		ar := a.Data[r*a.Cols : (r+1)*a.Cols]
-		br := b.Data[r*b.Cols : (r+1)*b.Cols]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
+	parallelFor(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range br {
-				dr[j] += av * bv
+			for j := range dr {
+				dr[j] = 0
 			}
 		}
-	}
+		for r := 0; r < a.Rows; r++ {
+			ar := a.Data[r*a.Cols : (r+1)*a.Cols]
+			br := b.Data[r*b.Cols : (r+1)*b.Cols]
+			for i := lo; i < hi; i++ {
+				av := ar[i]
+				if av == 0 {
+					continue
+				}
+				dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	})
 }
 
-// MatMulABT computes dst = a × bᵀ (used to backpropagate deltas).
-func MatMulABT(dst, a, b *Matrix) {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("nn: MatMulABT shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	for i := 0; i < a.Rows; i++ {
+// matMulABTRows computes dst rows [lo, hi) of a × bᵀ.
+func matMulABTRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
 		dr := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for j := 0; j < b.Rows; j++ {
@@ -128,6 +147,17 @@ func MatMulABT(dst, a, b *Matrix) {
 			dr[j] = s
 		}
 	}
+}
+
+// MatMulABT computes dst = a × bᵀ (used to backpropagate deltas).
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulABT shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelFor(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		matMulABTRows(dst, a, b, lo, hi)
+	})
 }
 
 // XavierInit fills the matrix with Glorot-uniform weights for a layer with

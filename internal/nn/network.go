@@ -23,10 +23,18 @@ type Dense struct {
 	W, B *Matrix
 	Act  Activation
 
-	// forward scratch (per batch size, reallocated on change)
+	// forward scratch of the current pass; scratch keeps one buffer pair
+	// per batch size so alternating training (batch 32) and greedy
+	// inference (batch 1) passes don't reallocate on every call
 	in, preAct, out *Matrix
+	scratch         map[int]*denseScratch
 	// gradients
 	gradW, gradB *Matrix
+}
+
+// denseScratch is the cached forward state for one batch size.
+type denseScratch struct {
+	preAct, out *Matrix
 }
 
 // NewDense builds a layer with Xavier-initialized weights.
@@ -43,47 +51,62 @@ func NewDense(inDim, outDim int, act Activation, rng *rand.Rand) *Dense {
 }
 
 // Forward computes the layer output for a batch, caching activations for
-// Backward.
+// Backward. Row blocks (matmul, bias, activation fused per block) run on the
+// shared worker pool for large batches.
 func (d *Dense) Forward(in *Matrix) *Matrix {
-	if d.preAct == nil || d.preAct.Rows != in.Rows {
-		d.preAct = NewMatrix(in.Rows, d.W.Cols)
-		d.out = NewMatrix(in.Rows, d.W.Cols)
+	if d.scratch == nil {
+		d.scratch = make(map[int]*denseScratch)
 	}
-	d.in = in
-	MatMul(d.preAct, in, d.W)
-	for i := 0; i < d.preAct.Rows; i++ {
-		row := d.preAct.Row(i)
-		for j := range row {
-			row[j] += d.B.Data[j]
-		}
+	sc := d.scratch[in.Rows]
+	if sc == nil {
+		sc = &denseScratch{preAct: NewMatrix(in.Rows, d.W.Cols), out: NewMatrix(in.Rows, d.W.Cols)}
+		d.scratch[in.Rows] = sc
 	}
-	switch d.Act {
-	case ReLU:
-		for i, v := range d.preAct.Data {
-			if v > 0 {
-				d.out.Data[i] = v
-			} else {
-				d.out.Data[i] = 0
+	d.in, d.preAct, d.out = in, sc.preAct, sc.out
+	cols := d.W.Cols
+	parallelFor(in.Rows, in.Rows*in.Cols*cols, func(lo, hi int) {
+		matMulRows(d.preAct, in, d.W, lo, hi)
+		for i := lo; i < hi; i++ {
+			row := d.preAct.Data[i*cols : (i+1)*cols]
+			outRow := d.out.Data[i*cols : (i+1)*cols]
+			for j := range row {
+				row[j] += d.B.Data[j]
+			}
+			switch d.Act {
+			case ReLU:
+				for j, v := range row {
+					if v > 0 {
+						outRow[j] = v
+					} else {
+						outRow[j] = 0
+					}
+				}
+			case Linear:
+				copy(outRow, row)
 			}
 		}
-	case Linear:
-		copy(d.out.Data, d.preAct.Data)
-	}
+	})
 	return d.out
 }
 
 // Backward takes dL/d(out) and returns dL/d(in), accumulating weight and
 // bias gradients (overwriting previous ones).
 func (d *Dense) Backward(gradOut *Matrix) *Matrix {
-	// Apply activation derivative in place on a copy.
-	delta := gradOut.Clone()
-	if d.Act == ReLU {
-		for i := range delta.Data {
-			if d.preAct.Data[i] <= 0 {
-				delta.Data[i] = 0
+	// Apply activation derivative on a copy; rows are independent, so the
+	// copy+mask and the delta backpropagation split across the pool.
+	delta := NewMatrix(gradOut.Rows, gradOut.Cols)
+	gradIn := NewMatrix(delta.Rows, d.W.Rows)
+	parallelFor(delta.Rows, delta.Rows*delta.Cols*(d.W.Rows+1), func(lo, hi int) {
+		copy(delta.Data[lo*delta.Cols:hi*delta.Cols], gradOut.Data[lo*delta.Cols:hi*delta.Cols])
+		if d.Act == ReLU {
+			for i := lo * delta.Cols; i < hi*delta.Cols; i++ {
+				if d.preAct.Data[i] <= 0 {
+					delta.Data[i] = 0
+				}
 			}
 		}
-	}
+		matMulABTRows(gradIn, delta, d.W, lo, hi)
+	})
 	MatMulATB(d.gradW, d.in, delta)
 	d.gradB.Zero()
 	for i := 0; i < delta.Rows; i++ {
@@ -92,14 +115,17 @@ func (d *Dense) Backward(gradOut *Matrix) *Matrix {
 			d.gradB.Data[j] += v
 		}
 	}
-	gradIn := NewMatrix(delta.Rows, d.W.Rows)
-	MatMulABT(gradIn, delta, d.W)
 	return gradIn
 }
 
-// Network is a feed-forward stack of dense layers.
+// Network is a feed-forward stack of dense layers. A Network (like its
+// layers) keeps per-pass scratch state, so a single instance must not be
+// used from multiple goroutines concurrently; the parallel committee gives
+// every expert its own networks and shares only the stateless worker pool.
 type Network struct {
 	Layers []*Dense
+
+	predictIn *Matrix // reused 1-row input of Predict
 }
 
 // NewNetwork builds a net with the given layer widths, ReLU on hidden layers
@@ -134,10 +160,32 @@ func (n *Network) Forward(in *Matrix) *Matrix {
 
 // Predict runs a single input vector and returns a copied output vector.
 func (n *Network) Predict(in []float64) []float64 {
-	m := FromRows([][]float64{in})
-	out := n.Forward(m)
+	if n.predictIn == nil || n.predictIn.Cols != len(in) {
+		n.predictIn = NewMatrix(1, len(in))
+	}
+	copy(n.predictIn.Data, in)
+	out := n.Forward(n.predictIn)
 	res := make([]float64, out.Cols)
 	copy(res, out.Row(0))
+	return res
+}
+
+// PredictBatch runs many input vectors through one forward pass and returns
+// one copied output row per input. Each output row is bitwise identical to
+// what Predict would return for that input alone, so callers can batch
+// greedy/argmin scans over candidate inputs (all valid actions, all
+// neighbor designs) without changing results.
+func (n *Network) PredictBatch(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := n.Forward(FromRows(rows))
+	res := make([][]float64, out.Rows)
+	flat := make([]float64, len(out.Data))
+	copy(flat, out.Data)
+	for i := range res {
+		res[i] = flat[i*out.Cols : (i+1)*out.Cols]
+	}
 	return res
 }
 

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The package shares one worker pool across all networks and matrices, sized
+// to GOMAXPROCS by default. Parallel kernels split their output rows into
+// contiguous blocks, one block per worker; every element is still computed by
+// exactly the code (and floating-point accumulation order) of the sequential
+// path, so parallel results are bitwise identical to sequential ones.
+
+// Crossover thresholds: tiny inputs are slower to dispatch than to compute,
+// so they stay on the caller's goroutine.
+const (
+	// minParRows is the minimum number of output rows worth splitting.
+	minParRows = 8
+	// minParFlops is the minimum multiply-add count worth dispatching to
+	// the pool at all.
+	minParFlops = 16 * 1024
+	// minBlockRows is the smallest row block handed to one worker.
+	minBlockRows = 4
+)
+
+var (
+	// width is the configured sharding width (0 = GOMAXPROCS).
+	width atomic.Int32
+	// poolWorkers counts started workers; the pool only ever grows (idle
+	// workers park on the task channel and cost nothing).
+	poolWorkers atomic.Int32
+	poolTasks   atomic.Pointer[chan func()]
+	poolMu      sync.Mutex
+)
+
+// MaxWorkers returns the current worker-pool width.
+func MaxWorkers() int {
+	if w := width.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetMaxWorkers sets the worker-pool width. n <= 1 disables parallel kernels
+// (the sequential path produces bitwise-identical results anyway). n == 0
+// restores the GOMAXPROCS default.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	width.Store(int32(n))
+}
+
+// submit enqueues fn on the shared pool, or reports false when the queue is
+// full (the caller then runs fn inline — work placement never changes
+// results, only where they are computed).
+func submit(fn func()) bool {
+	ch := poolTasks.Load()
+	if ch == nil {
+		return false
+	}
+	select {
+	case *ch <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// ensurePool lazily starts workers up to n-1 (the caller's goroutine acts as
+// the n-th worker during parallelFor).
+func ensurePool(n int) {
+	if int(poolWorkers.Load()) >= n-1 {
+		return
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolTasks.Load() == nil {
+		ch := make(chan func(), 128)
+		poolTasks.Store(&ch)
+	}
+	ch := *poolTasks.Load()
+	for int(poolWorkers.Load()) < n-1 {
+		poolWorkers.Add(1)
+		go func() {
+			for fn := range ch {
+				fn()
+			}
+		}()
+	}
+}
+
+// parallelFor splits [0, n) into contiguous blocks and runs fn(lo, hi) for
+// each, using the shared pool when the estimated work (flops) clears the
+// crossover threshold. fn must be safe to run concurrently on disjoint
+// ranges; parallelFor returns only after every block completed.
+func parallelFor(n int, flops int, fn func(lo, hi int)) {
+	workers := MaxWorkers()
+	if workers <= 1 || n < minParRows || flops < minParFlops {
+		fn(0, n)
+		return
+	}
+	blocks := n / minBlockRows
+	if blocks > workers {
+		blocks = workers
+	}
+	if blocks <= 1 {
+		fn(0, n)
+		return
+	}
+	ensurePool(workers)
+	var wg sync.WaitGroup
+	chunk := (n + blocks - 1) / blocks
+	for lo := chunk; lo < n; lo += chunk { // blocks after the first go to the pool
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo := lo
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		if !submit(task) {
+			task()
+		}
+	}
+	fn(0, chunk) // the caller's goroutine is one of the workers
+	wg.Wait()
+}
