@@ -25,6 +25,7 @@ import (
 	"partadvisor/internal/costmodel"
 	"partadvisor/internal/env"
 	"partadvisor/internal/exec"
+	"partadvisor/internal/faults"
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
 	"partadvisor/internal/relation"
@@ -86,7 +87,29 @@ type (
 	RepartitionDecision = core.RepartitionDecision
 	// DriftDetector triggers retraining on sustained cost degradation.
 	DriftDetector = core.DriftDetector
+	// FaultConfig declares a deterministic fault-injection schedule.
+	FaultConfig = faults.Config
+	// FaultInjector evaluates a fault schedule against simulated time.
+	FaultInjector = faults.Injector
+	// PeriodicCrash is a repeating node-down window in a fault schedule.
+	PeriodicCrash = faults.PeriodicCrash
+	// NodeCrash is a one-shot node-down window in a fault schedule.
+	NodeCrash = faults.NodeCrash
+	// Checkpoint is a crash-safe training snapshot.
+	Checkpoint = core.Checkpoint
+	// CheckpointConfig enables periodic training checkpoints.
+	CheckpointConfig = core.CheckpointConfig
 )
+
+// NewFaultInjector validates a fault schedule and builds its injector; arm
+// it with Engine.SetFaults.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return faults.New(cfg) }
+
+// LoadCheckpoint reads a training snapshot written by Advisor.SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
+
+// ErrHalted is returned by training when Advisor.HaltAfter is reached.
+var ErrHalted = core.ErrHalted
 
 // NewForecaster builds a workload-mix forecaster over vectors of the given
 // size (Holt's linear trend when trend is true).
@@ -207,8 +230,9 @@ func (s *Session) TrainOnline(sampleRate float64, minRows int) (*OnlineCost, err
 	if err != nil {
 		return nil, fmt.Errorf("advisor: train offline before online refinement: %w", err)
 	}
-	scale := core.ComputeScaleFactors(s.Engine, sample, s.Bench.Workload, offSt)
+	scale, setupSec := core.ComputeScaleFactors(s.Engine, sample, s.Bench.Workload, offSt)
 	oc := core.NewOnlineCost(sample, s.Bench.Workload, scale)
+	oc.Stats.SetupSeconds = setupSec
 	if err := s.Advisor.TrainOnline(oc, nil); err != nil {
 		return nil, err
 	}

@@ -7,12 +7,22 @@
 //	advisor -bench ssb|tpcds|tpcch|micro [-engine disk|memory] [-online]
 //	        [-profile repro|paper|test] [-scale F] [-seed N]
 //	        [-freq q1=2,q2=0.5] [-save model.bin] [-load model.bin]
+//	        [-checkpoint ckpt.bin] [-checkpoint-every N] [-resume]
+//	        [-halt-after N]
 //
 // With -freq, the named queries get the given relative frequencies (others
 // default to 1); the advisor then suggests the partitioning for that mix.
+//
+// With -checkpoint, training writes a crash-safe snapshot every
+// -checkpoint-every offline episodes (atomic temp-file + rename) plus one
+// at the offline/online boundary; -resume restarts a killed run from the
+// snapshot and continues bit-identically. -halt-after N stops training
+// after N total episodes with exit code 3 — a controlled crash point for
+// exercising the resume path.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -42,8 +52,18 @@ func main() {
 		freqSpec  = flag.String("freq", "", "workload mix, e.g. q1=2,q2=0.5 (unnamed queries get 1)")
 		savePath  = flag.String("save", "", "save the trained Q-network to this file")
 		loadPath  = flag.String("load", "", "load a Q-network instead of offline training")
+		ckptPath  = flag.String("checkpoint", "", "write crash-safe training checkpoints to this file")
+		ckptEvery = flag.Int("checkpoint-every", 10, "offline episodes between checkpoints")
+		resume    = flag.Bool("resume", false, "resume training from the -checkpoint file")
+		haltAfter = flag.Int("halt-after", 0, "stop after N total training episodes with exit code 3 (testing)")
 	)
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		fail("-resume requires -checkpoint")
+	}
+	if *resume && *loadPath != "" {
+		fail("-resume and -load are mutually exclusive")
+	}
 
 	b := pickBenchmark(*benchName)
 	if b == nil {
@@ -76,6 +96,20 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if *ckptPath != "" {
+		adv.Ckpt = &core.CheckpointConfig{
+			Path:  *ckptPath,
+			Every: *ckptEvery,
+			Label: fmt.Sprintf("%s/%s/%s/seed%d", b.Name, *engine, *profile, *seed),
+		}
+	}
+	adv.HaltAfter = *haltAfter
+	if *resume {
+		if err := adv.Resume(*ckptPath); err != nil {
+			fail("resume: %v", err)
+		}
+		fmt.Printf("resumed from %s (%d episodes already trained)\n", *ckptPath, adv.EpisodesTrained)
+	}
 
 	if *loadPath != "" {
 		blob, err := os.ReadFile(*loadPath)
@@ -91,9 +125,17 @@ func main() {
 		fmt.Printf("offline training: %d episodes (network-centric cost model)...\n", hp.Episodes)
 		start := time.Now()
 		if err := adv.TrainOffline(offCost, nil); err != nil {
+			exitIfHalted(adv, err)
 			fail("offline training: %v", err)
 		}
 		fmt.Printf("offline training done in %s (%d steps)\n", time.Since(start).Round(time.Millisecond), adv.StepsTrained)
+		// Boundary checkpoint: resumed runs restart online training from
+		// here (the online phase itself is deterministic given this state).
+		if adv.Ckpt != nil {
+			if err := adv.SaveCheckpoint(adv.Ckpt.Path); err != nil {
+				fail("checkpoint: %v", err)
+			}
+		}
 	}
 
 	if *online {
@@ -109,10 +151,12 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		scaleF := core.ComputeScaleFactors(eng, sample, b.Workload, offSt)
+		scaleF, setupSec := core.ComputeScaleFactors(eng, sample, b.Workload, offSt)
 		oc := core.NewOnlineCost(sample, b.Workload, scaleF)
+		oc.Stats.SetupSeconds = setupSec
 		start := time.Now()
 		if err := adv.TrainOnline(oc, nil); err != nil {
+			exitIfHalted(adv, err)
 			fail("online training: %v", err)
 		}
 		adv.InferCost = oc.WorkloadCost
@@ -208,6 +252,16 @@ func queryNames(wl *workload.Workload) []string {
 		out[i] = q.Name
 	}
 	return out
+}
+
+// exitIfHalted handles the -halt-after controlled crash: exit code 3
+// distinguishes "halted as requested, resume from the checkpoint" from
+// real failures.
+func exitIfHalted(adv *core.Advisor, err error) {
+	if errors.Is(err, core.ErrHalted) {
+		fmt.Printf("halted after %d episodes (resume with -resume)\n", adv.EpisodesTrained)
+		os.Exit(3)
+	}
 }
 
 func fail(format string, args ...interface{}) {

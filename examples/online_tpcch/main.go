@@ -55,8 +55,9 @@ func main() {
 		sampled[tbl.Name] = full[tbl.Name].Sample(0.2, 50, rng)
 	}
 	sample := exec.New(bench.Schema, sampled, hw, exec.Disk)
-	scale := core.ComputeScaleFactors(engine, sample, bench.Workload, offSt)
+	scale, setupSec := core.ComputeScaleFactors(engine, sample, bench.Workload, offSt)
 	oc := core.NewOnlineCost(sample, bench.Workload, scale)
+	oc.Stats.SetupSeconds = setupSec
 	if err := advisor.TrainOnline(oc, nil); err != nil {
 		log.Fatal(err)
 	}

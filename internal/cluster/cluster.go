@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"partadvisor/internal/relation"
 )
@@ -214,6 +215,54 @@ func (c *Cluster) Append(name string, rows *relation.Relation) {
 			t.shards[i].Concat(add[i])
 		}
 	}
+}
+
+// RowsOn returns how many rows of the named table are stored on a node:
+// the shard size for partitioned tables, the full copy for replicated
+// ones, and 0 for nodes outside the cluster.
+func (c *Cluster) RowsOn(name string, node int) int {
+	t := c.mustTable(name)
+	if node < 0 || node >= c.n {
+		return 0
+	}
+	if t.design.Replicated {
+		return t.replica.Rows()
+	}
+	return t.shards[node].Rows()
+}
+
+// TablesWithDataOn returns the sorted names of tables with at least one
+// row stored on the node — the data at risk when that node goes down.
+func (c *Cluster) TablesWithDataOn(node int) []string {
+	var out []string
+	for name := range c.tables {
+		if c.RowsOn(name, node) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Available reports whether the named table remains fully readable when
+// the given nodes are down: a replicated table needs any one live node,
+// while a partitioned table needs every node holding a non-empty shard.
+func (c *Cluster) Available(name string, down func(node int) bool) bool {
+	t := c.mustTable(name)
+	if t.design.Replicated {
+		for node := 0; node < c.n; node++ {
+			if !down(node) {
+				return true
+			}
+		}
+		return false
+	}
+	for node, s := range t.shards {
+		if s.Rows() > 0 && down(node) {
+			return false
+		}
+	}
+	return true
 }
 
 // ShardRows returns the per-node row counts of a table (full count repeated

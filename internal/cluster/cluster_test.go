@@ -198,3 +198,59 @@ func TestSkewedKeyCreatesImbalancedShards(t *testing.T) {
 		t.Fatalf("expected empty shard under 3-value key: %v", rows)
 	}
 }
+
+func TestAvailabilityHelpers(t *testing.T) {
+	c := loadCluster(t)
+	r := relation.New("region", []string{"r_id"})
+	for i := int64(0); i < 5; i++ {
+		r.AppendRow(i)
+	}
+	c.Load("region", r, 8)
+	c.Deploy("orders", Design{Key: []string{"o_id"}})
+	c.Deploy("region", Design{Replicated: true})
+
+	if got := c.RowsOn("region", 2); got != 5 {
+		t.Fatalf("RowsOn(region, 2) = %d, want full replica of 5", got)
+	}
+	if got := c.RowsOn("orders", 0); got <= 0 {
+		t.Fatalf("RowsOn(orders, 0) = %d, want a non-empty shard", got)
+	}
+	if got := c.RowsOn("orders", 99); got != 0 {
+		t.Fatalf("RowsOn on out-of-range node = %d, want 0", got)
+	}
+
+	names := c.TablesWithDataOn(1)
+	if len(names) != 2 || names[0] != "orders" || names[1] != "region" {
+		t.Fatalf("TablesWithDataOn(1) = %v", names)
+	}
+
+	node1Down := func(n int) bool { return n == 1 }
+	if c.Available("orders", node1Down) {
+		t.Error("partitioned orders should be unavailable with node 1 down")
+	}
+	if !c.Available("region", node1Down) {
+		t.Error("replicated region should fail over to surviving nodes")
+	}
+	if c.Available("region", func(int) bool { return true }) {
+		t.Error("replicated region cannot survive losing every node")
+	}
+
+	// A partitioned table stays available when only nodes holding empty
+	// shards are down.
+	sk := relation.New("skewed", []string{"d"})
+	for i := 0; i < 100; i++ {
+		sk.AppendRow(int64(0)) // single value: all rows hash to one shard
+	}
+	c.Load("skewed", sk, 8)
+	c.Deploy("skewed", Design{Key: []string{"d"}})
+	rows := c.ShardRows("skewed")
+	full := -1
+	for i, n := range rows {
+		if n > 0 {
+			full = i
+		}
+	}
+	if !c.Available("skewed", func(n int) bool { return n != full }) {
+		t.Error("losing only empty shards should not make the table unavailable")
+	}
+}

@@ -39,7 +39,22 @@ type Advisor struct {
 	// replay buffer is still filling.
 	TrainUpdates int
 
-	rng *rand.Rand
+	// Ckpt, when set, enables periodic crash-safe checkpoints during the
+	// offline phase (see checkpoint.go).
+	Ckpt *CheckpointConfig
+	// HaltAfter, when positive, makes training return ErrHalted once
+	// EpisodesTrained reaches it — a controlled crash point for testing
+	// kill-and-resume.
+	HaltAfter int
+
+	seed int64
+	src  *countingSource
+	rng  *rand.Rand
+	// phaseDone counts completed episodes per training phase; resumeSkip
+	// holds the per-phase episode counts a restored checkpoint already
+	// contains, which trainEpisodes skips instead of re-running.
+	phaseDone  map[string]int
+	resumeSkip map[string]int
 }
 
 // New builds an untrained advisor.
@@ -47,7 +62,11 @@ func New(sp *partition.Space, wl *workload.Workload, hp Hyperparams, seed int64)
 	if err := hp.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// The RNG source counts its draws so checkpoints can record the exact
+	// stream position (see checkpoint.go); the stream itself is bit-identical
+	// to rand.NewSource(seed).
+	src := newCountingSource(seed)
+	rng := rand.New(src)
 	stateDim := sp.StateLen() + wl.Size()
 	var q dqn.QFunc
 	switch hp.Head {
@@ -70,8 +89,21 @@ func New(sp *partition.Space, wl *workload.Workload, hp Hyperparams, seed int64)
 	if err != nil {
 		return nil, err
 	}
-	return &Advisor{Space: sp, WL: wl, HP: hp, Agent: agent, rng: rng}, nil
+	return &Advisor{
+		Space:      sp,
+		WL:         wl,
+		HP:         hp,
+		Agent:      agent,
+		seed:       seed,
+		src:        src,
+		rng:        rng,
+		phaseDone:  make(map[string]int),
+		resumeSkip: make(map[string]int),
+	}, nil
 }
+
+// Seed returns the seed the advisor was built with.
+func (a *Advisor) Seed() int64 { return a.seed }
 
 // UniformSampler draws each known query's frequency uniformly from (0, 1].
 func (a *Advisor) UniformSampler() FreqSampler {
@@ -85,20 +117,34 @@ func (a *Advisor) TrainOffline(cost env.CostFunc, sampler FreqSampler) error {
 	if a.InferCost == nil {
 		a.InferCost = cost
 	}
-	return a.trainEpisodes(cost, sampler, a.HP.Episodes)
+	return a.trainEpisodes(cost, sampler, a.HP.Episodes, PhaseOffline)
 }
 
 // trainEpisodes is the shared training loop of the offline, online and
-// incremental phases.
-func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes int) error {
+// incremental phases. After a Restore, the episodes the checkpoint already
+// contains are skipped (the restored RNG position and agent state make the
+// remaining episodes continue bit-identically); with Ckpt set, the offline
+// phase writes a periodic snapshot every Ckpt.Every episodes.
+func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes int, phase string) error {
 	if sampler == nil {
 		sampler = a.UniformSampler()
+	}
+	start := 0
+	if skip := a.resumeSkip[phase]; skip > 0 {
+		start = skip
+		if start > episodes {
+			start = episodes
+		}
+		a.resumeSkip[phase] -= start
+	}
+	if start >= episodes {
+		return nil
 	}
 	e, err := env.New(a.Space, a.WL, cost, a.HP.TmaxFor(len(a.Space.Tables)))
 	if err != nil {
 		return err
 	}
-	for ep := 0; ep < episodes; ep++ {
+	for ep := start; ep < episodes; ep++ {
 		freq := sampler(a.rng)
 		e.Reset(freq)
 		obs := e.EncodedCopy()
@@ -126,6 +172,20 @@ func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes
 		}
 		a.Agent.DecayEpsilon()
 		a.EpisodesTrained++
+		a.phaseDone[phase]++
+		// Checkpoint only the offline phase: the online phase executes real
+		// queries, and its measured-runtime cache lives in the cost function,
+		// outside the snapshot. Resuming mid-online would silently lose it,
+		// so resumed runs restart online training from the offline boundary.
+		if a.Ckpt != nil && phase == PhaseOffline && a.Ckpt.Every > 0 &&
+			a.phaseDone[phase]%a.Ckpt.Every == 0 {
+			if err := a.SaveCheckpoint(a.Ckpt.Path); err != nil {
+				return fmt.Errorf("core: checkpoint at episode %d: %w", a.EpisodesTrained, err)
+			}
+		}
+		if a.HaltAfter > 0 && a.EpisodesTrained >= a.HaltAfter {
+			return ErrHalted
+		}
 	}
 	return nil
 }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// Training phase names used for checkpoint bookkeeping. trainEpisodes tags
+// every episode with its phase so a resumed run knows how many episodes of
+// each phase are already done.
+const (
+	PhaseOffline     = "offline"
+	PhaseOnline      = "online"
+	PhaseIncremental = "incremental"
+)
+
+// ErrHalted is returned by training when the advisor's HaltAfter budget is
+// reached. It simulates a crash at a controlled point: no checkpoint is
+// written when halting, so a resumed run restarts from the last periodic
+// snapshot exactly as it would after a real kill.
+var ErrHalted = errors.New("core: training halted by HaltAfter")
+
+// CheckpointConfig enables periodic crash-safe training checkpoints.
+type CheckpointConfig struct {
+	// Path is the snapshot file; it is replaced atomically (temp file +
+	// rename), so a crash mid-write never corrupts the previous snapshot.
+	Path string
+	// Every is the checkpoint period in episodes (during the offline phase).
+	Every int
+	// Label identifies the run configuration (benchmark/engine/seed…); a
+	// snapshot only restores into an advisor with the same label.
+	Label string
+}
+
+// Checkpoint is the serialized training state. Together with the advisor's
+// deterministic construction (same schema, workload, hyperparameters and
+// seed) it is sufficient to continue training bit-identically: the agent
+// blob carries both networks, the Adam moments and the replay buffer, and
+// the RNG draw counts let Restore fast-forward a fresh source to the exact
+// stream position.
+type Checkpoint struct {
+	Version int
+	Seed    int64
+	Label   string
+
+	Agent []byte
+
+	EpisodesTrained int
+	StepsTrained    int
+	TrainUpdates    int
+	// PhaseDone maps phase name → completed episodes, so resumed training
+	// skips exactly the work that is already in the snapshot.
+	PhaseDone map[string]int
+
+	// RNGInt63 and RNGUint64 count the draws taken from the advisor's RNG
+	// source at snapshot time.
+	RNGInt63  uint64
+	RNGUint64 uint64
+}
+
+const checkpointVersion = 1
+
+// countingSource wraps the standard library source and counts draws. Go's
+// rand.NewSource state advances by exactly one step per Int63 or Uint64
+// call, so replaying the recorded counts against a freshly seeded source —
+// in any order — reproduces the stream position bit-identically.
+type countingSource struct {
+	src    rand.Source64
+	int63s uint64
+	u64s   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.int63s++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.u64s++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.int63s, c.u64s = 0, 0
+}
+
+// fastForwardTo advances the source until the draw counters reach the
+// given targets. It fails when the source is already past them — that
+// means the advisor did work the snapshot doesn't know about, and the
+// streams can no longer line up.
+func (c *countingSource) fastForwardTo(int63s, u64s uint64) error {
+	if c.int63s > int63s || c.u64s > u64s {
+		return fmt.Errorf("core: RNG already past snapshot position (%d/%d draws, snapshot at %d/%d) — restore into a freshly built advisor",
+			c.int63s, c.u64s, int63s, u64s)
+	}
+	for c.int63s < int63s {
+		c.Int63()
+	}
+	for c.u64s < u64s {
+		c.Uint64()
+	}
+	return nil
+}
+
+// Checkpoint captures the advisor's full training state.
+func (a *Advisor) Checkpoint() (*Checkpoint, error) {
+	blob, err := a.Agent.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[string]int, len(a.phaseDone))
+	for k, v := range a.phaseDone {
+		done[k] = v
+	}
+	ck := &Checkpoint{
+		Version:         checkpointVersion,
+		Seed:            a.seed,
+		Agent:           blob,
+		EpisodesTrained: a.EpisodesTrained,
+		StepsTrained:    a.StepsTrained,
+		TrainUpdates:    a.TrainUpdates,
+		PhaseDone:       done,
+		RNGInt63:        a.src.int63s,
+		RNGUint64:       a.src.u64s,
+	}
+	if a.Ckpt != nil {
+		ck.Label = a.Ckpt.Label
+	}
+	return ck, nil
+}
+
+// Restore loads a checkpoint into a freshly built advisor with the same
+// configuration and seed. After Restore, re-running the same training
+// phases continues bit-identically: trainEpisodes skips the episodes the
+// snapshot already contains.
+func (a *Advisor) Restore(ck *Checkpoint) error {
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, this build reads %d", ck.Version, checkpointVersion)
+	}
+	if ck.Seed != a.seed {
+		return fmt.Errorf("core: checkpoint was trained with seed %d, advisor built with %d", ck.Seed, a.seed)
+	}
+	if a.Ckpt != nil && a.Ckpt.Label != "" && ck.Label != "" && ck.Label != a.Ckpt.Label {
+		return fmt.Errorf("core: checkpoint label %q does not match run %q", ck.Label, a.Ckpt.Label)
+	}
+	if err := a.Agent.RestoreState(ck.Agent); err != nil {
+		return err
+	}
+	if err := a.src.fastForwardTo(ck.RNGInt63, ck.RNGUint64); err != nil {
+		return err
+	}
+	a.EpisodesTrained = ck.EpisodesTrained
+	a.StepsTrained = ck.StepsTrained
+	a.TrainUpdates = ck.TrainUpdates
+	a.phaseDone = make(map[string]int, len(ck.PhaseDone))
+	a.resumeSkip = make(map[string]int, len(ck.PhaseDone))
+	for k, v := range ck.PhaseDone {
+		a.phaseDone[k] = v
+		a.resumeSkip[k] = v
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the current training state to path atomically:
+// the snapshot is written to path+".tmp", synced, and renamed over path,
+// so a crash at any instant leaves either the old or the new snapshot
+// intact — never a torn file.
+func (a *Advisor) SaveCheckpoint(path string) error {
+	ck, err := a.Checkpoint()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// Resume loads the snapshot at path into the advisor.
+func (a *Advisor) Resume(path string) error {
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	return a.Restore(ck)
+}

@@ -272,7 +272,7 @@ func TestComputeScaleFactors(t *testing.T) {
 	sp := b.Space()
 	full := exec.New(b.Schema, b.Generate(1, 6), hardware.SystemXMemory(), exec.Memory)
 	sample := exec.New(b.Schema, b.Generate(0.1, 6), hardware.SystemXMemory(), exec.Memory)
-	s := ComputeScaleFactors(full, sample, b.Workload, sp.InitialState())
+	s, setup := ComputeScaleFactors(full, sample, b.Workload, sp.InitialState())
 	if len(s) != 2 {
 		t.Fatalf("scale factors = %v", s)
 	}
@@ -280,6 +280,21 @@ func TestComputeScaleFactors(t *testing.T) {
 		if v <= 1 {
 			t.Fatalf("S[%d] = %v, full dataset should be slower than the sample", i, v)
 		}
+	}
+	if setup <= 0 {
+		t.Fatalf("setup seconds = %v, calibration deploys and runs are not free", setup)
+	}
+	// Both engines must be left deployed on pOffline: the online phase
+	// continues from exactly that layout.
+	g := b.Workload.Queries[0].Graph
+	fullAfter, sampleAfter := full.Run(g), sample.Run(g)
+	full.Deploy(sp.InitialState(), nil)
+	sample.Deploy(sp.InitialState(), nil)
+	if got := full.Run(g); got != fullAfter {
+		t.Fatalf("full engine was not left on pOffline (runtime %v vs %v)", fullAfter, got)
+	}
+	if got := sample.Run(g); got != sampleAfter {
+		t.Fatalf("sample engine was not left on pOffline (runtime %v vs %v)", sampleAfter, got)
 	}
 }
 

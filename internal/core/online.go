@@ -7,6 +7,7 @@ import (
 
 	"partadvisor/internal/exec"
 	"partadvisor/internal/partition"
+	"partadvisor/internal/sqlparse"
 	"partadvisor/internal/workload"
 )
 
@@ -22,6 +23,10 @@ type OnlineStats struct {
 	CacheHits       int
 	// Aborts counts timeout-aborted executions.
 	Aborts int
+	// Retries counts re-executions after an injected failure; FailedQueries
+	// counts measurements abandoned after the retry budget was exhausted.
+	Retries       int
+	FailedQueries int
 
 	// ExecSeconds is the simulated time actually spent executing queries;
 	// NaiveExecSeconds is what executing every query at every visited state
@@ -36,6 +41,15 @@ type OnlineStats struct {
 	// TimeoutSavedSeconds is the execution time cut (or, with timeouts
 	// disabled, that would have been cut) by the §4.2 timeout rule.
 	TimeoutSavedSeconds float64
+	// DegradedSeconds is the portion of ExecSeconds that overlapped an
+	// injected fault window; runtimes measured then are noisy and are kept
+	// out of the runtime cache.
+	DegradedSeconds float64
+	// SetupSeconds is the one-off cost of the §4.2 scale-factor computation
+	// (deploys plus calibration runs on both engines), previously discarded;
+	// callers book it here so Table-2-style accounting charges the bootstrap
+	// honestly.
+	SetupSeconds float64
 }
 
 // TotalSeconds returns the actual online-phase simulated time.
@@ -64,6 +78,17 @@ type OnlineCost struct {
 	LazyRepartition bool
 	UseTimeouts     bool
 
+	// Fault-tolerance knobs. An execution that fails (injected crash or
+	// transient error) is retried up to MaxRetries times with capped
+	// exponential backoff — the backoff advances the engine's simulated
+	// clock, so a crashed node can recover while we wait. When the budget
+	// is exhausted the measurement is charged FailurePenaltySec (or twice
+	// the best-known workload cost when one exists) and never cached.
+	MaxRetries         int
+	RetryBackoffSec    float64
+	RetryBackoffCapSec float64
+	FailurePenaltySec  float64
+
 	Stats OnlineStats
 
 	cache       []map[string]float64
@@ -71,22 +96,31 @@ type OnlineCost struct {
 	curFreqKey  string
 	bestForFreq float64
 	visited     map[string]*partition.State
+	// failedQ remembers (query, table-design) pairs whose measurement
+	// exhausted the retry budget: CachedCost refuses to rank designs that
+	// were observed to lose a query under the current fault regime.
+	failedQ map[string]bool
 }
 
 // NewOnlineCost builds the measured cost function with all optimizations
 // enabled.
 func NewOnlineCost(engine *exec.Engine, wl *workload.Workload, scale []float64) *OnlineCost {
 	oc := &OnlineCost{
-		Engine:          engine,
-		WL:              wl,
-		Scale:           scale,
-		UseCache:        true,
-		LazyRepartition: true,
-		UseTimeouts:     true,
-		bestForFreq:     math.Inf(1),
+		Engine:             engine,
+		WL:                 wl,
+		Scale:              scale,
+		UseCache:           true,
+		LazyRepartition:    true,
+		UseTimeouts:        true,
+		MaxRetries:         4,
+		RetryBackoffSec:    0.05,
+		RetryBackoffCapSec: 1.0,
+		FailurePenaltySec:  10,
+		bestForFreq:        math.Inf(1),
 	}
 	oc.cache = make([]map[string]float64, len(wl.Queries)+wl.Reserved)
 	oc.visited = make(map[string]*partition.State)
+	oc.failedQ = make(map[string]bool)
 	return oc
 }
 
@@ -162,10 +196,23 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 			if oc.UseTimeouts && !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
 				limit = oc.bestForFreq / weight
 			}
-			rt, aborted := oc.Engine.RunWithLimit(q.Graph, limit)
-			oc.Stats.QueriesExecuted++
-			oc.Stats.ExecSeconds += rt
-			oc.Stats.NaiveExecSeconds += rt
+			sig := st.TableSignature(q.Tables())
+			rt, aborted, degraded, err := oc.measure(q.Graph, limit)
+			if err != nil {
+				// Retry budget exhausted: the design loses this query under
+				// the current fault regime. Charge a penalty so the agent
+				// steers away from it, remember the failure for CachedCost,
+				// and never cache the (meaningless) partial runtime.
+				oc.Stats.FailedQueries++
+				oc.failedQ[failKey(i, sig)] = true
+				if !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
+					rt = 2 * oc.bestForFreq / weight
+				} else {
+					rt = oc.FailurePenaltySec
+				}
+				total += weight * rt
+				continue
+			}
 			if aborted {
 				oc.Stats.Aborts++
 			} else if !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
@@ -174,7 +221,12 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 					oc.Stats.TimeoutSavedSeconds += rt - l
 				}
 			}
-			oc.cache[i][st.TableSignature(q.Tables())] = rt
+			// A runtime measured while faults were active is noise (straggler
+			// or degraded-network inflated); caching it would poison every
+			// later cost of this design, so only clean measurements persist.
+			if !degraded {
+				oc.cache[i][sig] = rt
+			}
 			total += weight * rt
 		}
 	}
@@ -182,6 +234,71 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		oc.bestForFreq = total
 	}
 	return total
+}
+
+// measure executes one query under the §4.2 time limit, retrying injected
+// failures with capped exponential backoff. Every attempt's consumed time
+// (including the partial time of failed attempts and the backoff waits) is
+// booked — fault recovery is real training time. The backoff advances the
+// engine's simulated clock so crash windows can end while we wait. With no
+// fault injector armed this reduces to exactly one execution with the
+// pre-fault accounting.
+func (oc *OnlineCost) measure(g *sqlparse.Graph, limit float64) (rt float64, aborted, degraded bool, err error) {
+	backoff := oc.RetryBackoffSec
+	for attempt := 0; ; attempt++ {
+		rep, execErr := oc.Engine.Execute(g, limit)
+		oc.Stats.QueriesExecuted++
+		oc.Stats.ExecSeconds += rep.Seconds
+		oc.Stats.NaiveExecSeconds += rep.Seconds
+		oc.Stats.DegradedSeconds += rep.DegradedSeconds
+		if execErr == nil {
+			return rep.Seconds, rep.Aborted, rep.DegradedSeconds > 0, nil
+		}
+		if attempt >= oc.MaxRetries {
+			return rep.Seconds, false, true, execErr
+		}
+		oc.Stats.Retries++
+		wait := backoff
+		if wait > oc.RetryBackoffCapSec {
+			wait = oc.RetryBackoffCapSec
+		}
+		oc.Engine.AdvanceClock(wait)
+		oc.Stats.ExecSeconds += wait
+		oc.Stats.NaiveExecSeconds += wait
+		backoff *= 2
+	}
+}
+
+// failKey identifies a (query, table-design) measurement.
+func failKey(query int, tableSig string) string {
+	return fmt.Sprintf("%d|%s", query, tableSig)
+}
+
+// MarkFailed records that a query was observed to fail under a design
+// outside WorkloadCost's own measurements — e.g. a live validation run of a
+// suggested partitioning. Marked designs are excluded from cache-based
+// ranking exactly like measurement failures.
+func (oc *OnlineCost) MarkFailed(query int, st *partition.State) {
+	if query < 0 || query >= len(oc.WL.Queries) {
+		return
+	}
+	sig := st.TableSignature(oc.WL.Queries[query].Tables())
+	oc.failedQ[failKey(query, sig)] = true
+	oc.Stats.FailedQueries++
+}
+
+// KnownFailed reports whether any query active in the mix was observed to
+// fail under this design.
+func (oc *OnlineCost) KnownFailed(st *partition.State, freq workload.FreqVector) bool {
+	for i, q := range oc.WL.Queries {
+		if i >= len(freq) || freq[i] == 0 {
+			continue
+		}
+		if oc.failedQ[failKey(i, st.TableSignature(q.Tables()))] {
+			return true
+		}
+	}
+	return false
 }
 
 // accountNaiveRepartition books what deploying every changed table at every
@@ -205,29 +322,43 @@ func (oc *OnlineCost) accountNaiveRepartition(st *partition.State) {
 	oc.naivePrev = st
 }
 
-// freqKey canonicalizes a frequency vector for best-cost bookkeeping.
+// freqKey canonicalizes a frequency vector for best-cost bookkeeping on its
+// exact bit pattern (the %.4g formatting used previously collided for
+// frequencies agreeing in the first four significant digits, silently
+// sharing one bestForFreq — and thus one timeout budget — across distinct
+// mixes).
 func freqKey(freq workload.FreqVector) string {
-	return fmt.Sprintf("%.4g", []float64(freq))
+	buf := make([]byte, 0, len(freq)*8)
+	for _, f := range freq {
+		bits := math.Float64bits(f)
+		buf = append(buf,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	return string(buf)
 }
 
 // ComputeScaleFactors measures the §4.2 per-query factors
 // S_i = c_full(P_offline, q_i) / c_sample(P_offline, q_i): both engines are
 // deployed to the offline-phase partitioning and every query is executed
-// once on each.
-func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffline *partition.State) []float64 {
-	full.Deploy(pOffline, nil)
-	sample.Deploy(pOffline, nil)
-	out := make([]float64, len(wl.Queries))
+// once on each. setupSeconds is the simulated time this calibration costs
+// (deploys plus the measurement runs) — callers book it into
+// OnlineStats.SetupSeconds so bootstrap accounting doesn't get it for free.
+func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffline *partition.State) (scale []float64, setupSeconds float64) {
+	setupSeconds = full.Deploy(pOffline, nil)
+	setupSeconds += sample.Deploy(pOffline, nil)
+	scale = make([]float64, len(wl.Queries))
 	for i, q := range wl.Queries {
 		cf := full.Run(q.Graph)
 		cs := sample.Run(q.Graph)
+		setupSeconds += cf + cs
 		if cs <= 0 {
-			out[i] = 1
+			scale[i] = 1
 			continue
 		}
-		out[i] = cf / cs
+		scale[i] = cf / cs
 	}
-	return out
+	return scale, setupSeconds
 }
 
 // TrainOnline refines a (typically offline-bootstrapped) advisor against
@@ -235,7 +366,7 @@ func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffl
 // hp.OnlineEpsilonFromEpisode rather than from full exploration.
 func (a *Advisor) TrainOnline(oc *OnlineCost, sampler FreqSampler) error {
 	a.Agent.Epsilon = a.HP.DQN.EpsilonAfter(a.HP.OnlineEpsilonFromEpisode)
-	return a.trainEpisodes(oc.WorkloadCost, sampler, a.HP.OnlineEpisodes)
+	return a.trainEpisodes(oc.WorkloadCost, sampler, a.HP.OnlineEpisodes, PhaseOnline)
 }
 
 // SuggestBest runs the §6 inference rollout and then re-ranks its result
@@ -250,6 +381,12 @@ func (a *Advisor) SuggestBest(freq workload.FreqVector, oc *OnlineCost) (*partit
 		return nil, 0, err
 	}
 	bestCost := oc.WorkloadCost(best, freq)
+	// A rollout result already observed to lose queries must not anchor the
+	// ranking with its (stale or penalty-free) measured cost: any surviving
+	// cached design beats it.
+	if oc.KnownFailed(best, freq) {
+		bestCost = math.Inf(1)
+	}
 	// Scan visited designs in sorted-signature order so ties resolve
 	// deterministically across runs.
 	sigs := make([]string, 0, len(oc.Visited()))
@@ -279,7 +416,13 @@ func (oc *OnlineCost) CachedCost(st *partition.State, freq workload.FreqVector) 
 		if oc.cache[i] == nil {
 			return 0, false
 		}
-		rt, ok := oc.cache[i][st.TableSignature(q.Tables())]
+		sig := st.TableSignature(q.Tables())
+		// Designs observed to lose a query under the fault regime must not
+		// be ranked from stale cache entries measured before the failure.
+		if oc.failedQ[failKey(i, sig)] {
+			return 0, false
+		}
+		rt, ok := oc.cache[i][sig]
 		if !ok {
 			return 0, false
 		}

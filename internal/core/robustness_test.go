@@ -1,0 +1,334 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/costmodel"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/faults"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// TestFreqKeyBitExact is the regression test for the %.4g collision: two
+// mixes agreeing in the first four significant digits used to share one
+// bestForFreq — and thus one §4.2 timeout budget.
+func TestFreqKeyBitExact(t *testing.T) {
+	a := workload.FreqVector{0.123456, 0.5}
+	b := workload.FreqVector{0.123457, 0.5} // %.4g renders both as 0.1235
+	if freqKey(a) == freqKey(b) {
+		t.Fatal("distinct mixes share a frequency key")
+	}
+	c := workload.FreqVector{0.123456, 0.5}
+	if freqKey(a) != freqKey(c) {
+		t.Fatal("identical mixes produce different keys")
+	}
+	if freqKey(workload.FreqVector{1, 2}) == freqKey(workload.FreqVector{1}) {
+		t.Fatal("different-length mixes share a key")
+	}
+}
+
+// trainedOnlinePipeline runs the full offline+online pipeline on the micro
+// benchmark and returns the advisor, cost function and final suggestion.
+// inject, when non-nil, arms the online engine with a fault schedule.
+func trainedOnlinePipeline(t *testing.T, seed int64, hp Hyperparams, adv *Advisor, inject *faults.Config) (*Advisor, *OnlineCost, *partition.State, float64) {
+	t.Helper()
+	b := benchmarks.Micro()
+	sp := b.Space()
+	data := b.Generate(1, 1)
+	cat := exec.BuildCatalog(b.Schema, data)
+	cm := costmodel.New(cat, hardware.SystemXMemory())
+	var err error
+	if adv == nil {
+		adv, err = New(sp, b.Workload, hp, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := offlineCost(cm, b.Workload)
+	if err := adv.TrainOffline(cost, nil); err != nil {
+		t.Fatal(err)
+	}
+	e := exec.New(b.Schema, b.Generate(0.3, 5), hardware.SystemXMemory(), exec.Memory)
+	if inject != nil {
+		e.SetFaults(faults.MustNew(*inject))
+	}
+	oc := NewOnlineCost(e, b.Workload, nil)
+	if err := adv.TrainOnline(oc, nil); err != nil {
+		t.Fatal(err)
+	}
+	adv.InferCost = oc.WorkloadCost
+	st, reward, err := adv.SuggestBest(b.Workload.UniformFreq(), oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv, oc, st, reward
+}
+
+// TestCheckpointRoundTrip is the kill-and-resume guarantee: a run halted
+// mid-offline and resumed from its last periodic snapshot must reach
+// exactly the same final suggestion — and the same online accounting —
+// as the uninterrupted same-seed run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	hp := Test()
+	hp.Episodes = 12
+	hp.OnlineEpisodes = 6
+
+	// Run A: uninterrupted.
+	_, ocA, stA, rewardA := trainedOnlinePipeline(t, 42, hp, nil, nil)
+
+	// Run B: checkpoint every 3 episodes, killed after 7 (so the freshest
+	// snapshot is episode 6 — resume genuinely replays episode 7).
+	b := benchmarks.Micro()
+	sp := b.Space()
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	halted, err := New(sp, b.Workload, hp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halted.Ckpt = &CheckpointConfig{Path: path, Every: 3, Label: "micro/test/42"}
+	halted.HaltAfter = 7
+	cat := exec.BuildCatalog(b.Schema, b.Generate(1, 1))
+	cm := costmodel.New(cat, hardware.SystemXMemory())
+	if err := halted.TrainOffline(offlineCost(cm, b.Workload), nil); !errors.Is(err, ErrHalted) {
+		t.Fatalf("TrainOffline = %v, want ErrHalted", err)
+	}
+	if halted.EpisodesTrained != 7 {
+		t.Fatalf("halted after %d episodes, want 7", halted.EpisodesTrained)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp checkpoint file left behind")
+	}
+
+	// Run C: fresh advisor, resumed from the snapshot, completes the
+	// pipeline.
+	resumed, err := New(sp, b.Workload, hp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Ckpt = &CheckpointConfig{Path: path, Every: 3, Label: "micro/test/42"}
+	if err := resumed.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.EpisodesTrained != 6 {
+		t.Fatalf("snapshot holds %d episodes, want 6", resumed.EpisodesTrained)
+	}
+	_, ocC, stC, rewardC := trainedOnlinePipeline(t, 42, hp, resumed, nil)
+
+	if stA.Signature() != stC.Signature() {
+		t.Fatalf("resumed run suggests %s, uninterrupted run %s", stC, stA)
+	}
+	if rewardA != rewardC {
+		t.Fatalf("resumed reward %v, uninterrupted %v", rewardC, rewardA)
+	}
+	if ocA.Stats != ocC.Stats {
+		t.Fatalf("online stats diverge after resume:\n%+v\n%+v", ocC.Stats, ocA.Stats)
+	}
+}
+
+// TestCheckpointValidation covers the restore guard rails.
+func TestCheckpointValidation(t *testing.T) {
+	b := benchmarks.Micro()
+	sp := b.Space()
+	hp := Test()
+	hp.Episodes = 4
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+
+	a, err := New(sp, b.Workload, hp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := exec.BuildCatalog(b.Schema, b.Generate(1, 1))
+	cm := costmodel.New(cat, hardware.SystemXMemory())
+	if err := a.TrainOffline(offlineCost(cm, b.Workload), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong seed: the RNG streams can never line up.
+	wrongSeed, _ := New(sp, b.Workload, hp, 6)
+	if err := wrongSeed.Resume(path); err == nil {
+		t.Fatal("checkpoint restored into advisor with a different seed")
+	}
+	// An advisor that already trained is past the snapshot's RNG position.
+	trained, _ := New(sp, b.Workload, hp, 5)
+	if err := trained.TrainOffline(offlineCost(cm, b.Workload), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := trained.SaveCheckpoint(filepath.Join(t.TempDir(), "later.bin")); err != nil {
+		t.Fatal(err)
+	}
+	extra, _ := New(sp, b.Workload, hp, 5)
+	hpLong := hp
+	hpLong.Episodes = 6
+	extra.HP = hpLong
+	if err := extra.TrainOffline(offlineCost(cm, b.Workload), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := extra.Resume(path); err == nil {
+		t.Fatal("checkpoint restored into advisor already past its RNG position")
+	}
+	// Corrupt file.
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(sp, b.Workload, hp, 5)
+	if err := fresh.Resume(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestFaultedOnlineDeterminism: the same seed and the same fault schedule
+// must reproduce the identical online run — every stat, including the new
+// fault counters, and the identical suggestion.
+func TestFaultedOnlineDeterminism(t *testing.T) {
+	hp := Test()
+	hp.Episodes = 10
+	hp.OnlineEpisodes = 6
+	inject := &faults.Config{
+		Seed:                 3,
+		TransientFailureRate: 0.05,
+		Stragglers: []faults.Straggler{
+			{Node: 1, Factor: 3, Window: faults.Window{Start: 0, End: 1e9}},
+		},
+	}
+	_, oc1, st1, reward1 := trainedOnlinePipeline(t, 17, hp, nil, inject)
+	_, oc2, st2, reward2 := trainedOnlinePipeline(t, 17, hp, nil, inject)
+	if oc1.Stats != oc2.Stats {
+		t.Fatalf("same-seed faulted stats diverge:\n%+v\n%+v", oc1.Stats, oc2.Stats)
+	}
+	if st1.Signature() != st2.Signature() || reward1 != reward2 {
+		t.Fatalf("same-seed faulted suggestions diverge: %s (%v) vs %s (%v)", st1, reward1, st2, reward2)
+	}
+	if oc1.Stats.Retries == 0 {
+		t.Fatal("5% transient rate produced no retries")
+	}
+	if oc1.Stats.DegradedSeconds == 0 {
+		t.Fatal("always-on straggler produced no degraded seconds")
+	}
+}
+
+// TestRetryRecoversFromCrashWindow: a measurement that fails because a node
+// is down must succeed on retry once the backoff waits out the crash
+// window — Retries counts the attempts, FailedQueries stays zero.
+func TestRetryRecoversFromCrashWindow(t *testing.T) {
+	b, sp, e := onlineFixture(t)
+	s0 := sp.InitialState()
+	e.Deploy(s0, nil) // settle the layout before arming the fault
+	now := e.SimNow()
+	in, err := faults.New(faults.Config{
+		Crashes: []faults.NodeCrash{{Node: 0, Window: faults.Window{Start: now, End: now + 0.3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetFaults(in)
+	oc := NewOnlineCost(e, b.Workload, nil)
+	oc.RetryBackoffSec = 0.2 // backoffs 0.2+0.4 exceed the 0.3s window
+	cost := oc.WorkloadCost(s0, b.Workload.UniformFreq())
+	if oc.Stats.Retries == 0 {
+		t.Fatal("crashed node produced no retries")
+	}
+	if oc.Stats.FailedQueries != 0 {
+		t.Fatalf("%d measurements failed although the node recovers inside the retry budget", oc.Stats.FailedQueries)
+	}
+	if math.IsInf(cost, 1) || cost <= 0 {
+		t.Fatalf("workload cost after recovery = %v", cost)
+	}
+}
+
+// TestPermanentFailurePenalized: when a node never recovers, measurements
+// on designs that need its shards exhaust the retry budget, are charged the
+// failure penalty, and are never cached — CachedCost refuses to rank them.
+func TestPermanentFailurePenalized(t *testing.T) {
+	b, sp, e := onlineFixture(t)
+	s0 := sp.InitialState()
+	e.Deploy(s0, nil)
+	now := e.SimNow()
+	in, err := faults.New(faults.Config{
+		Crashes: []faults.NodeCrash{{Node: 0, Window: faults.Window{Start: now, End: 1e18}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetFaults(in)
+	oc := NewOnlineCost(e, b.Workload, nil)
+	oc.MaxRetries = 1
+	oc.RetryBackoffSec = 0.01
+	freq := b.Workload.UniformFreq()
+	cost := oc.WorkloadCost(s0, freq)
+	if oc.Stats.FailedQueries == 0 {
+		t.Fatal("permanently lost shard produced no failed measurements")
+	}
+	if cost <= 0 {
+		t.Fatalf("failed workload cost = %v, the penalty must keep it positive", cost)
+	}
+	if _, ok := oc.CachedCost(s0, freq); ok {
+		t.Fatal("CachedCost ranks a design observed to lose queries")
+	}
+}
+
+// TestTimeoutAccounting exercises the §4.2 timeout path end to end: after
+// a fast design sets the best-known cost, a slow design's queries abort at
+// the limit (Aborts), and with timeouts disabled the saving is booked
+// counterfactually (TimeoutSavedSeconds).
+func TestTimeoutAccounting(t *testing.T) {
+	b, sp, e := onlineFixture(t)
+	s0 := sp.InitialState()
+	// Find the co-partitioning of "a" (the fast design for the join query).
+	var fast *partition.State
+	for _, vi := range sp.ValidActions(s0, nil) {
+		st := sp.Apply(s0, sp.Actions()[vi])
+		if k, ok := st.KeyOf("a"); ok && k.String() == "a_c" {
+			fast = st
+			break
+		}
+	}
+	if fast == nil {
+		t.Fatal("no action co-partitions a by a_c")
+	}
+	// Single-query mix on the query whose runtime separates the designs the
+	// most, so its weighted cost alone exceeds the best workload cost.
+	bestQ, bestGap := -1, 1.0
+	for i, q := range b.Workload.Queries {
+		e.Deploy(fast, nil)
+		rf := e.Run(q.Graph)
+		e.Deploy(s0, nil)
+		r0 := e.Run(q.Graph)
+		if rf > 0 && r0/rf > bestGap {
+			bestQ, bestGap = i, r0/rf
+		}
+	}
+	if bestQ < 0 {
+		t.Fatal("no query is slower on the initial state than on the co-partitioned one")
+	}
+	freq := make(workload.FreqVector, len(b.Workload.Queries))
+	freq[bestQ] = 1
+
+	oc := NewOnlineCost(e, b.Workload, nil)
+	oc.WorkloadCost(fast, freq) // sets bestForFreq
+	oc.WorkloadCost(s0, freq)   // slower: must abort at the limit
+	if oc.Stats.Aborts == 0 {
+		t.Fatalf("slow design (%.1fx) did not abort", bestGap)
+	}
+
+	e2 := exec.New(b.Schema, b.Generate(0.3, 5), hardware.SystemXMemory(), exec.Memory)
+	oc2 := NewOnlineCost(e2, b.Workload, nil)
+	oc2.UseTimeouts = false
+	oc2.WorkloadCost(fast, freq)
+	oc2.WorkloadCost(s0, freq)
+	if oc2.Stats.Aborts != 0 {
+		t.Fatal("aborts booked with timeouts disabled")
+	}
+	if oc2.Stats.TimeoutSavedSeconds <= 0 {
+		t.Fatal("no counterfactual timeout saving booked with timeouts disabled")
+	}
+}

@@ -1,0 +1,204 @@
+package dqn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"partadvisor/internal/nn"
+)
+
+// This file implements full-state serialization for crash-safe training
+// checkpoints. QFunc.Save/Load only cover the online network (the target
+// is reset to a clone on Load), which is fine for shipping a trained
+// model but loses information mid-training: resuming a killed run
+// bit-identically also needs the target network, the Adam moments and
+// step count, the replay buffer, and ε.
+
+// FullStater is implemented by Q-heads that can serialize their complete
+// training state (online + target networks + optimizer).
+type FullStater interface {
+	SaveFull() ([]byte, error)
+	LoadFull(data []byte) error
+}
+
+// qFullGob is the gob shadow of one head's full training state.
+type qFullGob struct {
+	Online, Target []byte
+	Opt            nn.AdamState
+}
+
+// saveFull snapshots both networks and the Adam state.
+func saveFull(online, target *nn.Network, opt nn.Optimizer) ([]byte, error) {
+	adam, ok := opt.(*nn.Adam)
+	if !ok {
+		return nil, fmt.Errorf("dqn: full snapshots require the Adam optimizer (have %T)", opt)
+	}
+	ob, err := online.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	tb, err := target.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(qFullGob{Online: ob, Target: tb, Opt: adam.State()}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// loadFull decodes both networks and restores the Adam state into opt.
+func loadFull(data []byte, opt nn.Optimizer) (online, target *nn.Network, err error) {
+	adam, ok := opt.(*nn.Adam)
+	if !ok {
+		return nil, nil, fmt.Errorf("dqn: full snapshots require the Adam optimizer (have %T)", opt)
+	}
+	var g qFullGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return nil, nil, err
+	}
+	online, target = &nn.Network{}, &nn.Network{}
+	if err := online.UnmarshalBinary(g.Online); err != nil {
+		return nil, nil, err
+	}
+	if err := target.UnmarshalBinary(g.Target); err != nil {
+		return nil, nil, err
+	}
+	if online.InDim() != target.InDim() || online.OutDim() != target.OutDim() {
+		return nil, nil, fmt.Errorf("dqn: snapshot online %dx%d and target %dx%d networks disagree",
+			online.InDim(), online.OutDim(), target.InDim(), target.OutDim())
+	}
+	if err := adam.SetState(g.Opt); err != nil {
+		return nil, nil, err
+	}
+	return online, target, nil
+}
+
+// SaveFull implements FullStater.
+func (q *MultiHeadQ) SaveFull() ([]byte, error) { return saveFull(q.online, q.target, q.opt) }
+
+// LoadFull implements FullStater with the same shape validation as Load.
+func (q *MultiHeadQ) LoadFull(data []byte) error {
+	online, target, err := loadFull(data, q.opt)
+	if err != nil {
+		return err
+	}
+	if online.InDim() != q.online.InDim() || online.OutDim() != q.n {
+		return fmt.Errorf("dqn: snapshot shape %dx%d does not match multi-head Q %dx%d (state dim × action count) — was it saved for a different schema or action space?",
+			online.InDim(), online.OutDim(), q.online.InDim(), q.n)
+	}
+	q.online, q.target = online, target
+	return nil
+}
+
+// SaveFull implements FullStater.
+func (q *ScalarQ) SaveFull() ([]byte, error) { return saveFull(q.online, q.target, q.opt) }
+
+// LoadFull implements FullStater with the same shape validation as Load.
+func (q *ScalarQ) LoadFull(data []byte) error {
+	online, target, err := loadFull(data, q.opt)
+	if err != nil {
+		return err
+	}
+	if online.InDim() != q.online.InDim() || online.OutDim() != 1 {
+		return fmt.Errorf("dqn: snapshot shape %dx%d does not match scalar Q %dx1 (state dim + %d action features) — was it saved for a different schema or action space?",
+			online.InDim(), online.OutDim(), q.online.InDim(), len(q.feats[0]))
+	}
+	q.online, q.target = online, target
+	return nil
+}
+
+// bufferGob is the gob shadow of Buffer. Only the filled prefix is
+// encoded: when size < cap the tail slots are untouched zero values, and
+// when the ring has wrapped size == cap.
+type bufferGob struct {
+	Cap, Next, Size int
+	Data            []Transition
+}
+
+// MarshalBinary serializes the replay buffer with its exact slot layout,
+// so a restored buffer replays identically under the same RNG stream.
+func (b *Buffer) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	g := bufferGob{Cap: len(b.data), Next: b.next, Size: b.size, Data: b.data[:b.size]}
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot taken by MarshalBinary.
+func (b *Buffer) UnmarshalBinary(data []byte) error {
+	var g bufferGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	if g.Cap <= 0 || g.Size < 0 || g.Size > g.Cap || g.Next < 0 || g.Next >= g.Cap || len(g.Data) != g.Size {
+		return fmt.Errorf("dqn: corrupt buffer snapshot (cap %d, size %d, next %d, %d entries)",
+			g.Cap, g.Size, g.Next, len(g.Data))
+	}
+	b.data = make([]Transition, g.Cap)
+	copy(b.data, g.Data)
+	b.next = g.Next
+	b.size = g.Size
+	return nil
+}
+
+// agentGob is the gob shadow of an agent's full training state.
+type agentGob struct {
+	Q       []byte
+	Buffer  []byte
+	Epsilon float64
+}
+
+// SaveState serializes the agent's complete training state: full Q state
+// (online + target + optimizer), replay buffer and ε. The head must
+// implement FullStater (both built-in heads do).
+func (a *Agent) SaveState() ([]byte, error) {
+	fs, ok := a.Q.(FullStater)
+	if !ok {
+		return nil, fmt.Errorf("dqn: Q head %T cannot snapshot its full state", a.Q)
+	}
+	qb, err := fs.SaveFull()
+	if err != nil {
+		return nil, err
+	}
+	bb, err := a.Buffer.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(agentGob{Q: qb, Buffer: bb, Epsilon: a.Epsilon}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState restores a snapshot taken by SaveState into an agent built
+// with the same configuration.
+func (a *Agent) RestoreState(data []byte) error {
+	fs, ok := a.Q.(FullStater)
+	if !ok {
+		return fmt.Errorf("dqn: Q head %T cannot restore a full state", a.Q)
+	}
+	var g agentGob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	if err := fs.LoadFull(g.Q); err != nil {
+		return err
+	}
+	restored := NewBuffer(a.cfg.BufferSize)
+	if err := restored.UnmarshalBinary(g.Buffer); err != nil {
+		return err
+	}
+	if restored.Cap() != a.cfg.BufferSize {
+		return fmt.Errorf("dqn: snapshot buffer capacity %d does not match configured %d",
+			restored.Cap(), a.cfg.BufferSize)
+	}
+	a.Buffer = restored
+	a.Epsilon = g.Epsilon
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"partadvisor/internal/cluster"
 	"partadvisor/internal/costmodel"
+	"partadvisor/internal/faults"
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
 	"partadvisor/internal/relation"
@@ -55,6 +56,11 @@ type Engine struct {
 	trueCat *stats.Catalog
 	estCat  *stats.Catalog
 	estim   *costmodel.NoisyModel
+
+	// faults is the armed fault schedule (nil = perfect cluster) and
+	// simNow the simulated clock it is evaluated against; see faults.go.
+	faults *faults.Injector
+	simNow float64
 
 	// Counters for experiment accounting. They are updated under the
 	// engine mutex; concurrent readers must use Counters() for a coherent
@@ -113,6 +119,12 @@ func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 	if tables == nil {
 		tables = e.Schema.TableNames()
 	}
+	// Repartitioning moves data over the interconnect, so an active
+	// bandwidth degradation slows it down.
+	net := e.HW.NetBytesPerSec
+	if e.faults != nil {
+		net *= e.faults.NetFactor(e.simNow)
+	}
 	var seconds float64
 	for _, name := range tables {
 		want := designOf(st, name)
@@ -122,8 +134,9 @@ func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 		bytes := e.cluster.Deploy(name, want)
 		e.Repartitions++
 		e.BytesMoved += bytes
-		seconds += float64(bytes)/(float64(e.HW.Nodes)*e.HW.NetBytesPerSec) + e.HW.RepartitionOverheadSec
+		seconds += float64(bytes)/(float64(e.HW.Nodes)*net) + e.HW.RepartitionOverheadSec
 	}
+	e.simNow += seconds
 	return seconds
 }
 
@@ -148,25 +161,33 @@ func (e *Engine) Run(g *sqlparse.Graph) float64 {
 }
 
 // RunWithLimit executes a query, aborting once the accumulated simulated
-// time exceeds limit (0 = no limit). It returns the consumed time and
-// whether the query was aborted — the paper's §4.2 timeout optimization.
+// time reaches limit (0 = no limit). It returns the consumed time —
+// clamped to the limit on abort, since the query is killed at the
+// deadline — and whether it was aborted: the paper's §4.2 timeout
+// optimization. Injected failures are swallowed (the partial time is
+// returned); fault-aware callers use Execute or RunErr.
 func (e *Engine) RunWithLimit(g *sqlparse.Graph, limit float64) (seconds float64, aborted bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.QueriesExecuted++
-	x := newExecutor(e, g, limit)
-	return x.run()
+	rep, _ := e.Execute(g, limit)
+	return rep.Seconds, rep.Aborted
 }
 
 // Explain executes the query with plan tracing and returns the chosen
 // operators (scan placements, join order and distribution strategies) —
 // an EXPLAIN ANALYZE equivalent for the simulated engine.
+// Explain is a pure diagnostic: it neither counts as an executed query,
+// advances the simulated clock, nor draws from the transient-failure
+// stream, but it does see the fault state at the current clock (a
+// failing step appends an ERROR line to the plan).
 func (e *Engine) Explain(g *sqlparse.Graph) (plan []string, seconds float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	x := newExecutor(e, g, 0)
 	x.trace = &plan
+	x.fc = e.faultCtx()
 	seconds, _ = x.run()
+	if x.err != nil {
+		plan = append(plan, "ERROR: "+x.err.Error())
+	}
 	return plan, seconds
 }
 
@@ -196,13 +217,16 @@ func (e *Engine) Analyze() {
 
 // BulkLoad appends rows to a table following its current design, updating
 // true statistics but leaving optimizer statistics stale (paper Exp. 3a).
-func (e *Engine) BulkLoad(table string, rows *relation.Relation) {
+// Loading into an unknown table is a caller error, reported rather than
+// panicking so a bad CLI flag can't crash with a stack trace.
+func (e *Engine) BulkLoad(table string, rows *relation.Relation) error {
 	t := e.Schema.Table(table)
 	if t == nil {
-		panic(fmt.Sprintf("exec: bulk load into unknown table %q", table))
+		return fmt.Errorf("exec: bulk load into unknown table %q", table)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cluster.Append(table, rows)
 	e.trueCat.SetTable(table, BuildTableStats(e.cluster.Base(table), t))
+	return nil
 }

@@ -97,6 +97,7 @@ func bruteOrdersCustomer(data map[string]*relation.Relation, region int64, filte
 // executor directly.
 func resultRows(e *Engine, g *sqlparse.Graph) int {
 	x := newExecutor(e, g, 0)
+	x.fc = e.faultCtx()
 	x.run()
 	total := 0
 	for _, d := range x.items {

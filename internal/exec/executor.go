@@ -75,6 +75,11 @@ type executor struct {
 	time    float64
 	aborted bool
 
+	// fc is the fault state sampled at query start (nil = no faults) and
+	// err the first injected failure hit (lost shard, no live replica).
+	fc  *faultCtx
+	err error
+
 	aliasIdx map[string]int
 	colTable map[string]string // qualified col -> base table
 	colBase  map[string]string // qualified col -> base column
@@ -99,10 +104,45 @@ func newExecutor(e *Engine, g *sqlparse.Graph, limit float64) *executor {
 func (x *executor) charge(seconds float64) bool {
 	x.time += seconds
 	if x.limit > 0 && x.time >= x.limit {
+		// The query is killed at the deadline (§4.2): the consumed time
+		// never exceeds the limit.
+		x.time = x.limit
 		x.aborted = true
 		return false
 	}
 	return true
+}
+
+// slowdown is the node's straggler multiplier for this query (1 without
+// faults).
+func (x *executor) slowdown(node int) float64 {
+	if x.fc == nil {
+		return 1
+	}
+	return x.fc.slow[node]
+}
+
+// maxLiveSlowdown is the straggler multiplier gating work every live node
+// performs in parallel (the slowest survivor finishes last).
+func (x *executor) maxLiveSlowdown() float64 {
+	if x.fc == nil {
+		return 1
+	}
+	f := 1.0
+	for _, n := range x.fc.live {
+		if s := x.fc.slow[n]; s > f {
+			f = s
+		}
+	}
+	return f
+}
+
+// fail records the first injected failure.
+func (x *executor) fail(err error) {
+	if x.err == nil {
+		x.err = err
+	}
+	x.tracef("fault: %v", err)
 }
 
 // tracef records one plan step when tracing is enabled.
@@ -117,6 +157,10 @@ func (x *executor) run() (float64, bool) {
 	x.time = x.e.HW.QueryOverheadSec
 	for _, ref := range x.g.Refs {
 		d := x.scan(ref)
+		if x.err != nil {
+			// The scheduler aborts as soon as it discovers missing data.
+			return x.time, false
+		}
 		x.items = append(x.items, d)
 		if x.aborted {
 			return x.time, true
@@ -205,17 +249,35 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 	shards, replica, replicated := e.cluster.Shards(ref.Table)
 	d := &dist{mask: 1 << uint(x.aliasIdx[ref.Alias]), estRows: x.estScanRows(ref)}
 	if replicated {
+		// Every node scans its own full copy; with crashed nodes the
+		// survivors carry on (replica-aware failover), gated by the
+		// slowest surviving straggler.
+		if x.fc != nil && len(x.fc.live) == 0 {
+			x.fail(&UnavailableError{Table: ref.Table, Node: -1, Replicated: true})
+			return d
+		}
 		d.replica = apply(replica)
 		bytes := float64(replica.Rows()) * rowWidth
-		x.charge(bytes/e.HW.ScanBytesPerSec + float64(replica.Rows())/e.HW.CPUTuplesPerSec)
-		x.tracef("scan %s as %s [replicated, %d rows]", ref.Table, ref.Alias, replica.Rows())
+		x.charge((bytes/e.HW.ScanBytesPerSec + float64(replica.Rows())/e.HW.CPUTuplesPerSec) * x.maxLiveSlowdown())
+		if x.fc != nil && len(x.fc.live) < len(x.fc.down) {
+			x.tracef("scan %s as %s [replicated, %d rows, failover to %d/%d live nodes]",
+				ref.Table, ref.Alias, replica.Rows(), len(x.fc.live), len(x.fc.down))
+		} else {
+			x.tracef("scan %s as %s [replicated, %d rows]", ref.Table, ref.Alias, replica.Rows())
+		}
 		return d
 	}
 	d.shards = make([]*relation.Relation, len(shards))
 	maxSec := 0.0
 	for i, s := range shards {
+		if x.fc != nil && x.fc.down[i] && s.Rows() > 0 {
+			// A non-empty hash shard died with its node: the query cannot
+			// produce a correct answer.
+			x.fail(&UnavailableError{Table: ref.Table, Node: i})
+			return d
+		}
 		d.shards[i] = apply(s)
-		sec := float64(s.Rows())*rowWidth/e.HW.ScanBytesPerSec + float64(s.Rows())/e.HW.CPUTuplesPerSec
+		sec := (float64(s.Rows())*rowWidth/e.HW.ScanBytesPerSec + float64(s.Rows())/e.HW.CPUTuplesPerSec) * x.slowdown(i)
 		if sec > maxSec {
 			maxSec = sec
 		}
@@ -378,7 +440,7 @@ func (x *executor) join(a, b *dist) *dist {
 	case a.replicated() && b.replicated():
 		x.tracef("join %s [both-replicated, local]", predsString(preds))
 		joined, cpuRows := localHashJoin(a.replica, b.replica, preds, mode)
-		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec)
+		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec * x.maxLiveSlowdown())
 		out.replica = joined
 		return out
 	case a.replicated() && mode != modeInner:
@@ -390,7 +452,7 @@ func (x *executor) join(a, b *dist) *dist {
 		full, movedB, movedR := x.broadcast(b)
 		x.chargeNet(movedB, movedR)
 		joined, cpuRows := localHashJoin(a.replica, full, preds, mode)
-		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec)
+		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec * x.maxLiveSlowdown())
 		out.replica = joined
 		return out
 	case a.replicated() || b.replicated():
@@ -413,7 +475,7 @@ func (x *executor) join(a, b *dist) *dist {
 				joined, cpuRows = localHashJoin(shard, repl.replica, preds, mode)
 			}
 			out.shards[i] = joined
-			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec; sec > maxCPU {
+			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 				maxCPU = sec
 			}
 		}
@@ -475,7 +537,7 @@ func (x *executor) join(a, b *dist) *dist {
 		for i, shard := range a.shards {
 			joined, cpuRows := localHashJoin(shard, full, preds, mode)
 			out.shards[i] = joined
-			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec; sec > maxCPU {
+			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 				maxCPU = sec
 			}
 		}
@@ -489,21 +551,26 @@ func (x *executor) join(a, b *dist) *dist {
 		for i, shard := range b.shards {
 			joined, cpuRows := localHashJoin(full, shard, preds, mode)
 			out.shards[i] = joined
-			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec; sec > maxCPU {
+			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 				maxCPU = sec
 			}
 		}
 		x.charge(maxCPU)
 		out.partCols = augmentPartCols(b.partCols, preds)
 	case "shuffle-b-to-a":
+		// The moving side must match the stationary side's existing
+		// hash-mod-N placement, so crashed nodes stay in the mapping; the
+		// stationary side provably holds no data there (a non-empty shard
+		// on a crashed node fails the query at scan time), so rows routed
+		// toward a dead node's empty bucket match nothing.
 		keysB := pairedCols(a.partCols, preds)
-		bShards, movedB, movedR := x.shuffle(b.shards, keysB)
+		bShards, movedB, movedR := x.shuffle(b.shards, keysB, nil)
 		x.chargeNet(movedB, movedR)
 		x.localJoinShards(out, a.shards, bShards, preds, mode)
 		out.partCols = augmentPartCols(a.partCols, preds)
 	case "shuffle-a-to-b":
 		keysA := pairedColsB(b.partCols, preds)
-		aShards, movedB, movedR := x.shuffle(a.shards, keysA)
+		aShards, movedB, movedR := x.shuffle(a.shards, keysA, nil)
 		x.chargeNet(movedB, movedR)
 		x.localJoinShards(out, aShards, b.shards, preds, mode)
 		out.partCols = augmentPartCols(b.partCols, preds)
@@ -517,13 +584,29 @@ func (x *executor) join(a, b *dist) *dist {
 			keysA[i], keysB[i] = p.aCol, p.bCol
 			pc[i] = []string{p.aCol, p.bCol}
 		}
-		aShards, movedBytesA, movedRowsA := x.shuffle(a.shards, keysA)
-		bShards, movedBytesB, movedRowsB := x.shuffle(b.shards, keysB)
+		// Re-hashing both sides is free to pick any placement, so with
+		// crashed nodes the live nodes take over the full key range. The
+		// live-node mapping differs from the base tables' hash-mod-N one,
+		// so the output's placement is unknown to downstream joins.
+		live := x.liveTargets()
+		aShards, movedBytesA, movedRowsA := x.shuffle(a.shards, keysA, live)
+		bShards, movedBytesB, movedRowsB := x.shuffle(b.shards, keysB, live)
 		x.chargeNet(movedBytesA+movedBytesB, movedRowsA+movedRowsB)
 		x.localJoinShards(out, aShards, bShards, preds, mode)
-		out.partCols = pc
+		if live == nil {
+			out.partCols = pc
+		}
 	}
 	return out
+}
+
+// liveTargets returns the shuffle target nodes when some nodes are down
+// (nil when every node is live, preserving the exact hash-mod-N layout).
+func (x *executor) liveTargets() []int {
+	if x.fc == nil || len(x.fc.live) == len(x.fc.down) {
+		return nil
+	}
+	return x.fc.live
 }
 
 // serializationSpeedup: tuples (de)serialize this many times faster than
@@ -531,10 +614,15 @@ func (x *executor) join(a, b *dist) *dist {
 const serializationSpeedup = 4
 
 // chargeNet books data movement: wire time plus per-tuple (de)serialization
-// CPU — distributed engines rarely shuffle at wire speed.
+// CPU — distributed engines rarely shuffle at wire speed. An active
+// bandwidth degradation shrinks the effective interconnect speed.
 func (x *executor) chargeNet(movedBytes, movedRows int64) {
 	n := float64(x.e.HW.Nodes)
-	x.charge(float64(movedBytes)/(n*x.e.HW.NetBytesPerSec) + float64(movedRows)/(n*serializationSpeedup*x.e.HW.CPUTuplesPerSec))
+	net := x.e.HW.NetBytesPerSec
+	if x.fc != nil {
+		net *= x.fc.net
+	}
+	x.charge(float64(movedBytes)/(n*net) + float64(movedRows)/(n*serializationSpeedup*x.e.HW.CPUTuplesPerSec))
 }
 
 // localJoinShards joins co-located shard pairs, charging the straggler
@@ -545,27 +633,34 @@ func (x *executor) localJoinShards(out *dist, aShards, bShards []*relation.Relat
 	for i := range aShards {
 		joined, cpuRows := localHashJoin(aShards[i], bShards[i], preds, mode)
 		out.shards[i] = joined
-		if sec := float64(cpuRows) / x.e.HW.CPUTuplesPerSec; sec > maxCPU {
+		if sec := float64(cpuRows) / x.e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 			maxCPU = sec
 		}
 	}
 	x.charge(maxCPU)
 }
 
-// broadcast concatenates all shards into a full copy shipped to every node.
+// broadcast concatenates all shards into a full copy shipped to every node
+// (every live node when some are down).
 func (x *executor) broadcast(d *dist) (full *relation.Relation, movedBytes, movedRows int64) {
 	full = relation.New(d.shards[0].Name, d.shards[0].Columns())
 	for _, s := range d.shards {
 		full.Concat(s)
 	}
-	movedRows = int64(full.Rows()) * int64(x.e.HW.Nodes-1)
+	receivers := int64(x.e.HW.Nodes - 1)
+	if x.fc != nil && len(x.fc.live) < len(x.fc.down) {
+		receivers = int64(len(x.fc.live) - 1)
+	}
+	movedRows = int64(full.Rows()) * receivers
 	movedBytes = movedRows * int64(full.NumCols()) * colWidth
 	return full, movedBytes, movedRows
 }
 
 // shuffle rehashes shards by the given qualified columns, counting the bytes
-// of rows that change node.
-func (x *executor) shuffle(shards []*relation.Relation, cols []string) (out []*relation.Relation, movedBytes, movedRows int64) {
+// of rows that change node. A non-nil live set maps hash buckets onto
+// those nodes only (crashed nodes receive nothing); nil preserves the
+// hash-mod-N placement of deployed base tables.
+func (x *executor) shuffle(shards []*relation.Relation, cols []string, live []int) (out []*relation.Relation, movedBytes, movedRows int64) {
 	n := len(shards)
 	out = make([]*relation.Relation, n)
 	for i := range out {
@@ -581,7 +676,12 @@ func (x *executor) shuffle(shards []*relation.Relation, cols []string) (out []*r
 		}
 		rows := shard.Rows()
 		for row := 0; row < rows; row++ {
-			target := int(shard.HashRow(row, idxs) % uint64(n))
+			var target int
+			if live != nil {
+				target = live[int(shard.HashRow(row, idxs)%uint64(len(live)))]
+			} else {
+				target = int(shard.HashRow(row, idxs) % uint64(n))
+			}
 			if target != node {
 				movedRows++
 			}

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"partadvisor/internal/faults"
+	"partadvisor/internal/sqlparse"
+)
+
+// TransientError reports an injected transient query failure (worker
+// restart, connection reset). Retrying the query may succeed.
+type TransientError struct {
+	// At is the simulated time at which the query died.
+	At float64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("exec: transient query failure at t=%.3fs", e.At)
+}
+
+// UnavailableError reports that a query needs data that no surviving node
+// holds: a non-empty hash shard on a crashed node, or a replicated table
+// with every node down. Retrying only helps once the node recovers.
+type UnavailableError struct {
+	Table      string
+	Node       int // the crashed node (-1 when every replica holder is down)
+	Replicated bool
+}
+
+func (e *UnavailableError) Error() string {
+	if e.Replicated {
+		return fmt.Sprintf("exec: replicated table %q has no surviving replica", e.Table)
+	}
+	return fmt.Sprintf("exec: shard of table %q lost with crashed node %d", e.Table, e.Node)
+}
+
+// IsTransient reports whether an execution error is transient (worth an
+// immediate retry) as opposed to an availability loss.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// RunReport is the outcome of one error-aware query execution.
+type RunReport struct {
+	// Seconds is the simulated time consumed (partial on failure: the
+	// scheduler aborts as soon as it discovers missing data).
+	Seconds float64
+	// Aborted reports a §4.2 timeout abort.
+	Aborted bool
+	// DegradedSeconds is how much of the execution overlapped an active
+	// fault window — runtimes with DegradedSeconds > 0 are not
+	// steady-state measurements and must not be cached as such.
+	DegradedSeconds float64
+}
+
+// SetFaults arms (or, with nil, disarms) a fault schedule. The injector
+// is evaluated against the engine's simulated clock; it is owned by the
+// engine from here on (all access happens under the engine mutex, which
+// keeps the transient-failure stream deterministic).
+func (e *Engine) SetFaults(in *faults.Injector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.faults = in
+}
+
+// Faults returns the armed injector (nil when faults are disabled).
+func (e *Engine) Faults() *faults.Injector {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.faults
+}
+
+// SimNow returns the engine's simulated clock: total simulated seconds
+// consumed by Run/Deploy calls (and explicit AdvanceClock) since
+// construction or the last ResetClock. Fault windows are defined over
+// this clock.
+func (e *Engine) SimNow() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.simNow
+}
+
+// AdvanceClock moves the simulated clock forward, modeling idle time
+// (think-time between queries, retry backoff). Faults scheduled inside
+// the skipped interval simply pass by.
+func (e *Engine) AdvanceClock(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("exec: negative clock advance %g", seconds))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.simNow += seconds
+}
+
+// ResetClock rewinds the simulated clock to zero (e.g. to replay a fault
+// schedule from the start for a second evaluation pass).
+func (e *Engine) ResetClock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.simNow = 0
+}
+
+// Execute is the error-returning execution entry point: it runs a query
+// with an optional §4.2 time limit (0 = none) under the armed fault
+// schedule. With no injector armed it never fails and consumes exactly
+// the same simulated time as RunWithLimit.
+func (e *Engine) Execute(g *sqlparse.Graph, limit float64) (RunReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.QueriesExecuted++
+	start := e.simNow
+	if e.faults != nil && e.faults.TransientFailure() {
+		// The query dies before doing real work (worker restart,
+		// connection reset): only the fixed per-query overhead is lost.
+		sec := e.HW.QueryOverheadSec
+		e.simNow += sec
+		return RunReport{
+			Seconds:         sec,
+			DegradedSeconds: e.faults.DegradedOverlap(start, start+sec),
+		}, &TransientError{At: start}
+	}
+	x := newExecutor(e, g, limit)
+	x.fc = e.faultCtx()
+	sec, aborted := x.run()
+	e.simNow += sec
+	rep := RunReport{Seconds: sec, Aborted: aborted}
+	if e.faults != nil {
+		rep.DegradedSeconds = e.faults.DegradedOverlap(start, start+sec)
+	}
+	return rep, x.err
+}
+
+// RunErr executes a query and surfaces injected failures alongside the
+// consumed simulated time (partial on failure).
+func (e *Engine) RunErr(g *sqlparse.Graph) (float64, error) {
+	rep, err := e.Execute(g, 0)
+	return rep.Seconds, err
+}
+
+// faultCtx is the fault state sampled at query start: queries are short
+// relative to fault windows, so node liveness and slowdowns are held
+// fixed for the duration of one execution. The caller must hold e.mu.
+func (e *Engine) faultCtx() *faultCtx {
+	if e.faults == nil {
+		return nil
+	}
+	now := e.simNow
+	fc := &faultCtx{
+		down: make([]bool, e.HW.Nodes),
+		slow: make([]float64, e.HW.Nodes),
+		net:  e.faults.NetFactor(now),
+	}
+	for i := 0; i < e.HW.Nodes; i++ {
+		fc.down[i] = e.faults.NodeDown(i, now)
+		fc.slow[i] = e.faults.SlowdownFactor(i, now)
+		if !fc.down[i] {
+			fc.live = append(fc.live, i)
+		}
+	}
+	return fc
+}
+
+// faultCtx is one query's view of the fault schedule.
+type faultCtx struct {
+	down []bool    // per node: crashed
+	slow []float64 // per node: compute/scan time multiplier (>= 1)
+	live []int     // nodes not crashed, ascending
+	net  float64   // interconnect bandwidth multiplier (0 < net <= 1)
+}

@@ -36,9 +36,10 @@ func runOnlineTPCCH(cfg Config, timeouts bool) (*onlineRun, error) {
 		return nil, err
 	}
 	sample := s.sampleEngine(cfg)
-	scale := core.ComputeScaleFactors(s.engine, sample, s.bench.Workload, offSt)
+	scale, setupSec := core.ComputeScaleFactors(s.engine, sample, s.bench.Workload, offSt)
 	oc := core.NewOnlineCost(sample, s.bench.Workload, scale)
 	oc.UseTimeouts = timeouts
+	oc.Stats.SetupSeconds = setupSec
 	if err := adv.TrainOnline(oc, nil); err != nil {
 		return nil, err
 	}
@@ -114,7 +115,9 @@ func Fig4b(cfg Config, run *onlineRun) (*Result, error) {
 		if frac := level - prev; frac > 0 {
 			upd := s.bench.GenerateUpdate(s.data, frac/(1+prev), cfg.Seed+int64(level*100))
 			for table, rows := range upd {
-				s.engine.BulkLoad(table, rows)
+				if err := s.engine.BulkLoad(table, rows); err != nil {
+					return nil, err
+				}
 			}
 			prev = level
 		}
@@ -147,7 +150,7 @@ func Table2(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	boot := run.onlineCost.Stats
-	tBoot := boot.ExecSeconds - boot.TimeoutSavedSeconds + boot.RepartitionSeconds
+	tBoot := boot.ExecSeconds - boot.TimeoutSavedSeconds + boot.RepartitionSeconds + boot.SetupSeconds
 
 	// From-scratch online training (no offline phase: full ε exploration
 	// and the offline episode budget moved online). Its instrumented stats

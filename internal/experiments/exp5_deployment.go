@@ -45,8 +45,9 @@ func fig8Deployment(cfg Config, hw hardware.Profile, seed int64) (replB, partB, 
 	if err != nil {
 		return 0, 0, 0, nil, err
 	}
-	scale := core.ComputeScaleFactors(s.engine, sample, b.Workload, offSt)
+	scale, setupSec := core.ComputeScaleFactors(s.engine, sample, b.Workload, offSt)
 	oc := core.NewOnlineCost(sample, b.Workload, scale)
+	oc.Stats.SetupSeconds = setupSec
 	if err := adv.TrainOnline(oc, nil); err != nil {
 		return 0, 0, 0, nil, err
 	}

@@ -58,7 +58,7 @@ func TestIDsCovered(t *testing.T) {
 	// the cheap ones; the expensive ones are covered by dedicated tests and
 	// the bench harness).
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("IDs = %v", ids)
 	}
 }
@@ -326,5 +326,53 @@ func TestReproAndPaperConfigsSane(t *testing.T) {
 		if err := cfg.HP(true).Validate(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestAvailabilityExperiment(t *testing.T) {
+	r, err := Availability(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "availability" || len(r.Rows) != 6 {
+		t.Fatalf("availability result = %+v", r)
+	}
+	frac := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		if err != nil {
+			t.Fatalf("availability cell %q: %v", row[1], err)
+		}
+		return v
+	}
+	byName := map[string][]string{}
+	for _, row := range r.Rows {
+		byName[row[0]] = row
+	}
+	// The full-replication reference never loses a query: replica failover
+	// keeps every read running through the crash windows.
+	if v := frac(byName["Replicate-all (reference)"]); v != 100 {
+		t.Fatalf("replicate-all availability = %v%%", v)
+	}
+	// The fault-blind heuristics keep partitioned designs and lose the
+	// node-1 shards during every down window.
+	ha := frac(byName["Heuristic (a)"])
+	if ha >= 100 {
+		t.Fatalf("heuristic (a) availability = %v%%, the crash regime must cost it queries", ha)
+	}
+	// The online agent saw the failures (penalized rewards + sticky failure
+	// memory + live outage validation) and must at least match the best
+	// fault-blind baseline.
+	online := frac(byName["RL online (faults seen)"])
+	for name, row := range byName {
+		if name == "RL online (faults seen)" || name == "Replicate-all (reference)" {
+			continue
+		}
+		if online < frac(row) {
+			t.Fatalf("RL online availability %v%% below %s %v%%", online, name, frac(row))
+		}
+	}
+	// At the fixed test seed the validated suggestion is fully replicated.
+	if online != 100 {
+		t.Fatalf("RL online availability = %v%%, want 100%% at this seed", online)
 	}
 }

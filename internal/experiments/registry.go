@@ -15,6 +15,7 @@ func IDs() []string {
 		"fig5", "fig6",
 		"fig7a", "fig7b",
 		"fig8a", "fig8b",
+		"availability",
 		"ablations",
 	}
 }
@@ -54,6 +55,9 @@ func Run(id string, cfg Config) ([]*Result, error) {
 		return []*Result{r}, err
 	case "fig8b":
 		r, err := Fig8(cfg, true)
+		return []*Result{r}, err
+	case "availability":
+		r, err := Availability(cfg)
 		return []*Result{r}, err
 	case "ablations":
 		r, err := Ablations(cfg)
@@ -122,6 +126,9 @@ func RunAll(cfg Config) ([]*Result, error) {
 		return out, err
 	}
 	if err := add(Run("fig8b", cfg)); err != nil {
+		return out, err
+	}
+	if err := add(Run("availability", cfg)); err != nil {
 		return out, err
 	}
 	// Restore presentation order.

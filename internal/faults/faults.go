@@ -1,0 +1,326 @@
+// Package faults implements a deterministic, seedable fault-injection
+// subsystem for the simulated cluster: node crash/recovery schedules,
+// per-node straggler slowdowns, transient query failures, and windowed
+// network-bandwidth degradation.
+//
+// Faults are defined over the engine's *simulated* clock (seconds since
+// the injector was armed), so a fault schedule composed with a
+// deterministic engine yields bit-identical runs: same seed, same
+// schedule, same measurements. The only stochastic source — transient
+// query failures — draws from a self-contained splitmix64 stream seeded
+// by Config.Seed, and draws nothing at all when the failure rate is zero.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Window is a half-open interval [Start, End) of simulated seconds.
+type Window struct {
+	Start, End float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.Start && t < w.End }
+
+// Overlap returns the length of the intersection of the window with
+// [t0, t1).
+func (w Window) Overlap(t0, t1 float64) float64 {
+	lo := math.Max(w.Start, t0)
+	hi := math.Min(w.End, t1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// NodeCrash takes one node down for the duration of the window. Queries
+// needing a hash shard stored on the node fail; replicated tables fail
+// over to surviving copies.
+type NodeCrash struct {
+	Node int
+	Window
+}
+
+// PeriodicCrash crashes a node on a repeating schedule: the node is down
+// whenever DownStart <= mod(t, Period) < DownEnd. It models recurring
+// maintenance/failure regimes without enumerating an unbounded window
+// list.
+type PeriodicCrash struct {
+	Node                      int
+	Period, DownStart, DownEnd float64
+}
+
+// down reports whether the periodic schedule has the node down at t.
+func (p PeriodicCrash) down(t float64) bool {
+	if t < 0 {
+		return false
+	}
+	ph := math.Mod(t, p.Period)
+	return ph >= p.DownStart && ph < p.DownEnd
+}
+
+// Straggler multiplies a node's compute/scan time by Factor (> 1) during
+// the window.
+type Straggler struct {
+	Node   int
+	Factor float64
+	Window
+}
+
+// NetDegradation multiplies the interconnect bandwidth by Factor
+// (0 < Factor <= 1) during the window, slowing shuffles, broadcasts and
+// repartitioning.
+type NetDegradation struct {
+	Factor float64
+	Window
+}
+
+// Config is a complete declarative fault schedule.
+type Config struct {
+	// Seed seeds the transient-failure stream. Schedules with the same
+	// seed produce identical failure sequences.
+	Seed int64
+	// Crashes are one-shot node outages.
+	Crashes []NodeCrash
+	// PeriodicCrashes are repeating node outages.
+	PeriodicCrashes []PeriodicCrash
+	// Stragglers are windowed per-node slowdowns.
+	Stragglers []Straggler
+	// Degradations are windowed interconnect-bandwidth reductions.
+	Degradations []NetDegradation
+	// TransientFailureRate is the probability that one query execution
+	// fails transiently (connection reset, worker restart). Zero disables
+	// the stream entirely — no random draws are made.
+	TransientFailureRate float64
+}
+
+// Validate checks the schedule for inconsistencies.
+func (c Config) Validate() error {
+	for _, cr := range c.Crashes {
+		if cr.Node < 0 {
+			return fmt.Errorf("faults: crash on negative node %d", cr.Node)
+		}
+		if cr.End <= cr.Start {
+			return fmt.Errorf("faults: crash window [%g, %g) on node %d is empty", cr.Start, cr.End, cr.Node)
+		}
+	}
+	for _, p := range c.PeriodicCrashes {
+		if p.Node < 0 {
+			return fmt.Errorf("faults: periodic crash on negative node %d", p.Node)
+		}
+		if p.Period <= 0 {
+			return fmt.Errorf("faults: periodic crash period %g must be positive", p.Period)
+		}
+		if p.DownStart < 0 || p.DownEnd <= p.DownStart || p.DownEnd > p.Period {
+			return fmt.Errorf("faults: periodic crash down-window [%g, %g) must satisfy 0 <= start < end <= period %g",
+				p.DownStart, p.DownEnd, p.Period)
+		}
+	}
+	for _, s := range c.Stragglers {
+		if s.Node < 0 {
+			return fmt.Errorf("faults: straggler on negative node %d", s.Node)
+		}
+		if s.Factor <= 1 {
+			return fmt.Errorf("faults: straggler factor %g must exceed 1", s.Factor)
+		}
+		if s.End <= s.Start {
+			return fmt.Errorf("faults: straggler window [%g, %g) on node %d is empty", s.Start, s.End, s.Node)
+		}
+	}
+	for _, d := range c.Degradations {
+		if d.Factor <= 0 || d.Factor > 1 {
+			return fmt.Errorf("faults: degradation factor %g must be in (0, 1]", d.Factor)
+		}
+		if d.End <= d.Start {
+			return fmt.Errorf("faults: degradation window [%g, %g) is empty", d.Start, d.End)
+		}
+	}
+	if c.TransientFailureRate < 0 || c.TransientFailureRate >= 1 {
+		return fmt.Errorf("faults: transient failure rate %g must be in [0, 1)", c.TransientFailureRate)
+	}
+	return nil
+}
+
+// Injector evaluates a fault schedule against the simulated clock. It is
+// not safe for concurrent use on its own; the execution engine serializes
+// access under its mutex, which also keeps the transient-failure stream
+// deterministic.
+type Injector struct {
+	cfg   Config
+	state uint64 // splitmix64 state for transient failures
+	draws uint64 // number of transient draws made (diagnostics)
+}
+
+// New validates a schedule and arms an injector for it.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, state: uint64(cfg.Seed)}, nil
+}
+
+// MustNew is New for schedules known valid at compile time; it panics on
+// an invalid config.
+func MustNew(cfg Config) *Injector {
+	in, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Config returns the armed schedule (to arm a fresh injector with the
+// same regime, e.g. for a second deterministic evaluation pass).
+func (in *Injector) Config() Config { return in.cfg }
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// NodeDown reports whether the node is crashed at simulated time now.
+func (in *Injector) NodeDown(node int, now float64) bool {
+	for _, cr := range in.cfg.Crashes {
+		if cr.Node == node && cr.Contains(now) {
+			return true
+		}
+	}
+	for _, p := range in.cfg.PeriodicCrashes {
+		if p.Node == node && p.down(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// SlowdownFactor returns the node's compute/scan time multiplier at now
+// (>= 1; overlapping stragglers compound).
+func (in *Injector) SlowdownFactor(node int, now float64) float64 {
+	f := 1.0
+	for _, s := range in.cfg.Stragglers {
+		if s.Node == node && s.Contains(now) {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// NetFactor returns the interconnect-bandwidth multiplier at now
+// (0 < f <= 1; overlapping degradations compound).
+func (in *Injector) NetFactor(now float64) float64 {
+	f := 1.0
+	for _, d := range in.cfg.Degradations {
+		if d.Contains(now) {
+			f *= d.Factor
+		}
+	}
+	return f
+}
+
+// TransientFailure draws once from the failure stream and reports whether
+// this query execution fails transiently. No draw is made when the rate
+// is zero, so schedules without transient failures stay deterministic
+// regardless of how often queries run.
+func (in *Injector) TransientFailure() bool {
+	if in.cfg.TransientFailureRate <= 0 {
+		return false
+	}
+	in.draws++
+	u := float64(in.next()>>11) / (1 << 53)
+	return u < in.cfg.TransientFailureRate
+}
+
+// Degraded reports whether any fault (crash, straggler, degradation) is
+// active at now. Runtimes measured while degraded must not be cached as
+// the design's steady-state cost.
+func (in *Injector) Degraded(now float64) bool {
+	for _, cr := range in.cfg.Crashes {
+		if cr.Contains(now) {
+			return true
+		}
+	}
+	for _, p := range in.cfg.PeriodicCrashes {
+		if p.down(now) {
+			return true
+		}
+	}
+	for _, s := range in.cfg.Stragglers {
+		if s.Contains(now) {
+			return true
+		}
+	}
+	for _, d := range in.cfg.Degradations {
+		if d.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradedOverlap returns the number of seconds in [t0, t1) during which
+// at least one fault is active — the exact measure of the union of all
+// fault windows clipped to the interval.
+func (in *Injector) DegradedOverlap(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	var ivals [][2]float64
+	add := func(w Window) {
+		lo := math.Max(w.Start, t0)
+		hi := math.Min(w.End, t1)
+		if hi > lo {
+			ivals = append(ivals, [2]float64{lo, hi})
+		}
+	}
+	for _, cr := range in.cfg.Crashes {
+		add(cr.Window)
+	}
+	for _, s := range in.cfg.Stragglers {
+		add(s.Window)
+	}
+	for _, d := range in.cfg.Degradations {
+		add(d.Window)
+	}
+	for _, p := range in.cfg.PeriodicCrashes {
+		// Expand the occurrences intersecting [t0, t1). The loop is
+		// bounded by (t1-t0)/Period + 2 iterations.
+		k := math.Floor(t0/p.Period) - 1
+		for {
+			base := k * p.Period
+			if base+p.DownStart >= t1 {
+				break
+			}
+			if k >= 0 {
+				add(Window{Start: base + p.DownStart, End: base + p.DownEnd})
+			}
+			k++
+		}
+	}
+	if len(ivals) == 0 {
+		return 0
+	}
+	sort.Slice(ivals, func(i, j int) bool { return ivals[i][0] < ivals[j][0] })
+	total := 0.0
+	curLo, curHi := ivals[0][0], ivals[0][1]
+	for _, iv := range ivals[1:] {
+		if iv[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = iv[0], iv[1]
+			continue
+		}
+		if iv[1] > curHi {
+			curHi = iv[1]
+		}
+	}
+	return total + (curHi - curLo)
+}

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Crashes: []NodeCrash{{Node: -1, Window: Window{0, 1}}}},
+		{Crashes: []NodeCrash{{Node: 0, Window: Window{2, 1}}}},
+		{PeriodicCrashes: []PeriodicCrash{{Node: 0, Period: 0, DownStart: 0, DownEnd: 1}}},
+		{PeriodicCrashes: []PeriodicCrash{{Node: 0, Period: 10, DownStart: 5, DownEnd: 11}}},
+		{PeriodicCrashes: []PeriodicCrash{{Node: 0, Period: 10, DownStart: 5, DownEnd: 5}}},
+		{Stragglers: []Straggler{{Node: 0, Factor: 1, Window: Window{0, 1}}}},
+		{Stragglers: []Straggler{{Node: 0, Factor: 2, Window: Window{1, 1}}}},
+		{Degradations: []NetDegradation{{Factor: 0, Window: Window{0, 1}}}},
+		{Degradations: []NetDegradation{{Factor: 1.5, Window: Window{0, 1}}}},
+		{TransientFailureRate: 1},
+		{TransientFailureRate: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	if _, err := New(Config{
+		Crashes:              []NodeCrash{{Node: 1, Window: Window{0, 5}}},
+		PeriodicCrashes:      []PeriodicCrash{{Node: 2, Period: 10, DownStart: 0, DownEnd: 5}},
+		Stragglers:           []Straggler{{Node: 0, Factor: 3, Window: Window{2, 4}}},
+		Degradations:         []NetDegradation{{Factor: 0.25, Window: Window{1, 3}}},
+		TransientFailureRate: 0.1,
+	}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestNodeDown(t *testing.T) {
+	in := MustNew(Config{
+		Crashes:         []NodeCrash{{Node: 1, Window: Window{2, 5}}},
+		PeriodicCrashes: []PeriodicCrash{{Node: 2, Period: 10, DownStart: 6, DownEnd: 10}},
+	})
+	cases := []struct {
+		node int
+		t    float64
+		down bool
+	}{
+		{1, 1.9, false}, {1, 2, true}, {1, 4.99, true}, {1, 5, false},
+		{0, 3, false},
+		{2, 5.9, false}, {2, 6, true}, {2, 9.9, true}, {2, 10, false},
+		{2, 16, true}, {2, 25.5, false}, {2, 26.5, true},
+	}
+	for _, c := range cases {
+		if got := in.NodeDown(c.node, c.t); got != c.down {
+			t.Errorf("NodeDown(%d, %g) = %v, want %v", c.node, c.t, got, c.down)
+		}
+	}
+}
+
+func TestFactors(t *testing.T) {
+	in := MustNew(Config{
+		Stragglers: []Straggler{
+			{Node: 0, Factor: 2, Window: Window{0, 10}},
+			{Node: 0, Factor: 3, Window: Window{5, 10}},
+		},
+		Degradations: []NetDegradation{
+			{Factor: 0.5, Window: Window{0, 10}},
+			{Factor: 0.5, Window: Window{5, 10}},
+		},
+	})
+	if got := in.SlowdownFactor(0, 1); got != 2 {
+		t.Errorf("SlowdownFactor(0, 1) = %g, want 2", got)
+	}
+	if got := in.SlowdownFactor(0, 7); got != 6 {
+		t.Errorf("SlowdownFactor(0, 7) = %g, want 6 (compounded)", got)
+	}
+	if got := in.SlowdownFactor(1, 7); got != 1 {
+		t.Errorf("SlowdownFactor(1, 7) = %g, want 1", got)
+	}
+	if got := in.NetFactor(1); got != 0.5 {
+		t.Errorf("NetFactor(1) = %g, want 0.5", got)
+	}
+	if got := in.NetFactor(7); got != 0.25 {
+		t.Errorf("NetFactor(7) = %g, want 0.25 (compounded)", got)
+	}
+	if got := in.NetFactor(20); got != 1 {
+		t.Errorf("NetFactor(20) = %g, want 1", got)
+	}
+}
+
+func TestTransientFailureDeterminism(t *testing.T) {
+	draw := func(seed int64, n int) []bool {
+		in := MustNew(Config{Seed: seed, TransientFailureRate: 0.3})
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = in.TransientFailure()
+		}
+		return out
+	}
+	a, b := draw(42, 1000), draw(42, 1000)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed streams diverge at draw %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails < 200 || fails > 400 {
+		t.Errorf("0.3-rate stream produced %d/1000 failures", fails)
+	}
+	c := draw(43, 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTransientFailureZeroRateNoDraws(t *testing.T) {
+	in := MustNew(Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if in.TransientFailure() {
+			t.Fatal("zero-rate stream reported a failure")
+		}
+	}
+	if in.draws != 0 {
+		t.Errorf("zero-rate stream made %d draws, want 0", in.draws)
+	}
+}
+
+func TestDegraded(t *testing.T) {
+	in := MustNew(Config{
+		Crashes:         []NodeCrash{{Node: 0, Window: Window{1, 2}}},
+		Stragglers:      []Straggler{{Node: 1, Factor: 2, Window: Window{3, 4}}},
+		Degradations:    []NetDegradation{{Factor: 0.5, Window: Window{5, 6}}},
+		PeriodicCrashes: []PeriodicCrash{{Node: 2, Period: 100, DownStart: 90, DownEnd: 100}},
+	})
+	for _, c := range []struct {
+		t    float64
+		want bool
+	}{{0.5, false}, {1.5, true}, {2.5, false}, {3.5, true}, {4.5, false}, {5.5, true}, {95, true}, {150, false}, {195, true}} {
+		if got := in.Degraded(c.t); got != c.want {
+			t.Errorf("Degraded(%g) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDegradedOverlap(t *testing.T) {
+	in := MustNew(Config{
+		Crashes:      []NodeCrash{{Node: 0, Window: Window{1, 3}}},
+		Stragglers:   []Straggler{{Node: 1, Factor: 2, Window: Window{2, 5}}}, // overlaps the crash: union [1,5)
+		Degradations: []NetDegradation{{Factor: 0.5, Window: Window{7, 8}}},
+	})
+	if got := in.DegradedOverlap(0, 10); math.Abs(got-5) > 1e-12 {
+		t.Errorf("DegradedOverlap(0, 10) = %g, want 5 (union [1,5) + [7,8))", got)
+	}
+	if got := in.DegradedOverlap(4, 7.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("DegradedOverlap(4, 7.5) = %g, want 1.5", got)
+	}
+	if got := in.DegradedOverlap(8, 9); got != 0 {
+		t.Errorf("DegradedOverlap(8, 9) = %g, want 0", got)
+	}
+	if got := in.DegradedOverlap(5, 5); got != 0 {
+		t.Errorf("empty interval overlap = %g, want 0", got)
+	}
+}
+
+func TestDegradedOverlapPeriodic(t *testing.T) {
+	in := MustNew(Config{
+		PeriodicCrashes: []PeriodicCrash{{Node: 0, Period: 10, DownStart: 0, DownEnd: 5}},
+	})
+	// Down half of every period: [0,5), [10,15), [20,25), ...
+	if got := in.DegradedOverlap(0, 40); math.Abs(got-20) > 1e-9 {
+		t.Errorf("DegradedOverlap(0, 40) = %g, want 20", got)
+	}
+	if got := in.DegradedOverlap(3, 12); math.Abs(got-4) > 1e-9 {
+		t.Errorf("DegradedOverlap(3, 12) = %g, want 4 ([3,5) + [10,12))", got)
+	}
+	if got := in.DegradedOverlap(6, 9); got != 0 {
+		t.Errorf("DegradedOverlap(6, 9) = %g, want 0", got)
+	}
+}

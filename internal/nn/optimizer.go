@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer applies one parameter update from the gradients stored in the
 // network's layers.
@@ -74,4 +77,51 @@ func (o *Adam) Step(n *Network) {
 		update(l.W.Data, l.gradW.Data, o.mW[li].Data, o.vW[li].Data)
 		update(l.B.Data, l.gradB.Data, o.mB[li].Data, o.vB[li].Data)
 	}
+}
+
+// AdamState is the serializable optimizer state for mid-training
+// checkpoints: the step count plus the flattened first/second moment
+// buffers (empty before the first Step — Step then allocates them lazily
+// exactly as on a fresh optimizer).
+type AdamState struct {
+	T              int
+	MW, VW, MB, VB [][]float64
+}
+
+// State deep-copies the optimizer's mutable state.
+func (o *Adam) State() AdamState {
+	cp := func(ms []*Matrix) [][]float64 {
+		out := make([][]float64, len(ms))
+		for i, m := range ms {
+			out[i] = append([]float64(nil), m.Data...)
+		}
+		return out
+	}
+	return AdamState{T: o.t, MW: cp(o.mW), VW: cp(o.vW), MB: cp(o.mB), VB: cp(o.vB)}
+}
+
+// SetState restores a snapshot taken by State. Moments are stored flat —
+// the update loop only indexes them linearly — so the restored optimizer
+// continues bit-identically as long as it drives the same network shape
+// (which the Q-head's full-state loader validates).
+func (o *Adam) SetState(s AdamState) error {
+	if len(s.VW) != len(s.MW) || len(s.MB) != len(s.MW) || len(s.VB) != len(s.MW) {
+		return fmt.Errorf("nn: inconsistent Adam snapshot (%d/%d/%d/%d moment layers)",
+			len(s.MW), len(s.VW), len(s.MB), len(s.VB))
+	}
+	mk := func(src [][]float64) []*Matrix {
+		if len(src) == 0 {
+			return nil
+		}
+		out := make([]*Matrix, len(src))
+		for i, d := range src {
+			m := NewMatrix(1, len(d))
+			copy(m.Data, d)
+			out[i] = m
+		}
+		return out
+	}
+	o.t = s.T
+	o.mW, o.vW, o.mB, o.vB = mk(s.MW), mk(s.VW), mk(s.MB), mk(s.VB)
+	return nil
 }
