@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/cluster"
 	"partadvisor/internal/core"
 	"partadvisor/internal/costmodel"
 	"partadvisor/internal/env"
@@ -165,6 +166,62 @@ func BenchmarkTrainingEpisode(b *testing.B) {
 		}
 	}
 }
+
+// benchDeployRevisit alternates SSB's fact table between two hash keys —
+// the training loop's dominant deploy pattern (every episode revisits a
+// handful of layouts). With the shard cache each revisit is a pointer swap
+// plus memoized bytes-moved accounting; uncached, every deploy re-hashes
+// the full table.
+func benchDeployRevisit(b *testing.B, cacheBytes int64) {
+	b.Helper()
+	bench := benchmarks.SSB()
+	data := bench.Generate(0.2, 1)
+	e := exec.New(bench.Schema, data, hardware.PostgresXLDisk(), exec.Disk)
+	c := e.Cluster()
+	c.SetShardCacheLimit(cacheBytes)
+	designs := []cluster.Design{
+		{Key: []string{"lo_custkey"}},
+		{Key: []string{"lo_suppkey"}},
+	}
+	// Materialize both layouts once so the cached variant measures pure
+	// revisits (the uncached variant rebuilds regardless).
+	c.Deploy("lineorder", designs[0])
+	c.Deploy("lineorder", designs[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Deploy("lineorder", designs[i%2])
+	}
+}
+
+// BenchmarkDeployRevisit vs ...Uncached: the shard-memoization speedup
+// claim (limit 0 restores the pre-cache engine behavior).
+func BenchmarkDeployRevisit(b *testing.B)         { benchDeployRevisit(b, cluster.DefaultShardCacheBytes) }
+func BenchmarkDeployRevisitUncached(b *testing.B) { benchDeployRevisit(b, 0) }
+
+// benchRunBatch measures one TPC-CH workload evaluated as a batch with the
+// given worker count (0 = GOMAXPROCS). The batch contract makes the two
+// variants return bit-identical totals; only wall-clock differs.
+func benchRunBatch(b *testing.B, workers int) {
+	b.Helper()
+	bench := benchmarks.TPCCH()
+	data := bench.Generate(0.2, 1)
+	e := exec.New(bench.Schema, data, hardware.PostgresXLDisk(), exec.Disk)
+	e.Deploy(bench.Space().InitialState(), nil)
+	qs := make([]exec.BatchQuery, len(bench.Workload.Queries))
+	for i, q := range bench.Workload.Queries {
+		qs[i] = exec.BatchQuery{Graph: q.Graph}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunBatchQueries(qs, workers)
+	}
+}
+
+// BenchmarkRunBatchSequential vs ...Parallel: the workload-evaluation
+// fan-out speedup. On a single-core machine the pool is starved and the
+// two variants converge; the gap scales with GOMAXPROCS.
+func BenchmarkRunBatchSequential(b *testing.B) { benchRunBatch(b, 1) }
+func BenchmarkRunBatchParallel(b *testing.B)   { benchRunBatch(b, runtime.GOMAXPROCS(0)) }
 
 // --- Parallelism benches -----------------------------------------------------
 

@@ -8,7 +8,7 @@
 //	        [-profile repro|paper|test] [-scale F] [-seed N]
 //	        [-freq q1=2,q2=0.5] [-save model.bin] [-load model.bin]
 //	        [-checkpoint ckpt.bin] [-checkpoint-every N] [-resume]
-//	        [-halt-after N]
+//	        [-halt-after N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -freq, the named queries get the given relative frequencies (others
 // default to 1); the advisor then suggests the partitioning for that mix.
@@ -37,27 +37,34 @@ import (
 	"partadvisor/internal/exec"
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
+	"partadvisor/internal/prof"
 	"partadvisor/internal/relation"
+	"partadvisor/internal/sqlparse"
 	"partadvisor/internal/workload"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "ssb", "benchmark: ssb, tpcds, tpcch, tpch or micro")
-		engine    = flag.String("engine", "disk", "engine flavor: disk (Postgres-XL-like) or memory (System-X-like)")
-		online    = flag.Bool("online", false, "refine online on a sampled database after offline training")
-		profile   = flag.String("profile", "repro", "hyperparameter profile: repro, paper or test")
-		scale     = flag.Float64("scale", 1, "data scale (1 = repro scale)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		freqSpec  = flag.String("freq", "", "workload mix, e.g. q1=2,q2=0.5 (unnamed queries get 1)")
-		savePath  = flag.String("save", "", "save the trained Q-network to this file")
-		loadPath  = flag.String("load", "", "load a Q-network instead of offline training")
-		ckptPath  = flag.String("checkpoint", "", "write crash-safe training checkpoints to this file")
-		ckptEvery = flag.Int("checkpoint-every", 10, "offline episodes between checkpoints")
-		resume    = flag.Bool("resume", false, "resume training from the -checkpoint file")
-		haltAfter = flag.Int("halt-after", 0, "stop after N total training episodes with exit code 3 (testing)")
+		benchName  = flag.String("bench", "ssb", "benchmark: ssb, tpcds, tpcch, tpch or micro")
+		engine     = flag.String("engine", "disk", "engine flavor: disk (Postgres-XL-like) or memory (System-X-like)")
+		online     = flag.Bool("online", false, "refine online on a sampled database after offline training")
+		profile    = flag.String("profile", "repro", "hyperparameter profile: repro, paper or test")
+		scale      = flag.Float64("scale", 1, "data scale (1 = repro scale)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		freqSpec   = flag.String("freq", "", "workload mix, e.g. q1=2,q2=0.5 (unnamed queries get 1)")
+		savePath   = flag.String("save", "", "save the trained Q-network to this file")
+		loadPath   = flag.String("load", "", "load a Q-network instead of offline training")
+		ckptPath   = flag.String("checkpoint", "", "write crash-safe training checkpoints to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 10, "offline episodes between checkpoints")
+		resume     = flag.Bool("resume", false, "resume training from the -checkpoint file")
+		haltAfter  = flag.Int("halt-after", 0, "stop after N total training episodes with exit code 3 (testing)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+	if stop := prof.StartCPU(*cpuProfile); stop != nil {
+		defer stop()
+	}
 	if *resume && *ckptPath == "" {
 		fail("-resume requires -checkpoint")
 	}
@@ -185,11 +192,13 @@ func main() {
 	}
 	fmt.Printf("\nsuggested partitioning (reward %.3f):\n  %s\n", reward, st)
 	eng.Deploy(st, nil)
-	total := 0.0
-	for _, q := range b.Workload.Queries {
-		total += eng.Run(q.Graph)
+	gs := make([]*sqlparse.Graph, len(b.Workload.Queries))
+	for i, q := range b.Workload.Queries {
+		gs[i] = q.Graph
 	}
+	total := eng.RunBatch(gs, 0).Seconds
 	fmt.Printf("measured workload runtime under this partitioning: %.4g sim s\n", total)
+	prof.WriteHeap(*memProfile)
 }
 
 func pickBenchmark(name string) *benchmarks.Benchmark {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	expdriver [-exp <id>] [-profile repro|paper|test] [-scale F] [-seed N] [-list]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Run "expdriver -list" for the experiment ids. Without -exp, all
 // experiments run (minutes at the default repro profile).
@@ -18,17 +19,23 @@ import (
 	"time"
 
 	"partadvisor/internal/experiments"
+	"partadvisor/internal/prof"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (empty = all); see -list")
-		profile = flag.String("profile", "repro", "hyperparameter profile: repro, paper or test")
-		scale   = flag.Float64("scale", 0, "data scale override (default: profile's)")
-		seed    = flag.Int64("seed", 0, "seed override (default: profile's)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "experiment id (empty = all); see -list")
+		profile    = flag.String("profile", "repro", "hyperparameter profile: repro, paper or test")
+		scale      = flag.Float64("scale", 0, "data scale override (default: profile's)")
+		seed       = flag.Int64("seed", 0, "seed override (default: profile's)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+	if stop := prof.StartCPU(*cpuProfile); stop != nil {
+		defer stop()
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -72,4 +79,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("done in %s (profile %s, scale %g, seed %d)\n", time.Since(start).Round(time.Millisecond), *profile, cfg.Scale, cfg.Seed)
+	prof.WriteHeap(*memProfile)
 }

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"testing"
+
+	"partadvisor/internal/relation"
+)
+
+// sameShards reports whether two shard sets are the identical materialized
+// objects (pointer equality — the zero-copy guarantee).
+func sameShards(a, b []*relation.Relation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalShards compares shard contents value-wise.
+func equalShards(t *testing.T, a, b []*relation.Relation) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Rows() != b[i].Rows() {
+			t.Fatalf("shard %d: %d rows vs %d rows", i, a[i].Rows(), b[i].Rows())
+		}
+		for _, col := range a[i].Columns() {
+			ca, cb := a[i].Col(col), b[i].Col(col)
+			for r := range ca {
+				if ca[r] != cb[r] {
+					t.Fatalf("shard %d col %s row %d: %d vs %d", i, col, r, ca[r], cb[r])
+				}
+			}
+		}
+	}
+}
+
+// TestDeployRevisitIsPointerSwap: re-deploying a previously materialized
+// design must serve the identical shard objects from the cache without a
+// rebuild.
+func TestDeployRevisitIsPointerSwap(t *testing.T) {
+	c := loadCluster(t)
+	hash := Design{Key: []string{"o_id"}}
+
+	c.Deploy("orders", hash)
+	first, _, _ := c.Shards("orders")
+	c.Deploy("orders", Design{}) // back to round-robin (cached since Load)
+	c.Deploy("orders", hash)     // revisit
+	second, _, _ := c.Shards("orders")
+
+	if !sameShards(first, second) {
+		t.Fatal("revisited design was rebuilt instead of served from the cache")
+	}
+	hits, misses, entries, bytes := c.ShardCacheStats()
+	// Load seeds the round-robin entry, so both redeploys are hits; the only
+	// miss is the first hash materialization.
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if entries != 2 || bytes <= 0 {
+		t.Fatalf("entries=%d bytes=%d, want 2 entries with positive residency", entries, bytes)
+	}
+}
+
+// TestBytesMovedUnaffectedByCache: the simulated network accounting is a
+// function of the old→new placement delta only — an identical deploy
+// sequence must charge identical bytes with the cache on, off, and on
+// revisits served from the cache.
+func TestBytesMovedUnaffectedByCache(t *testing.T) {
+	seq := []Design{
+		{Key: []string{"o_id"}},
+		{Key: []string{"o_c"}},
+		{},
+		{Key: []string{"o_id"}},
+		{Replicated: true},
+		{Key: []string{"o_c"}},
+		{Key: []string{"o_id"}},
+	}
+	cached := loadCluster(t)
+	uncached := loadCluster(t)
+	uncached.SetShardCacheLimit(0)
+
+	for i, d := range seq {
+		mc := cached.Deploy("orders", d)
+		mu := uncached.Deploy("orders", d)
+		if mc != mu {
+			t.Fatalf("step %d (%v): cached moved %d bytes, uncached %d", i, d, mc, mu)
+		}
+		if !d.Replicated {
+			sc, _, _ := cached.Shards("orders")
+			su, _, _ := uncached.Shards("orders")
+			equalShards(t, sc, su)
+		}
+	}
+	if hits, _, _, _ := cached.ShardCacheStats(); hits == 0 {
+		t.Fatal("revisit sequence produced no cache hits")
+	}
+	if hits, misses, entries, bytes := uncached.ShardCacheStats(); hits != 0 || entries != 0 || bytes != 0 {
+		t.Fatalf("disabled cache has hits=%d misses=%d entries=%d bytes=%d", hits, misses, entries, bytes)
+	}
+}
+
+// TestAppendInvalidatesCache: after an append, every design revisit must see
+// the appended rows — stale pre-append materializations may not survive.
+func TestAppendInvalidatesCache(t *testing.T) {
+	c := loadCluster(t)
+	hash := Design{Key: []string{"o_id"}}
+	c.Deploy("orders", hash)
+	c.Deploy("orders", Design{})
+
+	add := relation.New("orders", []string{"o_id", "o_c"})
+	for i := int64(1000); i < 1250; i++ {
+		add.AppendRow(i, i%100)
+	}
+	c.Append("orders", add)
+
+	// Fresh cluster over the grown base = ground truth for every design.
+	grown := relation.New("orders", []string{"o_id", "o_c"})
+	for i := int64(0); i < 1250; i++ {
+		grown.AppendRow(i, i%100)
+	}
+	truth := New(4)
+	truth.Load("orders", grown, 16)
+	truth.SetShardCacheLimit(0)
+
+	for _, d := range []Design{hash, {}, {Key: []string{"o_c"}}} {
+		c.Deploy("orders", d)
+		truth.Deploy("orders", d)
+		sc, _, _ := c.Shards("orders")
+		st, _, _ := truth.Shards("orders")
+		equalShards(t, sc, st)
+	}
+}
+
+// TestAppendKeepsHashMaterializationHot: hash placement is row-order
+// independent, so the in-place updated shard set doubles as the design's
+// cached materialization — a revisit after an append is still a pointer
+// swap.
+func TestAppendKeepsHashMaterializationHot(t *testing.T) {
+	c := loadCluster(t)
+	hash := Design{Key: []string{"o_id"}}
+	c.Deploy("orders", hash)
+
+	add := relation.New("orders", []string{"o_id", "o_c"})
+	for i := int64(1000); i < 1100; i++ {
+		add.AppendRow(i, i%100)
+	}
+	c.Append("orders", add)
+	updated, _, _ := c.Shards("orders")
+
+	c.Deploy("orders", Design{})
+	c.Deploy("orders", hash)
+	revisit, _, _ := c.Shards("orders")
+	if !sameShards(updated, revisit) {
+		t.Fatal("post-append hash revisit rebuilt instead of reusing the updated shards")
+	}
+}
+
+// TestCacheEvictionUnderByteBound: a limit that fits roughly one shard set
+// forces eviction; evicted designs rebuild correctly and residency never
+// exceeds the bound.
+func TestCacheEvictionUnderByteBound(t *testing.T) {
+	c := loadCluster(t)
+	// One materialization of the 1000×2-column table is 16000 data bytes.
+	limit := int64(20000)
+	c.SetShardCacheLimit(limit)
+
+	designs := []Design{{Key: []string{"o_id"}}, {Key: []string{"o_c"}}, {}}
+	for round := 0; round < 3; round++ {
+		for _, d := range designs {
+			c.Deploy("orders", d)
+			if _, _, _, bytes := c.ShardCacheStats(); bytes > limit {
+				t.Fatalf("cache residency %d exceeds limit %d", bytes, limit)
+			}
+		}
+	}
+	_, misses, entries, _ := c.ShardCacheStats()
+	if entries > 1 {
+		t.Fatalf("limit fits one entry, cache holds %d", entries)
+	}
+	// Cycling three designs through a one-entry cache misses every time.
+	if misses < 9 {
+		t.Fatalf("misses=%d, want >= 9 under thrashing", misses)
+	}
+
+	// Shrinking to zero evicts everything and disables caching.
+	c.SetShardCacheLimit(0)
+	if _, _, entries, bytes := c.ShardCacheStats(); entries != 0 || bytes != 0 {
+		t.Fatalf("after limit 0: entries=%d bytes=%d", entries, bytes)
+	}
+	c.Deploy("orders", designs[0])
+	if _, _, entries, _ := c.ShardCacheStats(); entries != 0 {
+		t.Fatal("disabled cache admitted an entry")
+	}
+}

@@ -6,8 +6,10 @@
 package cluster
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
+	"strings"
 
 	"partadvisor/internal/relation"
 )
@@ -46,6 +48,18 @@ func (d Design) String() string {
 	return fmt.Sprintf("HASH(%v)", d.Key)
 }
 
+// canonical renders the design as a cache key: the key-column order is
+// significant (it changes the hash), so it is preserved verbatim.
+func (d Design) canonical() string {
+	if d.Replicated {
+		return "R"
+	}
+	if len(d.Key) == 0 {
+		return "RR"
+	}
+	return "H:" + strings.Join(d.Key, "\x1f")
+}
+
 // table is the stored state of one table.
 type table struct {
 	base     *relation.Relation
@@ -53,12 +67,42 @@ type table struct {
 	design   Design
 	shards   []*relation.Relation // nil when replicated
 	replica  *relation.Relation   // full copy when replicated
+	// moved memoizes the bytes-moved accounting per (old design → new
+	// design) transition. Shard contents are a pure function of (base,
+	// design), so the delta is too; the map is dropped whenever base
+	// changes (Append).
+	moved map[string]int64
 }
 
-// Cluster is the set of nodes and table placements.
+// DefaultShardCacheBytes bounds the cluster-wide shard cache when the
+// caller never calls SetShardCacheLimit. Materialized shard sets of the
+// repro-scale benchmarks are a few MB each, so the default keeps every
+// design of a training run resident while still bounding pathological
+// spaces.
+const DefaultShardCacheBytes = 256 << 20
+
+// shardEntry is one cached materialization: the per-node shard set of a
+// (table, design) pair.
+type shardEntry struct {
+	key    string // table\x00design-canonical
+	shards []*relation.Relation
+	bytes  int64
+}
+
+// Cluster is the set of nodes and table placements, plus a bounded LRU
+// cache of materialized shard sets so that re-deploying a previously seen
+// design is a pointer swap instead of a full re-hash of the table
+// (the what-if fast path of the training loop).
 type Cluster struct {
 	n      int
 	tables map[string]*table
+
+	cacheCap   int64
+	cacheBytes int64
+	lru        *list.List // front = most recently deployed; holds *shardEntry
+	index      map[string]*list.Element
+	hits       uint64
+	misses     uint64
 }
 
 // New creates a cluster with n nodes.
@@ -66,7 +110,96 @@ func New(n int) *Cluster {
 	if n < 1 {
 		panic(fmt.Sprintf("cluster: node count %d", n))
 	}
-	return &Cluster{n: n, tables: make(map[string]*table)}
+	return &Cluster{
+		n:        n,
+		tables:   make(map[string]*table),
+		cacheCap: DefaultShardCacheBytes,
+		lru:      list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+// SetShardCacheLimit bounds the shard cache to the given number of resident
+// bytes (0 disables caching entirely — every Deploy re-materializes, the
+// pre-cache behavior). Shrinking the limit evicts immediately.
+func (c *Cluster) SetShardCacheLimit(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	c.cacheCap = bytes
+	c.evictTo(c.cacheCap)
+}
+
+// ShardCacheStats reports cache effectiveness: Deploy calls served by a
+// cached materialization (hits) vs physical rebuilds (misses), plus the
+// current residency.
+func (c *Cluster) ShardCacheStats() (hits, misses uint64, entries int, bytes int64) {
+	return c.hits, c.misses, c.lru.Len(), c.cacheBytes
+}
+
+// cacheKey joins table and design into the cache index key.
+func cacheKey(table, designCanonical string) string {
+	return table + "\x00" + designCanonical
+}
+
+// cacheGet returns a cached shard set, refreshing its recency.
+func (c *Cluster) cacheGet(table, designCanonical string) []*relation.Relation {
+	el, ok := c.index[cacheKey(table, designCanonical)]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*shardEntry).shards
+}
+
+// cachePut inserts (or refreshes) a materialized shard set, evicting
+// least-recently-deployed entries past the byte bound. Entries larger than
+// the whole bound are not cached.
+func (c *Cluster) cachePut(table, designCanonical string, shards []*relation.Relation) {
+	key := cacheKey(table, designCanonical)
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	var bytes int64
+	for _, s := range shards {
+		bytes += s.DataBytes()
+	}
+	if c.cacheCap <= 0 || bytes > c.cacheCap {
+		return
+	}
+	c.evictTo(c.cacheCap - bytes)
+	c.index[key] = c.lru.PushFront(&shardEntry{key: key, shards: shards, bytes: bytes})
+	c.cacheBytes += bytes
+}
+
+// evictTo drops least-recently-deployed entries until residency is at most
+// limit. The currently deployed shard sets stay valid — eviction only
+// removes the cache's reference, never the tables'.
+func (c *Cluster) evictTo(limit int64) {
+	for c.cacheBytes > limit {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		ent := c.lru.Remove(el).(*shardEntry)
+		delete(c.index, ent.key)
+		c.cacheBytes -= ent.bytes
+	}
+}
+
+// invalidateTable drops every cached materialization and memoized
+// transition of a table (its base data changed).
+func (c *Cluster) invalidateTable(name string) {
+	prefix := name + "\x00"
+	for key, el := range c.index {
+		if strings.HasPrefix(key, prefix) {
+			ent := c.lru.Remove(el).(*shardEntry)
+			delete(c.index, key)
+			c.cacheBytes -= ent.bytes
+		}
+	}
+	c.tables[name].moved = nil
 }
 
 // Nodes returns the cluster size.
@@ -88,12 +221,14 @@ func (c *Cluster) Load(name string, data *relation.Relation, rowWidth int) {
 	if rowWidth <= 0 {
 		panic(fmt.Sprintf("cluster: row width %d for table %s", rowWidth, name))
 	}
-	c.tables[name] = &table{
+	t := &table{
 		base:     data,
 		rowWidth: rowWidth,
 		design:   Design{},
 		shards:   data.SplitRoundRobin(c.n),
 	}
+	c.tables[name] = t
+	c.cachePut(name, t.design.canonical(), t.shards)
 }
 
 // Design returns the current design of the named table.
@@ -129,8 +264,8 @@ func (c *Cluster) mustTable(name string) *table {
 	return t
 }
 
-// Deploy changes the physical design of a table, physically rebuilding its
-// shards/replica, and returns the number of bytes that crossed the network:
+// Deploy changes the physical design of a table and returns the number of
+// bytes that crossed the network:
 //
 //   - unchanged design: 0;
 //   - to replicated: every node must receive the rows it is missing,
@@ -138,47 +273,90 @@ func (c *Cluster) mustTable(name string) *table {
 //   - replicated to partitioned: nodes drop non-owned rows locally, 0 bytes;
 //   - partitioned to partitioned: exactly the rows whose node assignment
 //     changes move.
+//
+// The bytes-moved figure is the simulated network accounting of the old→new
+// placement delta; it is charged on every design change regardless of
+// whether the shard set is physically rebuilt or served from the cache.
+// Revisiting a design previously materialized for the same base data is a
+// pointer swap (the training loop's what-if fast path).
 func (c *Cluster) Deploy(name string, d Design) (bytesMoved int64) {
 	t := c.mustTable(name)
 	if t.design.Equal(d) {
 		return 0
 	}
-	totalBytes := int64(t.base.Rows()) * int64(t.rowWidth)
-	switch {
-	case d.Replicated:
-		if !t.design.Replicated {
-			bytesMoved = totalBytes * int64(c.n-1)
-		}
-		t.replica = t.base
-		t.shards = nil
-	case len(d.Key) == 0:
-		if !t.design.Replicated {
-			bytesMoved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
-				return row%c.n != node // not exact round-robin placement, estimate
-			})
-		}
-		t.shards = t.base.SplitRoundRobin(c.n)
-		t.replica = nil
-	default:
-		if t.design.Replicated {
-			bytesMoved = 0 // local drop
-		} else {
-			keyIdx := make([]int, len(d.Key))
-			for i, k := range d.Key {
-				keyIdx[i] = t.base.ColIndex(k)
-				if keyIdx[i] < 0 {
-					panic(fmt.Sprintf("cluster: table %s has no column %q", name, k))
-				}
-			}
-			bytesMoved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
-				return int(r.HashRow(row, keyIdx)%uint64(c.n)) != node
-			})
-		}
-		t.shards = t.base.SplitByHash(d.Key, c.n)
-		t.replica = nil
-	}
+	bytesMoved = c.transitionBytes(name, t, d)
+	c.materialize(name, t, d)
 	t.design = d
 	return bytesMoved
+}
+
+// transitionBytes returns the simulated bytes moved by switching the table
+// from its current design to d, memoized per (old, new) design pair. Must
+// be called before materialize (it reads the current shard layout on a
+// memo miss).
+func (c *Cluster) transitionBytes(name string, t *table, d Design) int64 {
+	if t.design.Replicated {
+		if d.Replicated {
+			return 0
+		}
+		return 0 // replicated → anything: nodes drop non-owned rows locally
+	}
+	if d.Replicated {
+		// Every node must receive the rows it is missing.
+		totalBytes := int64(t.base.Rows()) * int64(t.rowWidth)
+		return totalBytes * int64(c.n-1)
+	}
+	memoKey := t.design.canonical() + "\x00" + d.canonical()
+	if moved, ok := t.moved[memoKey]; ok {
+		return moved
+	}
+	var moved int64
+	if len(d.Key) == 0 {
+		moved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
+			return row%c.n != node // not exact round-robin placement, estimate
+		})
+	} else {
+		keyIdx := make([]int, len(d.Key))
+		for i, k := range d.Key {
+			keyIdx[i] = t.base.ColIndex(k)
+			if keyIdx[i] < 0 {
+				panic(fmt.Sprintf("cluster: table %s has no column %q", name, k))
+			}
+		}
+		moved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
+			return int(r.HashRow(row, keyIdx)%uint64(c.n)) != node
+		})
+	}
+	if t.moved == nil {
+		t.moved = make(map[string]int64)
+	}
+	t.moved[memoKey] = moved
+	return moved
+}
+
+// materialize installs the shard set / replica of design d, serving
+// previously built shard sets from the cache.
+func (c *Cluster) materialize(name string, t *table, d Design) {
+	if d.Replicated {
+		t.replica = t.base // replicas alias base
+		t.shards = nil
+		return
+	}
+	key := d.canonical()
+	if shards := c.cacheGet(name, key); shards != nil {
+		c.hits++
+		t.shards = shards
+		t.replica = nil
+		return
+	}
+	c.misses++
+	if len(d.Key) == 0 {
+		t.shards = t.base.SplitRoundRobin(c.n)
+	} else {
+		t.shards = t.base.SplitByHash(d.Key, c.n)
+	}
+	t.replica = nil
+	c.cachePut(name, key, t.shards)
 }
 
 // movedBytes counts the bytes of rows whose new placement differs from their
@@ -198,22 +376,36 @@ func (c *Cluster) movedBytes(t *table, moves func(r *relation.Relation, row, nod
 
 // Append bulk-loads additional rows into a table, distributing them
 // according to the current design (the paper's Exp. 3a update procedure).
+// The table's cached shard sets and memoized transition deltas are built
+// from the pre-append base, so they are invalidated first; a hash design's
+// updated shard set is re-registered afterwards (it stays hot for
+// revisits).
 func (c *Cluster) Append(name string, rows *relation.Relation) {
 	t := c.mustTable(name)
+	c.invalidateTable(name)
 	t.base.Concat(rows)
 	switch {
 	case t.design.Replicated:
 		// replica aliases base; nothing further to do.
 	case len(t.design.Key) == 0:
+		// Round-robin placement of appended rows restarts at node 0, so the
+		// updated shards differ from a fresh SplitRoundRobin of the grown
+		// base; they are NOT re-registered in the cache (a later revisit
+		// rebuilds, exactly like the pre-cache engine).
 		add := rows.SplitRoundRobin(c.n)
 		for i := range t.shards {
 			t.shards[i].Concat(add[i])
 		}
 	default:
+		// Hash placement is row-order independent: appending the hash-split
+		// of the new rows yields byte-identical shards to re-splitting the
+		// grown base, so the updated set is re-registered as this design's
+		// materialization.
 		add := rows.SplitByHash(t.design.Key, c.n)
 		for i := range t.shards {
 			t.shards[i].Concat(add[i])
 		}
+		c.cachePut(name, t.design.canonical(), t.shards)
 	}
 }
 

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/faults"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/sqlparse"
+)
+
+// onlinePass drives one OnlineCost over a spread of designs and mixes and
+// returns the sequence of measured workload costs plus the final stats.
+func onlinePass(t *testing.T, parallel bool, inject *faults.Config) ([]float64, OnlineStats) {
+	t.Helper()
+	b := benchmarks.Micro()
+	sp := b.Space()
+	e := exec.New(b.Schema, b.Generate(0.3, 5), hardware.SystemXMemory(), exec.Memory)
+	if inject != nil {
+		e.SetFaults(faults.MustNew(*inject))
+	}
+	oc := NewOnlineCost(e, b.Workload, nil)
+	oc.Parallel = parallel
+
+	states := []*partition.State{sp.InitialState()}
+	for _, vi := range sp.ValidActions(states[0], nil) {
+		states = append(states, sp.Apply(states[0], sp.Actions()[vi]))
+		if len(states) == 4 {
+			break
+		}
+	}
+	var costs []float64
+	uniform := b.Workload.UniformFreq()
+	for pass := 0; pass < 2; pass++ { // second pass exercises the cache
+		for i, st := range states {
+			costs = append(costs, oc.WorkloadCost(st, uniform))
+			skew := b.Workload.ExtremeFreq(i%len(b.Workload.Queries), 0.1, 1.0)
+			costs = append(costs, oc.WorkloadCost(st, skew))
+		}
+	}
+	return costs, oc.Stats
+}
+
+// TestOnlineCostParallelMatchesSequential is the end-to-end determinism
+// guarantee the batch contract buys: fanning a state's cache misses across
+// the worker pool changes nothing observable — every measured cost and every
+// stat is bit-identical to the single-worker path, with and without an armed
+// fault schedule.
+func TestOnlineCostParallelMatchesSequential(t *testing.T) {
+	schedules := map[string]*faults.Config{
+		"perfect": nil,
+		"faulted": {
+			Seed:                 9,
+			TransientFailureRate: 0.1,
+			Stragglers: []faults.Straggler{
+				{Node: 0, Factor: 2, Window: faults.Window{Start: 0, End: 1e9}},
+			},
+		},
+	}
+	for name, inject := range schedules {
+		t.Run(name, func(t *testing.T) {
+			seqCosts, seqStats := onlinePass(t, false, inject)
+			parCosts, parStats := onlinePass(t, true, inject)
+			for i := range seqCosts {
+				if seqCosts[i] != parCosts[i] {
+					t.Fatalf("measurement %d: parallel %v != sequential %v", i, parCosts[i], seqCosts[i])
+				}
+			}
+			if seqStats != parStats {
+				t.Fatalf("stats diverge:\nsequential %+v\nparallel   %+v", seqStats, parStats)
+			}
+			if inject != nil && seqStats.Retries == 0 {
+				t.Fatal("10% transient rate produced no retries")
+			}
+		})
+	}
+}
+
+// TestConcurrentBatchesAndCommitteeTraining shares one engine between
+// parallel committee expert training (measured cost, synchronized through
+// the engine mutex) and a foreground loop hammering RunBatch — the -race
+// proof that batch fan-out composes with every other engine user.
+func TestConcurrentBatchesAndCommitteeTraining(t *testing.T) {
+	b := benchmarks.Micro()
+	sp := b.Space()
+	e := exec.New(b.Schema, b.Generate(0.3, 5), hardware.SystemXMemory(), exec.Memory)
+	hp := Test()
+	hp.Episodes = 4
+
+	naive, err := New(sp, b.Workload, hp, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := NewOnlineCost(e, b.Workload, nil)
+	if err := naive.TrainOffline(oc.WorkloadCost, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	graphs := make([]*sqlparse.Graph, len(b.Workload.Queries))
+	for i, q := range b.Workload.Queries {
+		graphs[i] = q.Graph
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			e.RunBatch(graphs, 0)
+		}
+	}()
+
+	cfg := DefaultCommitteeConfig(naive)
+	cfg.ExpertEpisodes = 2
+	if _, err := BuildCommittee(naive, oc.WorkloadCost, cfg); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

@@ -77,6 +77,10 @@ type OnlineCost struct {
 	UseCache        bool
 	LazyRepartition bool
 	UseTimeouts     bool
+	// Parallel fans each state's cache misses across the engine's worker
+	// pool (Engine.RunBatchQueries). Purely a wall-clock knob: the batch
+	// contract guarantees results identical to the single-worker path.
+	Parallel bool
 
 	// Fault-tolerance knobs. An execution that fails (injected crash or
 	// transient error) is retried up to MaxRetries times with capped
@@ -112,6 +116,7 @@ func NewOnlineCost(engine *exec.Engine, wl *workload.Workload, scale []float64) 
 		UseCache:           true,
 		LazyRepartition:    true,
 		UseTimeouts:        true,
+		Parallel:           true,
 		MaxRetries:         4,
 		RetryBackoffSec:    0.05,
 		RetryBackoffCapSec: 1.0,
@@ -189,15 +194,41 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 			}
 		}
 		oc.Stats.RepartitionSeconds += oc.Engine.Deploy(st, tables)
-		for _, i := range misses {
+		// The §4.2 limits are computable before any execution: bestForFreq
+		// only moves after the whole pass, so every miss shares the same
+		// budget rule — which is what lets the misses run as one batch.
+		qs := make([]exec.BatchQuery, len(misses))
+		weights := make([]float64, len(misses))
+		for k, i := range misses {
 			q := oc.WL.Queries[i]
-			weight := freq[i] * q.Weight * oc.scaleOf(i)
-			limit := 0.0
-			if oc.UseTimeouts && !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
-				limit = oc.bestForFreq / weight
+			weights[k] = freq[i] * q.Weight * oc.scaleOf(i)
+			qs[k].Graph = q.Graph
+			if oc.UseTimeouts && !math.IsInf(oc.bestForFreq, 1) && weights[k] > 0 {
+				qs[k].Limit = oc.bestForFreq / weights[k]
 			}
+		}
+		workers := 1
+		if oc.Parallel {
+			workers = 0 // GOMAXPROCS
+		}
+		rep := oc.Engine.RunBatchQueries(qs, workers)
+		oc.Stats.QueriesExecuted += len(misses)
+		oc.Stats.ExecSeconds += rep.Seconds
+		oc.Stats.NaiveExecSeconds += rep.Seconds
+		oc.Stats.DegradedSeconds += rep.DegradedSeconds
+		for k, i := range misses {
+			q := oc.WL.Queries[i]
+			weight := weights[k]
 			sig := st.TableSignature(q.Tables())
-			rt, aborted, degraded, err := oc.measure(q.Graph, limit)
+			rt := rep.Reports[k].Seconds
+			aborted := rep.Reports[k].Aborted
+			degraded := rep.Reports[k].DegradedSeconds > 0
+			err := rep.Errs[k]
+			if err != nil {
+				// The batch attempt failed (injected fault); fall back to the
+				// sequential retry-with-backoff loop for this query alone.
+				rt, aborted, degraded, err = oc.retry(q.Graph, qs[k].Limit, err)
+			}
 			if err != nil {
 				// Retry budget exhausted: the design loses this query under
 				// the current fault regime. Charge a penalty so the agent
@@ -236,27 +267,17 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 	return total
 }
 
-// measure executes one query under the §4.2 time limit, retrying injected
-// failures with capped exponential backoff. Every attempt's consumed time
+// retry re-measures one query whose batch execution failed with batchErr,
+// using capped exponential backoff. The failed batch attempt counts as the
+// first try, so the total attempt budget (1 + MaxRetries executions)
+// matches the historical sequential path. Every attempt's consumed time
 // (including the partial time of failed attempts and the backoff waits) is
 // booked — fault recovery is real training time. The backoff advances the
-// engine's simulated clock so crash windows can end while we wait. With no
-// fault injector armed this reduces to exactly one execution with the
-// pre-fault accounting.
-func (oc *OnlineCost) measure(g *sqlparse.Graph, limit float64) (rt float64, aborted, degraded bool, err error) {
+// engine's simulated clock so crash windows can end while we wait.
+func (oc *OnlineCost) retry(g *sqlparse.Graph, limit float64, batchErr error) (rt float64, aborted, degraded bool, err error) {
+	err = batchErr
 	backoff := oc.RetryBackoffSec
-	for attempt := 0; ; attempt++ {
-		rep, execErr := oc.Engine.Execute(g, limit)
-		oc.Stats.QueriesExecuted++
-		oc.Stats.ExecSeconds += rep.Seconds
-		oc.Stats.NaiveExecSeconds += rep.Seconds
-		oc.Stats.DegradedSeconds += rep.DegradedSeconds
-		if execErr == nil {
-			return rep.Seconds, rep.Aborted, rep.DegradedSeconds > 0, nil
-		}
-		if attempt >= oc.MaxRetries {
-			return rep.Seconds, false, true, execErr
-		}
+	for attempt := 1; attempt <= oc.MaxRetries; attempt++ {
 		oc.Stats.Retries++
 		wait := backoff
 		if wait > oc.RetryBackoffCapSec {
@@ -266,7 +287,17 @@ func (oc *OnlineCost) measure(g *sqlparse.Graph, limit float64) (rt float64, abo
 		oc.Stats.ExecSeconds += wait
 		oc.Stats.NaiveExecSeconds += wait
 		backoff *= 2
+		rep, execErr := oc.Engine.Execute(g, limit)
+		oc.Stats.QueriesExecuted++
+		oc.Stats.ExecSeconds += rep.Seconds
+		oc.Stats.NaiveExecSeconds += rep.Seconds
+		oc.Stats.DegradedSeconds += rep.DegradedSeconds
+		if execErr == nil {
+			return rep.Seconds, rep.Aborted, rep.DegradedSeconds > 0, nil
+		}
+		rt, err = rep.Seconds, execErr
 	}
+	return rt, false, true, err
 }
 
 // failKey identifies a (query, table-design) measurement.
@@ -347,10 +378,19 @@ func freqKey(freq workload.FreqVector) string {
 func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffline *partition.State) (scale []float64, setupSeconds float64) {
 	setupSeconds = full.Deploy(pOffline, nil)
 	setupSeconds += sample.Deploy(pOffline, nil)
-	scale = make([]float64, len(wl.Queries))
+	gs := make([]*sqlparse.Graph, len(wl.Queries))
 	for i, q := range wl.Queries {
-		cf := full.Run(q.Graph)
-		cs := sample.Run(q.Graph)
+		gs[i] = q.Graph
+	}
+	// One parallel batch per engine; the per-position reports are then
+	// consumed in the historical interleaved order (cf_i, cs_i, cf_i+1, …)
+	// so the setup-time sum is bit-identical to the sequential loop.
+	repF := full.RunBatch(gs, 0)
+	repS := sample.RunBatch(gs, 0)
+	scale = make([]float64, len(wl.Queries))
+	for i := range wl.Queries {
+		cf := repF.Reports[i].Seconds
+		cs := repS.Reports[i].Seconds
 		setupSeconds += cf + cs
 		if cs <= 0 {
 			scale[i] = 1

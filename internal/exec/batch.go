@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"partadvisor/internal/sqlparse"
+)
+
+// BatchQuery pairs one query with its §4.2 time limit (0 = none).
+type BatchQuery struct {
+	Graph *sqlparse.Graph
+	Limit float64
+}
+
+// BatchReport aggregates one RunBatch execution. Per-query results are
+// indexed by the query's position in the submitted batch, and the scalar
+// totals are reduced in position order, so the report is bit-identical
+// regardless of worker count or completion order.
+type BatchReport struct {
+	// Reports holds each query's outcome at its batch position.
+	Reports []RunReport
+	// Errs holds each query's injected failure (nil on success).
+	Errs []error
+	// Seconds is Σ Reports[i].Seconds in position order.
+	Seconds float64
+	// Aborts counts §4.2 timeout aborts.
+	Aborts int
+	// DegradedSeconds is Σ Reports[i].DegradedSeconds in position order.
+	DegradedSeconds float64
+}
+
+// RunBatch executes a set of queries against the current deployment with a
+// uniform time limit (0 = none), fanning them across a worker pool. See
+// RunBatchQueries for the execution and determinism contract.
+func (e *Engine) RunBatch(gs []*sqlparse.Graph, limit float64) BatchReport {
+	qs := make([]BatchQuery, len(gs))
+	for i, g := range gs {
+		qs[i] = BatchQuery{Graph: g, Limit: limit}
+	}
+	return e.RunBatchQueries(qs, 0)
+}
+
+// RunBatchQueries executes a batch of queries concurrently (workers <= 0
+// uses GOMAXPROCS; 1 runs inline) and returns per-position reports plus
+// position-ordered totals.
+//
+// Execution contract: a deployed layout is immutable while queries run, so
+// the batch holds the engine mutex for its whole duration (serializing
+// against Deploy/BulkLoad/Analyze and other engines sharing the injector)
+// and fans the read-only executions across the pool. All queries in a
+// batch are submitted at the same simulated instant: every executor sees
+// the fault state sampled at batch start, transient-failure verdicts are
+// derived from (schedule seed, batch number, query position) rather than
+// from the sequential draw stream, and per-query degraded overlap is
+// measured from batch start. The simulated clock advances by the
+// position-ordered sum at the end, exactly as if the queries had been
+// measured back to back on an idle cluster.
+//
+// Determinism contract: with no injector armed, totals are bit-identical
+// to running the queries one by one through Execute and summing in
+// position order. With an injector armed, results are a pure function of
+// (deployment, schedule, clock, batch number, positions) — identical
+// across runs and across any workers/GOMAXPROCS values.
+func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := BatchReport{
+		Reports: make([]RunReport, len(qs)),
+		Errs:    make([]error, len(qs)),
+	}
+	if len(qs) == 0 {
+		return rep
+	}
+	e.QueriesExecuted += len(qs)
+	batch := e.batchSeq
+	e.batchSeq++
+	start := e.simNow
+	fc := e.faultCtx()
+
+	runOne := func(i int) {
+		if e.faults != nil && e.faults.TransientFailureAt(batch, i) {
+			// The query dies before doing real work (worker restart,
+			// connection reset): only the fixed per-query overhead is lost.
+			sec := e.HW.QueryOverheadSec
+			rep.Reports[i] = RunReport{
+				Seconds:         sec,
+				DegradedSeconds: e.faults.DegradedOverlap(start, start+sec),
+			}
+			rep.Errs[i] = &TransientError{At: start}
+			return
+		}
+		x := newExecutor(e, qs[i].Graph, qs[i].Limit)
+		x.fc = fc
+		sec, aborted := x.run()
+		r := RunReport{Seconds: sec, Aborted: aborted}
+		if e.faults != nil {
+			r.DegradedSeconds = e.faults.DegradedOverlap(start, start+sec)
+		}
+		rep.Reports[i] = r
+		rep.Errs[i] = x.err
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i := range qs {
+			runOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(qs) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := range rep.Reports {
+		rep.Seconds += rep.Reports[i].Seconds
+		if rep.Reports[i].Aborted {
+			rep.Aborts++
+		}
+		rep.DegradedSeconds += rep.Reports[i].DegradedSeconds
+	}
+	e.simNow += rep.Seconds
+	return rep
+}

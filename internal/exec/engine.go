@@ -42,10 +42,12 @@ func (f Flavor) String() string {
 const estimateNoiseSigma = 0.7
 
 // Engine is one deployed distributed database. Its stateful operations
-// (Deploy, Run/RunWithLimit, Explain, EstimateCost, Analyze, BulkLoad) are
-// serialized by an internal mutex, so one engine can be shared by concurrent
-// advisors — e.g. the parallel committee's expert trainers measuring costs
-// while an experiment loop executes queries.
+// (Deploy, Run/RunWithLimit, RunBatch, Explain, EstimateCost, Analyze,
+// BulkLoad) are serialized by an internal mutex, so one engine can be
+// shared by concurrent advisors — e.g. the parallel committee's expert
+// trainers measuring costs while an experiment loop executes queries.
+// RunBatch holds the mutex for the whole batch and parallelizes the
+// (read-only) query executions internally across a worker pool.
 type Engine struct {
 	Schema *schema.Schema
 	HW     hardware.Profile
@@ -61,6 +63,9 @@ type Engine struct {
 	// simNow the simulated clock it is evaluated against; see faults.go.
 	faults *faults.Injector
 	simNow float64
+	// batchSeq numbers RunBatch calls; it keys the positional
+	// transient-failure derivation (see batch.go).
+	batchSeq uint64
 
 	// Counters for experiment accounting. They are updated under the
 	// engine mutex; concurrent readers must use Counters() for a coherent

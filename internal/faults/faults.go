@@ -49,7 +49,7 @@ type NodeCrash struct {
 // maintenance/failure regimes without enumerating an unbounded window
 // list.
 type PeriodicCrash struct {
-	Node                      int
+	Node                       int
 	Period, DownStart, DownEnd float64
 }
 
@@ -238,6 +238,38 @@ func (in *Injector) TransientFailure() bool {
 	in.draws++
 	u := float64(in.next()>>11) / (1 << 53)
 	return u < in.cfg.TransientFailureRate
+}
+
+// TransientFailureAt reports whether the query at the given position of
+// the given batch fails transiently. Unlike TransientFailure, the draw is
+// derived purely from (seed, batch, position) — a stateless splitmix64
+// evaluation, independent of arrival order and of the sequential stream —
+// so concurrent executors of a batch get deterministic, race-free
+// verdicts: same schedule, same batch, same position ⇒ same draw,
+// regardless of GOMAXPROCS or goroutine scheduling. Safe for concurrent
+// use (reads only the immutable config).
+func (in *Injector) TransientFailureAt(batch uint64, position int) bool {
+	if in.cfg.TransientFailureRate <= 0 {
+		return false
+	}
+	// One splitmix64 scramble per mixed-in word, then a final output step:
+	// the standard stateless way to derive an independent stream per key.
+	s := uint64(in.cfg.Seed)
+	s = splitmix(s + 0x9e3779b97f4a7c15*batch)
+	s = splitmix(s + 0x9e3779b97f4a7c15*uint64(position+1))
+	u := float64(s>>11) / (1 << 53)
+	return u < in.cfg.TransientFailureRate
+}
+
+// splitmix is the splitmix64 output function over one state word.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // Degraded reports whether any fault (crash, straggler, degradation) is

@@ -1,0 +1,54 @@
+// Package prof wires the -cpuprofile/-memprofile CLI flags to runtime/pprof
+// with the conventional semantics of the Go test binary: the CPU profile
+// covers the whole run, the heap profile is a snapshot taken right before a
+// clean exit. Errors are reported to stderr rather than aborting the run —
+// a broken profile path must not kill a long training job.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path and returns the stop function to
+// defer; with an empty path it is a no-op returning nil. Note that a
+// process exiting via os.Exit skips deferred stops and leaves the profile
+// truncated — profiles are for runs that complete.
+func StartCPU(path string) func() {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		return nil
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		f.Close()
+		return nil
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// WriteHeap writes an up-to-date heap profile to path (no-op on "").
+func WriteHeap(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set before snapshotting
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
+}

@@ -1,0 +1,153 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHashAssignMatchesHashRow: the one-pass bucket assignment (including
+// its single-column fast path) must agree with per-row HashRow hashing for
+// every row.
+func TestHashAssignMatchesHashRow(t *testing.T) {
+	r := New("t", []string{"a", "b", "c"})
+	for i := int64(0); i < 500; i++ {
+		r.AppendRow(i*7, i%13, -i)
+	}
+	for _, keys := range [][]int{{0}, {1}, {0, 2}, {2, 1, 0}} {
+		nodes := r.HashAssign(keys, 4)
+		if len(nodes) != r.Rows() {
+			t.Fatalf("keys %v: %d assignments for %d rows", keys, len(nodes), r.Rows())
+		}
+		for row, node := range nodes {
+			if want := int32(r.HashRow(row, keys) % 4); node != want {
+				t.Fatalf("keys %v row %d: assigned %d, HashRow says %d", keys, row, node, want)
+			}
+		}
+	}
+}
+
+// TestScatterPreservesRowsAndOrder: SplitByHash and SplitRoundRobin must
+// place every row on its assigned node with the base's relative row order
+// preserved inside each shard (the invariant the cluster's shard cache and
+// bytes-moved memoization rest on).
+func TestScatterPreservesRowsAndOrder(t *testing.T) {
+	r := New("t", []string{"k", "v"})
+	for i := int64(0); i < 1000; i++ {
+		r.AppendRow(i%37, i)
+	}
+	check := func(shards []*Relation, nodeOf func(row int) int32) {
+		t.Helper()
+		want := make([][]int64, len(shards))
+		for row := 0; row < r.Rows(); row++ {
+			n := nodeOf(row)
+			want[n] = append(want[n], r.Col("v")[row])
+		}
+		for n, s := range shards {
+			got := s.Col("v")
+			if len(got) != len(want[n]) {
+				t.Fatalf("shard %d: %d rows, want %d", n, len(got), len(want[n]))
+			}
+			for i := range got {
+				if got[i] != want[n][i] {
+					t.Fatalf("shard %d row %d: %d, want %d (order not preserved)", n, i, got[i], want[n][i])
+				}
+			}
+		}
+	}
+	kIdx := []int{r.ColIndex("k")}
+	check(r.SplitByHash([]string{"k"}, 5), func(row int) int32 {
+		return int32(r.HashRow(row, kIdx) % 5)
+	})
+	check(r.SplitRoundRobin(5), func(row int) int32 {
+		return int32(row % 5)
+	})
+}
+
+// TestLookupNarrowAndWide: the ≤8-column linear-scan path and the wide
+// eager-map path must be observationally identical, and duplicate columns
+// must panic on both.
+func TestLookupNarrowAndWide(t *testing.T) {
+	for _, n := range []int{3, colIndexLinearMax, colIndexLinearMax + 1, 20} {
+		cols := make([]string, n)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		r := New("t", cols)
+		for i, c := range cols {
+			if got := r.ColIndex(c); got != i {
+				t.Fatalf("n=%d: ColIndex(%s) = %d, want %d", n, c, got, i)
+			}
+			if !r.HasCol(c) {
+				t.Fatalf("n=%d: HasCol(%s) = false", n, c)
+			}
+		}
+		if r.ColIndex("missing") != -1 || r.HasCol("missing") {
+			t.Fatalf("n=%d: phantom column resolved", n)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d: duplicate column did not panic", n)
+				}
+			}()
+			dup := append(append([]string(nil), cols...), cols[0])
+			New("dup", dup)
+		}()
+	}
+}
+
+func benchRelation(rows int) *Relation {
+	r := New("t", []string{"k", "a", "b", "c"})
+	r.Grow(rows)
+	for i := int64(0); i < int64(rows); i++ {
+		r.AppendRow(i*2654435761%1_000_003, i, -i, i%97)
+	}
+	return r
+}
+
+func BenchmarkHashAssign(b *testing.B) {
+	r := benchRelation(100_000)
+	keys := []int{0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.HashAssign(keys, 4)
+	}
+}
+
+func BenchmarkSplitByHash(b *testing.B) {
+	r := benchRelation(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SplitByHash([]string{"k"}, 4)
+	}
+}
+
+func BenchmarkSplitRoundRobin(b *testing.B) {
+	r := benchRelation(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SplitRoundRobin(4)
+	}
+}
+
+func BenchmarkColLookupNarrow(b *testing.B) {
+	r := benchRelation(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ColIndex("c")
+	}
+}
+
+// TestDataBytes pins the residency arithmetic the shard cache budgets with.
+func TestDataBytes(t *testing.T) {
+	r := New("t", []string{"a", "b", "c"})
+	if r.DataBytes() != 0 {
+		t.Fatalf("empty DataBytes = %d", r.DataBytes())
+	}
+	for i := int64(0); i < 10; i++ {
+		r.AppendRow(i, i, i)
+	}
+	if got := r.DataBytes(); got != 10*3*8 {
+		t.Fatalf("DataBytes = %d, want %d", got, 10*3*8)
+	}
+}

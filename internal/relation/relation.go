@@ -10,25 +10,60 @@ import (
 	"math/rand"
 )
 
+// colIndexLinearMax is the column count up to which name lookups scan the
+// slice directly instead of consulting (and therefore building) the idx map.
+// Query intermediates are narrow, so most relations never pay a map at all.
+const colIndexLinearMax = 8
+
 // Relation is a named set of equal-length int64 columns.
 type Relation struct {
 	Name string
 	cols []string
+	// idx caches name→index for wide relations; narrow ones (the common
+	// case for query intermediates) resolve names by linear scan instead,
+	// so New never allocates a map for them (see lookup).
 	idx  map[string]int
 	data [][]int64
 }
 
 // New creates an empty relation with the given columns.
 func New(name string, cols []string) *Relation {
-	r := &Relation{Name: name, cols: append([]string(nil), cols...), idx: make(map[string]int, len(cols))}
-	for i, c := range cols {
-		if _, dup := r.idx[c]; dup {
-			panic(fmt.Sprintf("relation %s: duplicate column %q", name, c))
+	r := &Relation{Name: name, cols: append([]string(nil), cols...)}
+	if len(cols) <= colIndexLinearMax {
+		for i, c := range cols {
+			for j := i + 1; j < len(cols); j++ {
+				if cols[j] == c {
+					panic(fmt.Sprintf("relation %s: duplicate column %q", name, c))
+				}
+			}
 		}
-		r.idx[c] = i
+	} else {
+		r.idx = make(map[string]int, len(cols))
+		for i, c := range cols {
+			if _, dup := r.idx[c]; dup {
+				panic(fmt.Sprintf("relation %s: duplicate column %q", name, c))
+			}
+			r.idx[c] = i
+		}
 	}
 	r.data = make([][]int64, len(cols))
 	return r
+}
+
+// lookup resolves a column name to its position. Narrow relations use a
+// linear scan (faster than a map, and New never allocates one); wide ones
+// are served from the idx map built at construction.
+func (r *Relation) lookup(name string) (int, bool) {
+	if r.idx != nil {
+		i, ok := r.idx[name]
+		return i, ok
+	}
+	for i, c := range r.cols {
+		if c == name {
+			return i, true
+		}
+	}
+	return -1, false
 }
 
 // Columns returns the column names in order.
@@ -45,9 +80,15 @@ func (r *Relation) Rows() int {
 	return len(r.data[0])
 }
 
+// DataBytes returns the resident size of the column storage in bytes —
+// the unit the cluster's shard cache budgets in.
+func (r *Relation) DataBytes() int64 {
+	return int64(r.Rows()) * int64(len(r.cols)) * 8
+}
+
 // Col returns the storage of the named column (shared, do not resize).
 func (r *Relation) Col(name string) []int64 {
-	i, ok := r.idx[name]
+	i, ok := r.lookup(name)
 	if !ok {
 		panic(fmt.Sprintf("relation %s: no column %q (have %v)", r.Name, name, r.cols))
 	}
@@ -56,13 +97,13 @@ func (r *Relation) Col(name string) []int64 {
 
 // HasCol reports whether the column exists.
 func (r *Relation) HasCol(name string) bool {
-	_, ok := r.idx[name]
+	_, ok := r.lookup(name)
 	return ok
 }
 
 // ColIndex returns the position of the column, or -1.
 func (r *Relation) ColIndex(name string) int {
-	if i, ok := r.idx[name]; ok {
+	if i, ok := r.lookup(name); ok {
 		return i
 	}
 	return -1
@@ -159,24 +200,64 @@ func (r *Relation) Sample(rate float64, minRows int, rng *rand.Rand) *Relation {
 	return out2
 }
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvInt64 folds one int64 value into an FNV-1a state, byte by byte (fully
+// unrolled: this is the innermost loop of hashing, shuffling and
+// repartitioning).
+func fnvInt64(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 8) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 16) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 24) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 32) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 40) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 48) & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 56)) * fnvPrime64
+	return h
+}
+
 // HashRow hashes the given key columns of one row (FNV-1a over the raw
-// int64 bytes). Used to assign rows to cluster nodes.
+// int64 bytes). Used to assign rows to cluster nodes. Single-column keys —
+// the overwhelmingly common case — take a branch-free fast path.
 func (r *Relation) HashRow(row int, keyCols []int) uint64 {
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
+	if len(keyCols) == 1 {
+		return fnvInt64(fnvOffset64, uint64(r.data[keyCols[0]][row]))
+	}
+	h := uint64(fnvOffset64)
 	for _, ci := range keyCols {
-		v := uint64(r.data[ci][row])
-		for s := 0; s < 64; s += 8 {
-			h ^= (v >> uint(s)) & 0xff
-			h *= prime64
-		}
+		h = fnvInt64(h, uint64(r.data[ci][row]))
 	}
 	return h
 }
 
+// HashAssign computes the per-row hash bucket (mod n) of every row for the
+// given key columns in one pass. Reused by SplitByHash and by the cluster's
+// moved-bytes accounting; the single-column fast path hashes straight down
+// one column slice.
+func (r *Relation) HashAssign(keyCols []int, n int) []int32 {
+	rows := r.Rows()
+	nodes := make([]int32, rows)
+	if len(keyCols) == 1 {
+		col := r.data[keyCols[0]]
+		for row, v := range col {
+			nodes[row] = int32(fnvInt64(fnvOffset64, uint64(v)) % uint64(n))
+		}
+		return nodes
+	}
+	for row := 0; row < rows; row++ {
+		nodes[row] = int32(r.HashRow(row, keyCols) % uint64(n))
+	}
+	return nodes
+}
+
 // SplitByHash hash-partitions the relation into n shards by the given key
-// columns.
+// columns: one hashing pass assigns rows to nodes, then each column is
+// scattered with exact-capacity shard columns (no append-regrowth in the
+// hot repartitioning path).
 func (r *Relation) SplitByHash(keyCols []string, n int) []*Relation {
 	idxs := make([]int, len(keyCols))
 	for i, c := range keyCols {
@@ -185,15 +266,28 @@ func (r *Relation) SplitByHash(keyCols []string, n int) []*Relation {
 			panic(fmt.Sprintf("relation %s: no key column %q", r.Name, c))
 		}
 	}
+	nodes := r.HashAssign(idxs, n)
+	return r.scatter(nodes, n)
+}
+
+// scatter builds n shards from a per-row node assignment.
+func (r *Relation) scatter(nodes []int32, n int) []*Relation {
+	counts := make([]int, n)
+	for _, node := range nodes {
+		counts[node]++
+	}
 	shards := make([]*Relation, n)
 	for i := range shards {
 		shards[i] = New(r.Name, r.cols)
+		for ci := range shards[i].data {
+			shards[i].data[ci] = make([]int64, 0, counts[i])
+		}
 	}
-	rows := r.Rows()
-	for row := 0; row < rows; row++ {
-		node := int(r.HashRow(row, idxs) % uint64(n))
-		for ci := range r.cols {
-			shards[node].data[ci] = append(shards[node].data[ci], r.data[ci][row])
+	for ci := range r.cols {
+		src := r.data[ci]
+		for row, v := range src {
+			sh := shards[nodes[row]]
+			sh.data[ci] = append(sh.data[ci], v)
 		}
 	}
 	return shards
@@ -202,17 +296,11 @@ func (r *Relation) SplitByHash(keyCols []string, n int) []*Relation {
 // SplitRoundRobin splits the relation into n equal shards (the layout of
 // freshly bulk-loaded rows before any explicit partitioning).
 func (r *Relation) SplitRoundRobin(n int) []*Relation {
-	shards := make([]*Relation, n)
-	for i := range shards {
-		shards[i] = New(r.Name, r.cols)
+	nodes := make([]int32, r.Rows())
+	for row := range nodes {
+		nodes[row] = int32(row % n)
 	}
-	rows := r.Rows()
-	for row := 0; row < rows; row++ {
-		for ci := range r.cols {
-			shards[row%n].data[ci] = append(shards[row%n].data[ci], r.data[ci][row])
-		}
-	}
-	return shards
+	return r.scatter(nodes, n)
 }
 
 // Concat appends all rows of src (same columns by name).

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — run the component micro-benchmarks with -benchmem and emit a
+# machine-readable summary (bench name → ns/op, B/op) for perf tracking.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+#
+# The default output is BENCH_pr3.json at the repo root; benchtime defaults
+# to 0.5s per bench (raise it for more stable numbers). The raw `go test`
+# output is echoed as the benches run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr3.json}"
+benchtime="${2:-0.5s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Root-package benches: design-deployment memoization and batch execution.
+go test -run '^$' -bench 'DeployRevisit|RunBatch|EngineDeploy|EngineRunQuery' \
+  -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
+# Relation substrate: hashing, scattering, column lookup.
+go test -run '^$' -bench 'HashAssign|SplitByHash|SplitRoundRobin|ColLookup' \
+  -benchmem -benchtime "$benchtime" ./internal/relation/ | tee -a "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op")  bytes = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s}", name, ns, (bytes == "" ? "null" : bytes)
+}
+BEGIN { printf "{\n" }
+END   { printf "\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
