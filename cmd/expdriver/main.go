@@ -5,10 +5,12 @@
 // Usage:
 //
 //	expdriver [-exp <id>] [-profile repro|paper|test] [-scale F] [-seed N] [-list]
-//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	          [-chaos] [-chaos-episodes N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Run "expdriver -list" for the experiment ids. Without -exp, all
-// experiments run (minutes at the default repro profile).
+// experiments run (minutes at the default repro profile). With -chaos, the
+// driver runs the chaos soak harness instead of the paper experiments and
+// exits non-zero on any invariant violation.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"partadvisor/internal/chaos"
 	"partadvisor/internal/experiments"
 	"partadvisor/internal/prof"
 )
@@ -29,6 +32,8 @@ func main() {
 		scale      = flag.Float64("scale", 0, "data scale override (default: profile's)")
 		seed       = flag.Int64("seed", 0, "seed override (default: profile's)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		chaosRun   = flag.Bool("chaos", false, "run the chaos soak harness instead of experiments")
+		chaosEps   = flag.Int("chaos-episodes", 3, "chaos soak episodes (with -chaos)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -39,6 +44,33 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	if *chaosRun {
+		cfg := chaos.Config{Episodes: *chaosEps, Seed: 1, Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		start := time.Now()
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: chaos harness: %v\n", err)
+			os.Exit(1)
+		}
+		if vio := rep.Violations(); len(vio) > 0 {
+			for _, v := range vio {
+				fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("chaos soak passed: %d episodes, 0 violations, %s (seed %d)\n",
+			len(rep.Episodes), time.Since(start).Round(time.Millisecond), cfg.Seed)
 		return
 	}
 

@@ -1,0 +1,373 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/core"
+	"partadvisor/internal/costmodel"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/faults"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/sqlparse"
+	"partadvisor/internal/workload"
+)
+
+// Config parameterizes a soak run. The zero value is usable: defaults are
+// filled in by Run.
+type Config struct {
+	// Seed derives everything: database content, fault schedules, agent
+	// initialization. Identical seeds replay identical soaks.
+	Seed int64
+	// Episodes is the number of train-and-suggest episodes (default 2).
+	// Every episode runs twice (run + replay) for the determinism check.
+	Episodes int
+	// Scale multiplies the microbenchmark's generated row counts
+	// (default 0.2).
+	Scale float64
+	// EpisodeDeadline is the per-run wall-clock watchdog: a training loop
+	// that stops making progress becomes an invariant violation instead of
+	// a hang (default 2 minutes).
+	EpisodeDeadline time.Duration
+	// Logf, when set, receives per-episode progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Episodes <= 0 {
+		c.Episodes = 2
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.2
+	}
+	if c.EpisodeDeadline <= 0 {
+		c.EpisodeDeadline = 2 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// EpisodeReport is one episode's outcome and its invariant verdicts.
+type EpisodeReport struct {
+	Episode int
+	Seed    int64
+
+	// Schedule composition.
+	Crashes    int // crash windows with a rejoin (incl. recurring)
+	Permanent  int // crash windows without one (lost forever)
+	Partitions int // network-partition windows
+
+	// Engine and training totals (from the first run; the replay must
+	// match them bit for bit).
+	QueriesExecuted int
+	Repartitions    int
+	Repairs         int
+	BytesMoved      int64
+	DeployedBytes   int64
+	RepairedBytes   int64
+	Retries         int
+	FailedQueries   int
+	BreakerTrips    int
+
+	// Suggestion is the design the advisor settled on, Cost its measured
+	// workload cost.
+	Suggestion string
+	Cost       float64
+
+	// Violations holds every invariant breach (empty = episode passed).
+	Violations []string
+}
+
+// Report is a whole soak run.
+type Report struct {
+	Episodes []EpisodeReport
+}
+
+// Violations flattens every episode's breaches.
+func (r *Report) Violations() []string {
+	var out []string
+	for _, e := range r.Episodes {
+		for _, v := range e.Violations {
+			out = append(out, fmt.Sprintf("episode %d: %s", e.Episode, v))
+		}
+	}
+	return out
+}
+
+// Run executes the soak: cfg.Episodes episodes, each trained twice under
+// its derived seed — once to measure, once to check bit-identical replay —
+// with the conservation, placement and watchdog invariants evaluated on
+// both runs. A non-nil error means the harness itself broke; invariant
+// breaches land in the report instead.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{}
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		epSeed := cfg.Seed + 7919*int64(ep)
+		// Every third episode loses a node forever; the others only see
+		// recoverable faults.
+		er, err := runEpisode(cfg, ep, epSeed, ep%3 == 2)
+		if err != nil {
+			return rep, err
+		}
+		rep.Episodes = append(rep.Episodes, er)
+		cfg.Logf("chaos: episode %d/%d seed=%d crashes=%d permanent=%d partitions=%d repairs=%d repaired=%dB failedq=%d violations=%d",
+			ep+1, cfg.Episodes, epSeed, er.Crashes, er.Permanent, er.Partitions,
+			er.Repairs, er.RepairedBytes, er.FailedQueries, len(er.Violations))
+	}
+	return rep, nil
+}
+
+// outcome is the comparable digest of one episode run; the determinism
+// invariant is outcome equality between run and replay.
+type outcome struct {
+	stats            core.OnlineStats
+	queries, reparts int
+	repairs          int
+	moved            int64
+	deployed         int64
+	repaired         int64
+	sig              string
+	cost             float64
+	probeFails       int
+}
+
+type episodeResult struct {
+	out   outcome
+	sched schedule
+	vio   []string
+	err   error
+}
+
+func runEpisode(cfg Config, ep int, epSeed int64, permanentLoss bool) (EpisodeReport, error) {
+	er := EpisodeReport{Episode: ep, Seed: epSeed}
+	run := func() episodeResult {
+		out, sched, vio, err := runOnce(cfg, epSeed, permanentLoss)
+		return episodeResult{out: out, sched: sched, vio: vio, err: err}
+	}
+	first, ok := withDeadline(run, cfg.EpisodeDeadline)
+	if !ok {
+		er.Violations = append(er.Violations,
+			fmt.Sprintf("watchdog: run still going after %v — stuck training step", cfg.EpisodeDeadline))
+		return er, nil
+	}
+	if first.err != nil {
+		return er, first.err
+	}
+	second, ok := withDeadline(run, cfg.EpisodeDeadline)
+	if !ok {
+		er.Violations = append(er.Violations,
+			fmt.Sprintf("watchdog: replay still going after %v — stuck training step", cfg.EpisodeDeadline))
+		return er, nil
+	}
+	if second.err != nil {
+		return er, second.err
+	}
+	vio := append(first.vio, second.vio...)
+	if first.out != second.out {
+		vio = append(vio, fmt.Sprintf("determinism: replay of seed %d diverged:\n  run    %+v\n  replay %+v",
+			epSeed, first.out, second.out))
+	}
+	er.Crashes, er.Permanent, er.Partitions = first.sched.Crashes, first.sched.Permanent, first.sched.Partitions
+	er.QueriesExecuted, er.Repartitions, er.Repairs = first.out.queries, first.out.reparts, first.out.repairs
+	er.BytesMoved, er.DeployedBytes, er.RepairedBytes = first.out.moved, first.out.deployed, first.out.repaired
+	er.Retries, er.FailedQueries = first.out.stats.Retries, first.out.stats.FailedQueries
+	er.BreakerTrips = first.out.stats.BreakerTrips
+	er.Suggestion, er.Cost = first.out.sig, first.out.cost
+	er.Violations = vio
+	return er, nil
+}
+
+// withDeadline runs f under a wall-clock watchdog. On timeout the runner
+// goroutine is abandoned (it holds no external resources — everything is
+// in-memory and per-episode).
+func withDeadline(f func() episodeResult, d time.Duration) (episodeResult, bool) {
+	ch := make(chan episodeResult, 1)
+	go func() { ch <- f() }()
+	select {
+	case r := <-ch:
+		return r, true
+	case <-time.After(d):
+		return episodeResult{}, false
+	}
+}
+
+// runOnce builds a fresh database + engine, arms a generated fault
+// schedule and the self-healing layer, trains the advisor offline and
+// online, asks for a design, and evaluates the per-run invariants.
+func runOnce(cfg Config, epSeed int64, permanentLoss bool) (outcome, schedule, []string, error) {
+	var out outcome
+	var vio []string
+
+	b := benchmarks.Micro()
+	data := b.Generate(cfg.Scale, epSeed)
+	hw := hardware.SystemXMemory()
+	e := exec.New(b.Schema, data, hw, exec.Memory)
+	sp := b.Space()
+	wl := b.Workload
+	freq := wl.UniformFreq()
+
+	// Calibrate the schedule's time unit — one fault-free workload pass —
+	// before any fault is armed.
+	e.Deploy(sp.InitialState(), nil)
+	gs := make([]*sqlparse.Graph, len(wl.Queries))
+	for i, q := range wl.Queries {
+		gs[i] = q.Graph
+	}
+	unit := e.RunBatch(gs, 0).Seconds
+	if unit <= 0 {
+		return out, schedule{}, nil, fmt.Errorf("chaos: calibration workload consumed no simulated time")
+	}
+
+	rng := rand.New(rand.NewSource(epSeed))
+	sched := buildSchedule(rng, hw.Nodes, unit, permanentLoss)
+	inj, err := faults.New(sched.cfg)
+	if err != nil {
+		return out, sched, nil, fmt.Errorf("chaos: generated schedule invalid: %w", err)
+	}
+	e.SetFaults(inj)
+	e.ResetClock()
+	e.SetSelfHeal(true)
+
+	hp := core.Test()
+	hp.Episodes = 16
+	hp.OnlineEpisodes = 10
+	adv, err := core.New(sp, wl, hp, epSeed)
+	if err != nil {
+		return out, sched, nil, fmt.Errorf("chaos: build advisor: %w", err)
+	}
+	cm := costmodel.New(e.TrueCatalog(), hw)
+	offline := func(st *partition.State, f workload.FreqVector) float64 {
+		return cm.WorkloadCost(st, wl, f)
+	}
+	if err := adv.TrainOffline(offline, nil); err != nil {
+		return out, sched, nil, fmt.Errorf("chaos: offline training: %w", err)
+	}
+	oc := core.NewOnlineCost(e, wl, nil)
+	if err := adv.TrainOnline(oc, nil); err != nil {
+		return out, sched, nil, fmt.Errorf("chaos: online training: %w", err)
+	}
+	st, _, err := adv.SuggestBest(freq, oc)
+	if err != nil {
+		return out, sched, nil, fmt.Errorf("chaos: suggestion: %w", err)
+	}
+
+	// Invariant: replica-placement consistency — a query errors iff some
+	// fragment it needs has no accessible copy. Probed with Explain, a
+	// pure diagnostic (no clock advance, no transient draws, no heal), so
+	// the accessibility snapshot and the probe see the same instant.
+	down, unreach := e.NodeStates()
+	inacc := func(n int) bool { return down[n] || unreach[n] }
+	for _, q := range wl.Queries {
+		expectFail := false
+		for _, tbl := range q.Tables() {
+			if !e.Cluster().Available(tbl, inacc) {
+				expectFail = true
+			}
+		}
+		plan, _ := e.Explain(q.Graph)
+		gotFail := false
+		for _, line := range plan {
+			if strings.HasPrefix(line, "ERROR:") {
+				gotFail = true
+			}
+		}
+		if gotFail {
+			out.probeFails++
+		}
+		if gotFail != expectFail {
+			vio = append(vio, fmt.Sprintf(
+				"placement: query %s errored=%v but fragment accessibility says shouldFail=%v",
+				q.Name, gotFail, expectFail))
+		}
+	}
+
+	// Invariant: cost-accounting conservation. Training is done and the
+	// engine quiescent, so direct counter reads are single-threaded.
+	queries, reparts, moved := e.Counters()
+	repairs, repaired := e.RepairStats()
+	var logBytes int64
+	for _, r := range e.RepairLog() {
+		logBytes += r.Bytes
+	}
+	if repaired != logBytes {
+		vio = append(vio, fmt.Sprintf("conservation: RepairedBytes %d != repair-log sum %d", repaired, logBytes))
+	}
+	if moved != e.DeployedBytes+repaired {
+		vio = append(vio, fmt.Sprintf("conservation: BytesMoved %d != DeployedBytes %d + RepairedBytes %d",
+			moved, e.DeployedBytes, repaired))
+	}
+	if math.IsNaN(oc.Stats.ExecSeconds) || oc.Stats.ExecSeconds < 0 {
+		vio = append(vio, fmt.Sprintf("accounting: ExecSeconds = %v", oc.Stats.ExecSeconds))
+	}
+
+	out.stats = oc.Stats
+	out.queries, out.reparts, out.repairs = queries, reparts, repairs
+	out.moved, out.deployed, out.repaired = moved, e.DeployedBytes, repaired
+	out.sig = st.Signature()
+	out.cost = oc.WorkloadCost(st, freq)
+	return out, sched, vio, nil
+}
+
+// PermanentLossAdaptation trains the same-seeded advisor twice — once on a
+// fault-free cluster, once under a schedule whose only fault is a node
+// lost forever early in the online phase — and returns both suggested
+// designs' signatures. Calling it twice with the same seed returns the
+// identical pair: the adaptation is reproducible, not luck.
+func PermanentLossAdaptation(seed int64, scale float64) (faultFree, faulted string, err error) {
+	if scale <= 0 {
+		scale = 0.2
+	}
+	suggest := func(lostNode int) (string, error) {
+		b := benchmarks.Micro()
+		data := b.Generate(scale, seed)
+		hw := hardware.SystemXMemory()
+		e := exec.New(b.Schema, data, hw, exec.Memory)
+		sp := b.Space()
+		wl := b.Workload
+		if lostNode >= 0 {
+			inj := faults.MustNew(faults.Config{Crashes: []faults.NodeCrash{
+				{Node: lostNode, Window: faults.Window{Start: 1e-9, End: math.Inf(1)}},
+			}})
+			e.SetFaults(inj)
+			e.SetSelfHeal(true)
+		}
+		hp := core.Test()
+		hp.Episodes = 16
+		hp.OnlineEpisodes = 10
+		adv, err := core.New(sp, wl, hp, seed)
+		if err != nil {
+			return "", err
+		}
+		cm := costmodel.New(e.TrueCatalog(), hw)
+		offline := func(st *partition.State, f workload.FreqVector) float64 {
+			return cm.WorkloadCost(st, wl, f)
+		}
+		if err := adv.TrainOffline(offline, nil); err != nil {
+			return "", err
+		}
+		oc := core.NewOnlineCost(e, wl, nil)
+		if err := adv.TrainOnline(oc, nil); err != nil {
+			return "", err
+		}
+		st, _, err := adv.SuggestBest(wl.UniformFreq(), oc)
+		if err != nil {
+			return "", err
+		}
+		return st.Signature(), nil
+	}
+	if faultFree, err = suggest(-1); err != nil {
+		return "", "", err
+	}
+	if faulted, err = suggest(1); err != nil {
+		return "", "", err
+	}
+	return faultFree, faulted, nil
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// -chaos.episodes scales the soak: CI's short job runs 3, the nightly
+// soak raises it (see .github/workflows/ci.yml).
+var soakEpisodes = flag.Int("chaos.episodes", 2, "chaos soak episodes (each runs twice for the replay check)")
+
+// TestSoak is the chaos soak: randomized crash/rejoin/partition schedules
+// over full train-and-suggest episodes, with every invariant checked.
+func TestSoak(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:            1,
+		Episodes:        *soakEpisodes,
+		EpisodeDeadline: 5 * time.Minute,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak harness error: %v", err)
+	}
+	if got := len(rep.Episodes); got != *soakEpisodes {
+		t.Fatalf("completed %d of %d episodes", got, *soakEpisodes)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("invariant violation: %s", v)
+	}
+	// The soak is only meaningful if the schedules actually exercised the
+	// machinery: every episode must compose crashes with partitions, and
+	// at least one episode must have executed a repair.
+	repairs := 0
+	for _, ep := range rep.Episodes {
+		if ep.Crashes == 0 || ep.Partitions == 0 {
+			t.Errorf("episode %d schedule has %d crashes, %d partitions — not a chaos episode",
+				ep.Episode, ep.Crashes, ep.Partitions)
+		}
+		repairs += ep.Repairs
+	}
+	if repairs == 0 {
+		t.Error("no episode executed a single repair — self-healing never engaged")
+	}
+}
+
+// TestPermanentLossChangesDesign: after a permanent node loss the online
+// agent must settle on a different design than the fault-free run — and
+// reproducibly so under a fixed seed.
+func TestPermanentLossChangesDesign(t *testing.T) {
+	free1, lost1, err := PermanentLossAdaptation(5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 == lost1 {
+		t.Fatalf("permanent node loss did not change the suggested design (%s)", lost1)
+	}
+	free2, lost2, err := PermanentLossAdaptation(5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 != free2 || lost1 != lost2 {
+		t.Fatalf("adaptation not reproducible under fixed seed:\n fault-free %s vs %s\n faulted %s vs %s",
+			free1, free2, lost1, lost2)
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RepairKind classifies one table's catch-up action in a repair plan.
+type RepairKind int
+
+const (
+	// RepairShardCatchup ships (and if necessary rebuilds) the node's
+	// shard of a partitioned table.
+	RepairShardCatchup RepairKind = iota
+	// RepairReplicaCatchup ships a fresh full copy of a replicated table
+	// to the node.
+	RepairReplicaCatchup
+)
+
+// String names the repair kind.
+func (k RepairKind) String() string {
+	if k == RepairReplicaCatchup {
+		return "replica-catchup"
+	}
+	return "shard-catchup"
+}
+
+// RepairAction is one table's catch-up within a repair plan.
+type RepairAction struct {
+	Table string
+	Kind  RepairKind
+	// Rows and Bytes are the tuples the node must receive over the
+	// interconnect: its shard for a partitioned table, the full copy for a
+	// replicated one.
+	Rows  int64
+	Bytes int64
+	// Cached reports that the current design's materialization is still
+	// resident (shard LRU, or the replica aliasing base), so executing the
+	// action is a registration — a pointer (re-)install — rather than a
+	// physical re-split of the base data.
+	Cached bool
+}
+
+// RepairPlan is the minimal catch-up for one rejoining node: exactly the
+// tables whose state the node missed while away, nothing else. A node that
+// missed no mutations gets an empty plan (its local storage is still
+// valid).
+type RepairPlan struct {
+	Node    int
+	Actions []RepairAction
+}
+
+// Bytes returns the total bytes the plan ships to the node.
+func (p RepairPlan) Bytes() int64 {
+	var b int64
+	for _, a := range p.Actions {
+		b += a.Bytes
+	}
+	return b
+}
+
+// CachedActions counts the actions served as cache registrations.
+func (p RepairPlan) CachedActions() int {
+	n := 0
+	for _, a := range p.Actions {
+		if a.Cached {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the plan.
+func (p RepairPlan) String() string {
+	return fmt.Sprintf("repair(node %d, %d tables, %d bytes)", p.Node, len(p.Actions), p.Bytes())
+}
+
+// PlanRepair computes the minimal catch-up plan for a node that was
+// offline (crashed or partitioned away) while the given tables mutated —
+// their design changed or rows were appended. Tables the node currently
+// stores no rows of need no data movement and are omitted; duplicate
+// names are collapsed; actions are emitted in sorted table order so the
+// same inputs always yield the identical plan.
+func (c *Cluster) PlanRepair(node int, staleTables []string) RepairPlan {
+	if node < 0 || node >= c.n {
+		panic(fmt.Sprintf("cluster: repair of node %d on a %d-node cluster", node, c.n))
+	}
+	names := make([]string, 0, len(staleTables))
+	seen := make(map[string]bool, len(staleTables))
+	for _, t := range staleTables {
+		if !seen[t] {
+			seen[t] = true
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	plan := RepairPlan{Node: node}
+	for _, name := range names {
+		t := c.mustTable(name)
+		rows := int64(c.RowsOn(name, node))
+		if rows == 0 {
+			// Dropping rows the node no longer owns is metadata-only; no
+			// tuples cross the network.
+			continue
+		}
+		a := RepairAction{Table: name, Rows: rows, Bytes: rows * int64(t.rowWidth)}
+		if t.design.Replicated {
+			// The replica aliases base, so a fresh copy always exists — the
+			// repair is a registration that ships the full table.
+			a.Kind = RepairReplicaCatchup
+			a.Cached = true
+		} else {
+			a.Kind = RepairShardCatchup
+			_, a.Cached = c.index[cacheKey(name, t.design.canonical())]
+		}
+		plan.Actions = append(plan.Actions, a)
+	}
+	return plan
+}
+
+// ExecuteRepair performs the plan's tuple movement and returns the bytes
+// shipped to the node. Cached actions re-install the resident
+// materialization (a pointer swap — the zero-copy fast path of the shard
+// LRU); uncached shard catch-ups physically re-split the base data and
+// re-register the rebuilt set so the next repair or deploy of the same
+// design is a registration again.
+func (c *Cluster) ExecuteRepair(p RepairPlan) int64 {
+	for _, a := range p.Actions {
+		t := c.mustTable(a.Table)
+		if t.design.Replicated {
+			// The node's copy is re-synced from base; replicas alias base,
+			// so there is nothing to rebuild.
+			t.replica = t.base
+			continue
+		}
+		// materialize serves the cached shard set when resident (hit) or
+		// re-splits the base and re-registers it (miss) — exactly the
+		// coherence rule deploys follow.
+		c.materialize(a.Table, t, t.design)
+	}
+	return p.Bytes()
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"partadvisor/internal/relation"
+)
+
+// repairCluster loads two tables so plans can mix shard and replica
+// catch-ups.
+func repairCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := New(4)
+	orders := relation.New("orders", []string{"o_id", "o_c"})
+	for i := int64(0); i < 1000; i++ {
+		orders.AppendRow(i, i%100)
+	}
+	c.Load("orders", orders, 16)
+	cust := relation.New("customer", []string{"c_id"})
+	for i := int64(0); i < 200; i++ {
+		cust.AppendRow(i)
+	}
+	c.Load("customer", cust, 8)
+	return c
+}
+
+func TestPlanRepairMinimalAndDeterministic(t *testing.T) {
+	c := repairCluster(t)
+	c.Deploy("orders", Design{Key: []string{"o_id"}})
+	c.Deploy("customer", Design{Replicated: true})
+
+	// Duplicates collapse, names sort, and only the given tables appear —
+	// the plan is minimal catch-up, not a full node rebuild.
+	p := c.PlanRepair(2, []string{"orders", "customer", "orders"})
+	if len(p.Actions) != 2 {
+		t.Fatalf("plan has %d actions, want 2: %v", len(p.Actions), p)
+	}
+	if p.Actions[0].Table != "customer" || p.Actions[1].Table != "orders" {
+		t.Fatalf("actions not in sorted table order: %v", p.Actions)
+	}
+	if p.Actions[0].Kind != RepairReplicaCatchup || !p.Actions[0].Cached {
+		t.Fatalf("replicated catch-up = %+v", p.Actions[0])
+	}
+	if p.Actions[1].Kind != RepairShardCatchup {
+		t.Fatalf("shard catch-up = %+v", p.Actions[1])
+	}
+	// Bytes = the node's share: full copy for the replica, its hash shard
+	// for the partitioned table.
+	if want := int64(200 * 8); p.Actions[0].Bytes != want {
+		t.Fatalf("replica catch-up ships %d bytes, want %d", p.Actions[0].Bytes, want)
+	}
+	if want := int64(c.RowsOn("orders", 2) * 16); p.Actions[1].Bytes != want {
+		t.Fatalf("shard catch-up ships %d bytes, want %d", p.Actions[1].Bytes, want)
+	}
+	if p.Bytes() != p.Actions[0].Bytes+p.Actions[1].Bytes {
+		t.Fatalf("plan bytes %d != action sum", p.Bytes())
+	}
+
+	q := c.PlanRepair(2, []string{"customer", "orders", "customer"})
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("identical inputs yield different plans:\n%v\n%v", p, q)
+	}
+
+	// A node that missed nothing — or only tables it holds no rows of —
+	// needs no data movement.
+	if p := c.PlanRepair(1, nil); len(p.Actions) != 0 {
+		t.Fatalf("empty stale set produced actions: %v", p)
+	}
+	empty := relation.New("empty", []string{"e_id"})
+	c.Load("empty", empty, 8)
+	if p := c.PlanRepair(1, []string{"empty"}); len(p.Actions) != 0 {
+		t.Fatalf("zero-row table produced actions: %v", p)
+	}
+}
+
+func TestExecuteRepairUsesShardCache(t *testing.T) {
+	c := repairCluster(t)
+	d := Design{Key: []string{"o_id"}}
+	c.Deploy("orders", d)
+	shards, _, _ := c.Shards("orders")
+
+	// The deployed design's materialization is resident, so the repair is
+	// flagged cached and executing it re-installs the same shard objects.
+	p := c.PlanRepair(3, []string{"orders"})
+	if len(p.Actions) != 1 || !p.Actions[0].Cached {
+		t.Fatalf("repair of the live design not served from cache: %v", p)
+	}
+	if got := c.ExecuteRepair(p); got != p.Bytes() {
+		t.Fatalf("ExecuteRepair moved %d bytes, want %d", got, p.Bytes())
+	}
+	after, _, _ := c.Shards("orders")
+	if !sameShards(shards, after) {
+		t.Fatal("cached repair rebuilt the shard set instead of re-installing it")
+	}
+
+	// Evicting the materialization from the shard LRU turns the next
+	// repair into a physical re-split (Cached = false) that re-registers
+	// the result. Shrink to evict, then restore capacity so the re-split
+	// has room to re-register.
+	c.SetShardCacheLimit(1)
+	c.SetShardCacheLimit(DefaultShardCacheBytes)
+	p = c.PlanRepair(3, []string{"orders"})
+	if len(p.Actions) != 1 || p.Actions[0].Cached {
+		t.Fatalf("repair after eviction still claims a cache hit: %v", p)
+	}
+	c.ExecuteRepair(p)
+	p = c.PlanRepair(3, []string{"orders"})
+	if len(p.Actions) != 1 || !p.Actions[0].Cached {
+		t.Fatalf("re-split did not re-register the materialization: %v", p)
+	}
+}
+
+func TestExecuteRepairReplicaResync(t *testing.T) {
+	c := repairCluster(t)
+	c.Deploy("customer", Design{Replicated: true})
+	p := c.PlanRepair(0, []string{"customer"})
+	if got := c.ExecuteRepair(p); got != int64(200*8) {
+		t.Fatalf("replica resync moved %d bytes", got)
+	}
+	_, replica, replicated := c.Shards("customer")
+	if !replicated || replica.Rows() != 200 {
+		t.Fatal("replica not intact after resync")
+	}
+}
+
+func TestPlanRepairPanicsOnBadNode(t *testing.T) {
+	c := repairCluster(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlanRepair accepted an out-of-range node")
+		}
+	}()
+	c.PlanRepair(7, []string{"orders"})
+}

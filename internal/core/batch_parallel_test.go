@@ -21,6 +21,7 @@ func onlinePass(t *testing.T, parallel bool, inject *faults.Config) ([]float64, 
 	e := exec.New(b.Schema, b.Generate(0.3, 5), hardware.SystemXMemory(), exec.Memory)
 	if inject != nil {
 		e.SetFaults(faults.MustNew(*inject))
+		e.SetSelfHeal(true)
 	}
 	oc := NewOnlineCost(e, b.Workload, nil)
 	oc.Parallel = parallel
@@ -57,6 +58,24 @@ func TestOnlineCostParallelMatchesSequential(t *testing.T) {
 			TransientFailureRate: 0.1,
 			Stragglers: []faults.Straggler{
 				{Node: 0, Factor: 2, Window: faults.Window{Start: 0, End: 1e9}},
+			},
+		},
+		// Crash/rejoin cycles plus partition windows spread over several
+		// decades of simulated time (the pass's total sim time depends on
+		// the workload), with self-healing armed: repairs, partition
+		// errors and retry backoffs must all stay bit-identical across
+		// worker counts.
+		"partitioned": {
+			Seed:                 11,
+			TransientFailureRate: 0.05,
+			PeriodicCrashes: []faults.PeriodicCrash{
+				{Node: 1, Period: 1e-3, DownStart: 4e-4, DownEnd: 7e-4},
+			},
+			Partitions: []faults.NetPartition{
+				faults.SeededBisect(11, 4, faults.Window{Start: 2e-4, End: 6e-4}),
+				faults.SeededBisect(12, 4, faults.Window{Start: 2e-3, End: 6e-3}),
+				faults.SeededBisect(13, 4, faults.Window{Start: 2e-2, End: 6e-2}),
+				faults.SeededBisect(14, 4, faults.Window{Start: 2e-1, End: 6e-1}),
 			},
 		},
 	}

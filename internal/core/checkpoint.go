@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 )
 
 // Training phase names used for checkpoint bookkeeping. trainEpisodes tags
@@ -170,10 +171,12 @@ func (a *Advisor) Restore(ck *Checkpoint) error {
 	return nil
 }
 
-// SaveCheckpoint writes the current training state to path atomically:
-// the snapshot is written to path+".tmp", synced, and renamed over path,
-// so a crash at any instant leaves either the old or the new snapshot
-// intact — never a torn file.
+// SaveCheckpoint writes the current training state to path atomically and
+// durably: the snapshot goes to a unique temp file in the target
+// directory (same filesystem, so the rename is atomic), is fsynced,
+// renamed over path, and the directory is fsynced so the rename itself
+// survives a power loss. A crash at any instant leaves either the old or
+// the new snapshot intact — never a torn file.
 func (a *Advisor) SaveCheckpoint(path string) error {
 	ck, err := a.Checkpoint()
 	if err != nil {
@@ -181,28 +184,47 @@ func (a *Advisor) SaveCheckpoint(path string) error {
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
-		return err
+		return fmt.Errorf("core: encode checkpoint: %w", err)
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return err
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: write checkpoint %s: %w", path, err)
 	}
 	if _, err := f.Write(buf.Bytes()); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("core: write checkpoint %s: %w", path, err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: install checkpoint %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms cannot fsync directories; those errors are not fatal — the
+// rename is already atomic, durability is best-effort there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
 }
 
 // LoadCheckpoint reads a snapshot written by SaveCheckpoint.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -45,6 +46,11 @@ type OnlineStats struct {
 	// injected fault window; runtimes measured then are noisy and are kept
 	// out of the runtime cache.
 	DegradedSeconds float64
+	// BreakerTrips counts designs whose circuit breaker tripped;
+	// CircuitBroken counts measurement passes short-circuited by a tripped
+	// breaker (charged the penalty without touching the engine).
+	BreakerTrips  int
+	CircuitBroken int
 	// SetupSeconds is the one-off cost of the §4.2 scale-factor computation
 	// (deploys plus calibration runs on both engines), previously discarded;
 	// callers book it here so Table-2-style accounting charges the bootstrap
@@ -92,6 +98,13 @@ type OnlineCost struct {
 	RetryBackoffSec    float64
 	RetryBackoffCapSec float64
 	FailurePenaltySec  float64
+	// CircuitBreakAfter trips a per-design circuit breaker after this many
+	// consecutive measurement passes in which the design lost at least one
+	// query (retry budget exhausted). A tripped design is charged the
+	// failure penalty immediately — no deploy, no execution — so the agent
+	// stops burning simulated time on layouts that keep failing even across
+	// partition heals and node rejoins. 0 disables the breaker.
+	CircuitBreakAfter int
 
 	Stats OnlineStats
 
@@ -104,6 +117,10 @@ type OnlineCost struct {
 	// exhausted the retry budget: CachedCost refuses to rank designs that
 	// were observed to lose a query under the current fault regime.
 	failedQ map[string]bool
+	// failStreak counts consecutive failing measurement passes per design
+	// signature; tripped marks designs whose breaker has fired.
+	failStreak map[string]int
+	tripped    map[string]bool
 }
 
 // NewOnlineCost builds the measured cost function with all optimizations
@@ -121,11 +138,14 @@ func NewOnlineCost(engine *exec.Engine, wl *workload.Workload, scale []float64) 
 		RetryBackoffSec:    0.05,
 		RetryBackoffCapSec: 1.0,
 		FailurePenaltySec:  10,
+		CircuitBreakAfter:  3,
 		bestForFreq:        math.Inf(1),
 	}
 	oc.cache = make([]map[string]float64, len(wl.Queries)+wl.Reserved)
 	oc.visited = make(map[string]*partition.State)
 	oc.failedQ = make(map[string]bool)
+	oc.failStreak = make(map[string]int)
+	oc.tripped = make(map[string]bool)
 	return oc
 }
 
@@ -158,8 +178,15 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		oc.curFreqKey = key
 		oc.bestForFreq = math.Inf(1)
 	}
-	if sig := st.Signature(); oc.visited[sig] == nil {
-		oc.visited[sig] = st
+	dsig := st.Signature()
+	if oc.CircuitBreakAfter > 0 && oc.tripped[dsig] {
+		// The breaker is open: this design kept losing queries across
+		// heals, so charge the penalty without deploying or executing.
+		oc.Stats.CircuitBroken++
+		return oc.breakerPenalty(freq)
+	}
+	if oc.visited[dsig] == nil {
+		oc.visited[dsig] = st
 	}
 	total := 0.0
 	var misses []int
@@ -192,6 +219,10 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 			for t := range set {
 				tables = append(tables, t)
 			}
+			// Deploy sums per-table seconds in list order; sort so the
+			// float-addition order (and thus RepartitionSeconds, to the last
+			// ULP) doesn't inherit map-iteration randomness.
+			sort.Strings(tables)
 		}
 		oc.Stats.RepartitionSeconds += oc.Engine.Deploy(st, tables)
 		// The §4.2 limits are computable before any execution: bestForFreq
@@ -216,6 +247,7 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		oc.Stats.ExecSeconds += rep.Seconds
 		oc.Stats.NaiveExecSeconds += rep.Seconds
 		oc.Stats.DegradedSeconds += rep.DegradedSeconds
+		passFailed := false
 		for k, i := range misses {
 			q := oc.WL.Queries[i]
 			weight := weights[k]
@@ -234,6 +266,7 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 				// the current fault regime. Charge a penalty so the agent
 				// steers away from it, remember the failure for CachedCost,
 				// and never cache the (meaningless) partial runtime.
+				passFailed = true
 				oc.Stats.FailedQueries++
 				oc.failedQ[failKey(i, sig)] = true
 				if !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
@@ -260,11 +293,47 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 			}
 			total += weight * rt
 		}
+		// Advance (or reset) the breaker streak: only passes that actually
+		// measured something count — cache-hit-only passes say nothing new
+		// about the design's health.
+		if oc.CircuitBreakAfter > 0 {
+			if passFailed {
+				oc.failStreak[dsig]++
+				if oc.failStreak[dsig] >= oc.CircuitBreakAfter {
+					oc.tripped[dsig] = true
+					oc.Stats.BreakerTrips++
+				}
+			} else {
+				delete(oc.failStreak, dsig)
+			}
+		}
 	}
 	if total < oc.bestForFreq {
 		oc.bestForFreq = total
 	}
 	return total
+}
+
+// breakerPenalty prices a circuit-broken design without touching the
+// engine: twice the best-known cost of the current mix when one exists,
+// else the flat failure penalty per active query. bestForFreq is left
+// untouched — a penalty must never become the cost to beat.
+func (oc *OnlineCost) breakerPenalty(freq workload.FreqVector) float64 {
+	if !math.IsInf(oc.bestForFreq, 1) {
+		return 2 * oc.bestForFreq
+	}
+	active := 0
+	for i := range oc.WL.Queries {
+		if i < len(freq) && freq[i] != 0 {
+			active++
+		}
+	}
+	return oc.FailurePenaltySec * float64(active)
+}
+
+// Tripped reports whether the design's circuit breaker is open.
+func (oc *OnlineCost) Tripped(st *partition.State) bool {
+	return oc.tripped[st.Signature()]
 }
 
 // retry re-measures one query whose batch execution failed with batchErr,
@@ -274,12 +343,20 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 // (including the partial time of failed attempts and the backoff waits) is
 // booked — fault recovery is real training time. The backoff advances the
 // engine's simulated clock so crash windows can end while we wait.
+// Availability losses (a crashed node, a lost shard, a network partition)
+// only heal through a topology change, so they wait at the backoff cap
+// immediately instead of creeping up to it; transient failures keep the
+// exponential schedule.
 func (oc *OnlineCost) retry(g *sqlparse.Graph, limit float64, batchErr error) (rt float64, aborted, degraded bool, err error) {
 	err = batchErr
 	backoff := oc.RetryBackoffSec
 	for attempt := 1; attempt <= oc.MaxRetries; attempt++ {
 		oc.Stats.Retries++
 		wait := backoff
+		if errors.Is(err, exec.ErrNodeDown) || errors.Is(err, exec.ErrShardLost) ||
+			errors.Is(err, exec.ErrPartitioned) {
+			wait = oc.RetryBackoffCapSec
+		}
 		if wait > oc.RetryBackoffCapSec {
 			wait = oc.RetryBackoffCapSec
 		}
@@ -406,7 +483,10 @@ func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffl
 // hp.OnlineEpsilonFromEpisode rather than from full exploration.
 func (a *Advisor) TrainOnline(oc *OnlineCost, sampler FreqSampler) error {
 	a.Agent.Epsilon = a.HP.DQN.EpsilonAfter(a.HP.OnlineEpsilonFromEpisode)
-	return a.trainEpisodes(oc.WorkloadCost, sampler, a.HP.OnlineEpisodes, PhaseOnline)
+	if err := a.trainEpisodes(oc.WorkloadCost, sampler, a.HP.OnlineEpisodes, PhaseOnline); err != nil {
+		return fmt.Errorf("core: online training: %w", err)
+	}
+	return nil
 }
 
 // SuggestBest runs the §6 inference rollout and then re-ranks its result
@@ -418,7 +498,7 @@ func (a *Advisor) TrainOnline(oc *OnlineCost, sampler FreqSampler) error {
 func (a *Advisor) SuggestBest(freq workload.FreqVector, oc *OnlineCost) (*partition.State, float64, error) {
 	best, bestReward, err := a.Suggest(freq)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("core: inference rollout: %w", err)
 	}
 	bestCost := oc.WorkloadCost(best, freq)
 	// A rollout result already observed to lose queries must not anchor the

@@ -186,6 +186,53 @@ func TestCheckpointValidation(t *testing.T) {
 	}
 }
 
+// TestTruncatedCheckpointCleanError: a checkpoint cut off mid-write (the
+// failure the atomic temp-file+rename+fsync path prevents) must surface as
+// a clean decode error, never a panic — and the save path must leave no
+// stray temp files behind.
+func TestTruncatedCheckpointCleanError(t *testing.T) {
+	b := benchmarks.Micro()
+	sp := b.Space()
+	hp := Test()
+	hp.Episodes = 4
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+
+	a, err := New(sp, b.Workload, hp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := exec.BuildCatalog(b.Schema, b.Generate(1, 1))
+	cm := costmodel.New(cat, hardware.SystemXMemory())
+	if err := a.TrainOffline(offlineCost(cm, b.Workload), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d entries, want just the checkpoint: %v", len(entries), entries)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{len(data) / 2, 1, 0} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh, _ := New(sp, b.Workload, hp, 5)
+		if err := fresh.Resume(path); err == nil {
+			t.Fatalf("checkpoint truncated to %d bytes accepted", n)
+		}
+	}
+}
+
 // TestFaultedOnlineDeterminism: the same seed and the same fault schedule
 // must reproduce the identical online run — every stat, including the new
 // fault counters, and the identical suggestion.
@@ -232,7 +279,7 @@ func TestRetryRecoversFromCrashWindow(t *testing.T) {
 	}
 	e.SetFaults(in)
 	oc := NewOnlineCost(e, b.Workload, nil)
-	oc.RetryBackoffSec = 0.2 // backoffs 0.2+0.4 exceed the 0.3s window
+	oc.RetryBackoffSec = 0.2 // availability losses wait at the 1s cap, outliving the 0.3s window
 	cost := oc.WorkloadCost(s0, b.Workload.UniformFreq())
 	if oc.Stats.Retries == 0 {
 		t.Fatal("crashed node produced no retries")

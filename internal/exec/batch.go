@@ -73,6 +73,7 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 	if len(qs) == 0 {
 		return rep
 	}
+	e.healLocked()
 	e.QueriesExecuted += len(qs)
 	batch := e.batchSeq
 	e.batchSeq++

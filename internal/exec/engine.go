@@ -67,12 +67,28 @@ type Engine struct {
 	// transient-failure derivation (see batch.go).
 	batchSeq uint64
 
+	// Self-healing state (see heal.go): when selfHeal is armed, the engine
+	// watches the schedule for rejoin/heal events past lastHeal and repairs
+	// nodes that missed the mutations recorded in pending.
+	selfHeal  bool
+	lastHeal  float64
+	pending   []pendingMutation
+	repairLog []RepairRecord
+
 	// Counters for experiment accounting. They are updated under the
 	// engine mutex; concurrent readers must use Counters() for a coherent
 	// snapshot (direct field reads are only safe single-threaded).
+	// Conservation invariant (audited by internal/chaos):
+	// BytesMoved == DeployedBytes + RepairedBytes, always.
 	QueriesExecuted int
 	Repartitions    int
 	BytesMoved      int64
+	// DeployedBytes is the share of BytesMoved charged by Deploy;
+	// RepairedBytes the share charged by self-healing repairs, with
+	// Repairs counting executed node repairs.
+	DeployedBytes int64
+	RepairedBytes int64
+	Repairs       int
 }
 
 // New builds an engine over materialized data. Tables without data are
@@ -124,6 +140,7 @@ func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 	if tables == nil {
 		tables = e.Schema.TableNames()
 	}
+	e.healLocked()
 	// Repartitioning moves data over the interconnect, so an active
 	// bandwidth degradation slows it down.
 	net := e.HW.NetBytesPerSec
@@ -139,6 +156,8 @@ func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 		bytes := e.cluster.Deploy(name, want)
 		e.Repartitions++
 		e.BytesMoved += bytes
+		e.DeployedBytes += bytes
+		e.recordMutationLocked(name)
 		seconds += float64(bytes)/(float64(e.HW.Nodes)*net) + e.HW.RepartitionOverheadSec
 	}
 	e.simNow += seconds
@@ -231,7 +250,9 @@ func (e *Engine) BulkLoad(table string, rows *relation.Relation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.healLocked()
 	e.cluster.Append(table, rows)
+	e.recordMutationLocked(table)
 	e.trueCat.SetTable(table, BuildTableStats(e.cluster.Base(table), t))
 	return nil
 }

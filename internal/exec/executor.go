@@ -270,11 +270,20 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 	d.shards = make([]*relation.Relation, len(shards))
 	maxSec := 0.0
 	for i, s := range shards {
-		if x.fc != nil && x.fc.down[i] && s.Rows() > 0 {
-			// A non-empty hash shard died with its node: the query cannot
-			// produce a correct answer.
-			x.fail(&UnavailableError{Table: ref.Table, Node: i})
-			return d
+		if x.fc != nil && s.Rows() > 0 {
+			if x.fc.down[i] {
+				// A non-empty hash shard died with its node: the query
+				// cannot produce a correct answer.
+				x.fail(&UnavailableError{Table: ref.Table, Node: i})
+				return d
+			}
+			if x.fc.unreach[i] {
+				// The shard is alive but across the partition: reading it
+				// would need a cross-partition shuffle, which the engine
+				// refuses. The query fails until the partition heals.
+				x.fail(&PartitionError{Table: ref.Table, Node: i, At: x.e.simNow})
+				return d
+			}
 		}
 		d.shards[i] = apply(s)
 		sec := (float64(s.Rows())*rowWidth/e.HW.ScanBytesPerSec + float64(s.Rows())/e.HW.CPUTuplesPerSec) * x.slowdown(i)

@@ -8,6 +8,23 @@ import (
 	"partadvisor/internal/sqlparse"
 )
 
+// Sentinel errors for execution failures. Callers branch on failure class
+// with errors.Is rather than matching error text: every concrete
+// execution error below unwraps to exactly one sentinel.
+var (
+	// ErrNodeDown: data is unreadable because every node able to serve it
+	// is crashed. Retrying helps once a node rejoins.
+	ErrNodeDown = errors.New("node down")
+	// ErrPartitioned: data exists on a live node the coordinator side of a
+	// network partition cannot reach. Retrying helps once the partition
+	// heals.
+	ErrPartitioned = errors.New("network partitioned")
+	// ErrShardLost: a non-empty shard of a partitioned table sits on a
+	// crashed node — the query cannot produce a correct answer until the
+	// node rejoins (or forever, if the loss is permanent).
+	ErrShardLost = errors.New("shard lost")
+)
+
 // TransientError reports an injected transient query failure (worker
 // restart, connection reset). Retrying the query may succeed.
 type TransientError struct {
@@ -30,10 +47,38 @@ type UnavailableError struct {
 
 func (e *UnavailableError) Error() string {
 	if e.Replicated {
-		return fmt.Sprintf("exec: replicated table %q has no surviving replica", e.Table)
+		return fmt.Sprintf("exec: replicated table %q has no surviving replica: %v", e.Table, ErrNodeDown)
 	}
-	return fmt.Sprintf("exec: shard of table %q lost with crashed node %d", e.Table, e.Node)
+	return fmt.Sprintf("exec: shard of table %q on crashed node %d: %v", e.Table, e.Node, ErrShardLost)
 }
+
+// Unwrap classifies the loss: ErrShardLost for a dead shard of a
+// partitioned table, ErrNodeDown for a replicated table with no surviving
+// copy.
+func (e *UnavailableError) Unwrap() error {
+	if e.Replicated {
+		return ErrNodeDown
+	}
+	return ErrShardLost
+}
+
+// PartitionError reports that a query needs data on a node that is alive
+// but on the far side of a network partition. The query fails rather than
+// shuffling across the cut; once the partition heals, normal planning
+// resumes.
+type PartitionError struct {
+	Table string
+	Node  int // the unreachable node
+	At    float64
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("exec: table %q needs node %d across a partition at t=%.3fs: %v",
+		e.Table, e.Node, e.At, ErrPartitioned)
+}
+
+// Unwrap marks the error retryable-after-heal via ErrPartitioned.
+func (e *PartitionError) Unwrap() error { return ErrPartitioned }
 
 // IsTransient reports whether an execution error is transient (worth an
 // immediate retry) as opposed to an availability loss.
@@ -63,6 +108,10 @@ func (e *Engine) SetFaults(in *faults.Injector) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.faults = in
+	// A new schedule is a new failure epoch: catch-up state recorded under
+	// the previous schedule no longer describes anything observable.
+	e.lastHeal = e.simNow
+	e.pending = nil
 }
 
 // Faults returns the armed injector (nil when faults are disabled).
@@ -100,6 +149,8 @@ func (e *Engine) ResetClock() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.simNow = 0
+	e.lastHeal = 0
+	e.pending = nil
 }
 
 // Execute is the error-returning execution entry point: it runs a query
@@ -109,6 +160,7 @@ func (e *Engine) ResetClock() {
 func (e *Engine) Execute(g *sqlparse.Graph, limit float64) (RunReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.healLocked()
 	e.QueriesExecuted++
 	start := e.simNow
 	if e.faults != nil && e.faults.TransientFailure() {
@@ -140,32 +192,66 @@ func (e *Engine) RunErr(g *sqlparse.Graph) (float64, error) {
 }
 
 // faultCtx is the fault state sampled at query start: queries are short
-// relative to fault windows, so node liveness and slowdowns are held
-// fixed for the duration of one execution. The caller must hold e.mu.
+// relative to fault windows, so node liveness, reachability and slowdowns
+// are held fixed for the duration of one execution. The caller must hold
+// e.mu.
 func (e *Engine) faultCtx() *faultCtx {
 	if e.faults == nil {
 		return nil
 	}
 	now := e.simNow
 	fc := &faultCtx{
-		down: make([]bool, e.HW.Nodes),
-		slow: make([]float64, e.HW.Nodes),
-		net:  e.faults.NetFactor(now),
+		down:    make([]bool, e.HW.Nodes),
+		unreach: make([]bool, e.HW.Nodes),
+		slow:    make([]float64, e.HW.Nodes),
+		net:     e.faults.NetFactor(now),
 	}
+	e.nodeStateLocked(now, fc.down, fc.unreach)
 	for i := 0; i < e.HW.Nodes; i++ {
-		fc.down[i] = e.faults.NodeDown(i, now)
 		fc.slow[i] = e.faults.SlowdownFactor(i, now)
-		if !fc.down[i] {
+		if !fc.down[i] && !fc.unreach[i] {
 			fc.live = append(fc.live, i)
 		}
 	}
 	return fc
 }
 
+// nodeStateLocked fills per-node crash and reachability state at simulated
+// time now. Queries are coordinated from the partition side holding the
+// lowest-numbered live node; nodes outside that side are up but
+// unreachable — their data cannot be scanned and they receive no shuffle
+// or broadcast traffic. The caller must hold e.mu and have checked
+// e.faults != nil.
+func (e *Engine) nodeStateLocked(now float64, down, unreach []bool) {
+	for i := 0; i < e.HW.Nodes; i++ {
+		down[i] = e.faults.NodeDown(i, now)
+		unreach[i] = false
+	}
+	if !e.faults.PartitionActive(now) {
+		return
+	}
+	coord := -1
+	for i := 0; i < e.HW.Nodes; i++ {
+		if !down[i] {
+			coord = e.faults.GroupOf(i, now)
+			break
+		}
+	}
+	if coord < 0 {
+		return // every node down: crash handling already covers it
+	}
+	for i := 0; i < e.HW.Nodes; i++ {
+		if !down[i] && e.faults.GroupOf(i, now) != coord {
+			unreach[i] = true
+		}
+	}
+}
+
 // faultCtx is one query's view of the fault schedule.
 type faultCtx struct {
-	down []bool    // per node: crashed
-	slow []float64 // per node: compute/scan time multiplier (>= 1)
-	live []int     // nodes not crashed, ascending
-	net  float64   // interconnect bandwidth multiplier (0 < net <= 1)
+	down    []bool    // per node: crashed
+	unreach []bool    // per node: live but across an active partition
+	slow    []float64 // per node: compute/scan time multiplier (>= 1)
+	live    []int     // nodes both up and reachable, ascending
+	net     float64   // interconnect bandwidth multiplier (0 < net <= 1)
 }

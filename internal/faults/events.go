@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EventKind classifies a topology-change event of a fault schedule.
+type EventKind int
+
+const (
+	// EventCrash marks a node going down (start of a crash window).
+	EventCrash EventKind = iota
+	// EventRejoin marks a node coming back (end of a crash window). A
+	// crash window with End = +Inf is a permanent loss and never emits a
+	// rejoin.
+	EventRejoin
+	// EventPartitionStart marks a network partition taking effect.
+	EventPartitionStart
+	// EventPartitionHeal marks a network partition healing.
+	EventPartitionHeal
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventRejoin:
+		return "rejoin"
+	case EventPartitionStart:
+		return "partition"
+	case EventPartitionHeal:
+		return "heal"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one topology change of the schedule: a node crashing or
+// rejoining, or a partition starting or healing. The self-healing layer
+// consumes rejoin and heal events to trigger repair.
+type Event struct {
+	Kind EventKind
+	// At is the simulated time of the event.
+	At float64
+	// Node is the crashed/rejoined node (-1 for partition events).
+	Node int
+	// Partition indexes Config.Partitions (-1 for node events).
+	Partition int
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Node >= 0 {
+		return fmt.Sprintf("%s(node %d)@%.3f", e.Kind, e.Node, e.At)
+	}
+	return fmt.Sprintf("%s(partition %d)@%.3f", e.Kind, e.Partition, e.At)
+}
+
+// Events returns every schedule event with At in the half-open interval
+// (t0, t1], sorted by (At, Kind, Node, Partition) — a deterministic feed:
+// the same schedule and interval always yield the identical sequence.
+// Periodic crash schedules are expanded to their concrete occurrences
+// inside the interval.
+func (in *Injector) Events(t0, t1 float64) []Event {
+	if t1 <= t0 {
+		return nil
+	}
+	var out []Event
+	add := func(kind EventKind, at float64, node, part int) {
+		if at > t0 && at <= t1 && !math.IsInf(at, 1) {
+			out = append(out, Event{Kind: kind, At: at, Node: node, Partition: part})
+		}
+	}
+	for _, cr := range in.cfg.Crashes {
+		add(EventCrash, cr.Start, cr.Node, -1)
+		add(EventRejoin, cr.End, cr.Node, -1)
+	}
+	for _, p := range in.cfg.PeriodicCrashes {
+		// Expand the occurrences intersecting (t0, t1]; the loop is bounded
+		// by (t1-t0)/Period + 2 iterations.
+		k := math.Floor(t0/p.Period) - 1
+		for {
+			base := k * p.Period
+			if base+p.DownStart > t1 {
+				break
+			}
+			if k >= 0 {
+				add(EventCrash, base+p.DownStart, p.Node, -1)
+				add(EventRejoin, base+p.DownEnd, p.Node, -1)
+			}
+			k++
+		}
+	}
+	for pi, p := range in.cfg.Partitions {
+		add(EventPartitionStart, p.Start, -1, pi)
+		add(EventPartitionHeal, p.End, -1, pi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Partition < b.Partition
+	})
+	return out
+}

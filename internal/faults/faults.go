@@ -78,6 +78,57 @@ type NetDegradation struct {
 	Window
 }
 
+// NetPartition splits the cluster into isolated groups for the duration of
+// the window: nodes inside one group reach each other, nodes in different
+// groups cannot exchange data at all (no shuffles, no broadcasts, no
+// replica reads across the cut). Nodes listed in no group form one
+// implicit final group of their own. When the window closes the partition
+// heals and the cluster is fully connected again.
+type NetPartition struct {
+	// Groups are disjoint, non-empty node subsets.
+	Groups [][]int
+	Window
+}
+
+// groupOf returns the group index of a node under this partition:
+// the listed group, or len(Groups) for unlisted nodes (the implicit
+// leftover group).
+func (p NetPartition) groupOf(node int) int {
+	for gi, g := range p.Groups {
+		for _, n := range g {
+			if n == node {
+				return gi
+			}
+		}
+	}
+	return len(p.Groups)
+}
+
+// SeededBisect derives a deterministic two-sided partition of nodes
+// [0, n): each node joins side A or B by a stateless splitmix64 draw on
+// (seed, node). The draw is re-salted until both sides are non-empty, so
+// the same (seed, n) always yields the same non-trivial cut.
+func SeededBisect(seed int64, n int, w Window) NetPartition {
+	if n < 2 {
+		panic(fmt.Sprintf("faults: cannot bisect %d nodes", n))
+	}
+	for salt := uint64(0); ; salt++ {
+		var a, b []int
+		for node := 0; node < n; node++ {
+			s := splitmix(uint64(seed) + 0x9e3779b97f4a7c15*salt)
+			s = splitmix(s + 0x9e3779b97f4a7c15*uint64(node+1))
+			if s&1 == 0 {
+				a = append(a, node)
+			} else {
+				b = append(b, node)
+			}
+		}
+		if len(a) > 0 && len(b) > 0 {
+			return NetPartition{Groups: [][]int{a, b}, Window: w}
+		}
+	}
+}
+
 // Config is a complete declarative fault schedule.
 type Config struct {
 	// Seed seeds the transient-failure stream. Schedules with the same
@@ -91,6 +142,10 @@ type Config struct {
 	Stragglers []Straggler
 	// Degradations are windowed interconnect-bandwidth reductions.
 	Degradations []NetDegradation
+	// Partitions are windowed network partitions. Windows of distinct
+	// partitions must not overlap (one cut at a time keeps the reachability
+	// relation unambiguous).
+	Partitions []NetPartition
 	// TransientFailureRate is the probability that one query execution
 	// fails transiently (connection reset, worker restart). Zero disables
 	// the stream entirely — no random draws are made.
@@ -136,6 +191,34 @@ func (c Config) Validate() error {
 		}
 		if d.End <= d.Start {
 			return fmt.Errorf("faults: degradation window [%g, %g) is empty", d.Start, d.End)
+		}
+	}
+	for pi, p := range c.Partitions {
+		if p.End <= p.Start {
+			return fmt.Errorf("faults: partition window [%g, %g) is empty", p.Start, p.End)
+		}
+		if len(p.Groups) == 0 {
+			return fmt.Errorf("faults: partition %d has no groups", pi)
+		}
+		seen := make(map[int]bool)
+		for gi, g := range p.Groups {
+			if len(g) == 0 {
+				return fmt.Errorf("faults: partition %d group %d is empty", pi, gi)
+			}
+			for _, n := range g {
+				if n < 0 {
+					return fmt.Errorf("faults: partition %d contains negative node %d", pi, n)
+				}
+				if seen[n] {
+					return fmt.Errorf("faults: partition %d lists node %d in two groups", pi, n)
+				}
+				seen[n] = true
+			}
+		}
+		for pj, q := range c.Partitions[pi+1:] {
+			if p.Overlap(q.Start, q.End) > 0 {
+				return fmt.Errorf("faults: partitions %d and %d have overlapping windows", pi, pi+1+pj)
+			}
 		}
 	}
 	if c.TransientFailureRate < 0 || c.TransientFailureRate >= 1 {
@@ -272,9 +355,45 @@ func splitmix(z uint64) uint64 {
 	return z
 }
 
-// Degraded reports whether any fault (crash, straggler, degradation) is
-// active at now. Runtimes measured while degraded must not be cached as
-// the design's steady-state cost.
+// GroupOf returns the partition group of a node at simulated time now:
+// -1 when no partition is active (the cluster is fully connected), the
+// node's group index otherwise (unlisted nodes share the implicit group
+// len(Groups)). At most one partition is active at a time (Validate
+// rejects overlapping windows).
+func (in *Injector) GroupOf(node int, now float64) int {
+	for _, p := range in.cfg.Partitions {
+		if p.Contains(now) {
+			return p.groupOf(node)
+		}
+	}
+	return -1
+}
+
+// PartitionActive reports whether a network partition is in effect at now.
+func (in *Injector) PartitionActive(now float64) bool {
+	for _, p := range in.cfg.Partitions {
+		if p.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable reports whether nodes a and b can exchange data at now: they
+// are always reachable while no partition is active, and must share a
+// group while one is.
+func (in *Injector) Reachable(a, b int, now float64) bool {
+	for _, p := range in.cfg.Partitions {
+		if p.Contains(now) {
+			return p.groupOf(a) == p.groupOf(b)
+		}
+	}
+	return true
+}
+
+// Degraded reports whether any fault (crash, straggler, degradation,
+// partition) is active at now. Runtimes measured while degraded must not
+// be cached as the design's steady-state cost.
 func (in *Injector) Degraded(now float64) bool {
 	for _, cr := range in.cfg.Crashes {
 		if cr.Contains(now) {
@@ -293,6 +412,11 @@ func (in *Injector) Degraded(now float64) bool {
 	}
 	for _, d := range in.cfg.Degradations {
 		if d.Contains(now) {
+			return true
+		}
+	}
+	for _, p := range in.cfg.Partitions {
+		if p.Contains(now) {
 			return true
 		}
 	}
@@ -322,6 +446,9 @@ func (in *Injector) DegradedOverlap(t0, t1 float64) float64 {
 	}
 	for _, d := range in.cfg.Degradations {
 		add(d.Window)
+	}
+	for _, p := range in.cfg.Partitions {
+		add(p.Window)
 	}
 	for _, p := range in.cfg.PeriodicCrashes {
 		// Expand the occurrences intersecting [t0, t1). The loop is

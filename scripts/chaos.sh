@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# chaos.sh — run the chaos soak harness: randomized crash/rejoin/partition
+# schedules over full online-advisor episodes, with invariant checks
+# (accounting conservation, seeded determinism, replica-placement
+# consistency, training-liveness watchdog).
+#
+# Usage: scripts/chaos.sh [episodes] [seed]
+#
+# Defaults to 3 episodes at seed 1 (≈ seconds). Raise the episode count
+# for longer soaks; every episode is replayed once for the bit-identical
+# determinism check. Exits non-zero on any invariant violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+episodes="${1:-3}"
+seed="${2:-1}"
+
+go run ./cmd/expdriver -chaos -chaos-episodes "$episodes" -seed "$seed"
