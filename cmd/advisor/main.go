@@ -19,6 +19,14 @@
 // snapshot and continues bit-identically. -halt-after N stops training
 // after N total episodes with exit code 3 — a controlled crash point for
 // exercising the resume path.
+//
+// SIGINT/SIGTERM stop gracefully: the in-flight episode completes, a final
+// checkpoint is written (when -checkpoint is set and the offline phase is
+// running), and the process exits 0; a second signal exits immediately.
+//
+// With -guard, online refinement runs inside the safety envelope of
+// DESIGN.md §8 (design validation, canary measurement, automatic rollback,
+// exploration budgets); the -guard-* flags tune its knobs.
 package main
 
 import (
@@ -27,14 +35,18 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"partadvisor/internal/benchmarks"
 	"partadvisor/internal/core"
 	"partadvisor/internal/costmodel"
 	"partadvisor/internal/exec"
+	"partadvisor/internal/guard"
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
 	"partadvisor/internal/prof"
@@ -60,6 +72,15 @@ func main() {
 		haltAfter  = flag.Int("halt-after", 0, "stop after N total training episodes with exit code 3 (testing)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+
+		guardOn          = flag.Bool("guard", false, "guard online refinement (validation, canary, rollback, budgets)")
+		guardCanary      = flag.Int("guard-canary", 2, "canary queries before a full pass on a new design (0 disables)")
+		guardCanaryF     = flag.Float64("guard-canary-factor", 3, "abort the pass when the canary exceeds this multiple of the best-known cost")
+		guardRollbackF   = flag.Float64("guard-rollback-factor", 2, "roll back designs regressing past this multiple of the best-known cost (0 disables)")
+		guardWindow      = flag.Int("guard-window", 32, "exploration-budget sliding window in measurement passes (0 disables)")
+		guardWindowBytes = flag.Int64("guard-window-bytes", 0, "bytes-moved cap per budget window (0 = unlimited)")
+		guardWindowDeg   = flag.Float64("guard-window-degraded-sec", 0, "degraded-execution seconds cap per budget window (0 = unlimited)")
+		guardMaxBytes    = flag.Int64("guard-max-table-bytes", 0, "per-table deployed-footprint ceiling in bytes (0 = unlimited)")
 	)
 	flag.Parse()
 	if stop := prof.StartCPU(*cpuProfile); stop != nil {
@@ -111,6 +132,7 @@ func main() {
 		}
 	}
 	adv.HaltAfter = *haltAfter
+	adv.Stop = trapSignals("advisor")
 	if *resume {
 		if err := adv.Resume(*ckptPath); err != nil {
 			fail("resume: %v", err)
@@ -133,6 +155,7 @@ func main() {
 		start := time.Now()
 		if err := adv.TrainOffline(offCost, nil); err != nil {
 			exitIfHalted(adv, err)
+			exitIfStopped(adv, err)
 			fail("offline training: %v", err)
 		}
 		fmt.Printf("offline training done in %s (%d steps)\n", time.Since(start).Round(time.Millisecond), adv.StepsTrained)
@@ -161,14 +184,35 @@ func main() {
 		scaleF, setupSec := core.ComputeScaleFactors(eng, sample, b.Workload, offSt)
 		oc := core.NewOnlineCost(sample, b.Workload, scaleF)
 		oc.Stats.SetupSeconds = setupSec
+		if *guardOn {
+			gcfg := guard.DefaultConfig()
+			gcfg.CanaryQueries = *guardCanary
+			gcfg.CanaryRegressionFactor = *guardCanaryF
+			gcfg.RollbackFactor = *guardRollbackF
+			gcfg.WindowPasses = *guardWindow
+			gcfg.WindowBytes = *guardWindowBytes
+			gcfg.WindowDegradedSec = *guardWindowDeg
+			gcfg.MaxTableBytes = *guardMaxBytes
+			g, err := guard.New(sample, b.Workload, gcfg)
+			if err != nil {
+				fail("guard: %v", err)
+			}
+			oc.Guard = g
+		}
 		start := time.Now()
 		if err := adv.TrainOnline(oc, nil); err != nil {
 			exitIfHalted(adv, err)
+			exitIfStopped(adv, err)
 			fail("online training: %v", err)
 		}
 		adv.InferCost = oc.WorkloadCost
 		fmt.Printf("online training done in %s (executed %d queries, %d cache hits, %.3g sim s)\n",
 			time.Since(start).Round(time.Millisecond), oc.Stats.QueriesExecuted, oc.Stats.CacheHits, oc.Stats.TotalSeconds())
+		if *guardOn {
+			fmt.Printf("guard: %d vetoes, %d canary aborts, %d budget denials, %d rollbacks (%.3g sim s), %.3g regressed sim s\n",
+				oc.Stats.GuardVetoes, oc.Stats.CanaryAborts, oc.Stats.BudgetDenials,
+				oc.Stats.Rollbacks, oc.Stats.RollbackSeconds, oc.Stats.RegressedSeconds)
+		}
 	}
 
 	if *savePath != "" {
@@ -271,6 +315,39 @@ func exitIfHalted(adv *core.Advisor, err error) {
 		fmt.Printf("halted after %d episodes (resume with -resume)\n", adv.EpisodesTrained)
 		os.Exit(3)
 	}
+}
+
+// exitIfStopped handles graceful SIGINT/SIGTERM shutdown: the training loop
+// finished its in-flight episode (and, during the offline phase, wrote a
+// final checkpoint), so an orderly exit 0 is correct.
+func exitIfStopped(adv *core.Advisor, err error) {
+	if errors.Is(err, core.ErrStopped) {
+		if adv.Ckpt != nil {
+			fmt.Printf("stopped after %d episodes; checkpoint at %s (resume with -resume)\n",
+				adv.EpisodesTrained, adv.Ckpt.Path)
+		} else {
+			fmt.Printf("stopped after %d episodes\n", adv.EpisodesTrained)
+		}
+		os.Exit(0)
+	}
+}
+
+// trapSignals installs the graceful-shutdown handler: the first
+// SIGINT/SIGTERM raises the returned stop flag (polled by the training loop
+// after each episode), a second one exits immediately.
+func trapSignals(name string) func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		fmt.Fprintf(os.Stderr, "%s: signal received; finishing the current episode (send again to exit now)\n", name)
+		<-ch
+		fmt.Fprintf(os.Stderr, "%s: second signal; exiting immediately\n", name)
+		os.Exit(1)
+	}()
+	return stopped.Load
 }
 
 func fail(format string, args ...interface{}) {

@@ -5,19 +5,29 @@
 // Usage:
 //
 //	expdriver [-exp <id>] [-profile repro|paper|test] [-scale F] [-seed N] [-list]
-//	          [-chaos] [-chaos-episodes N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	          [-chaos] [-chaos-episodes N] [-guard]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Run "expdriver -list" for the experiment ids. Without -exp, all
 // experiments run (minutes at the default repro profile). With -chaos, the
 // driver runs the chaos soak harness instead of the paper experiments and
-// exits non-zero on any invariant violation.
+// exits non-zero on any invariant violation; -guard arms the online guard
+// inside the soak, adding the rollback-consistency and guarded-replay
+// invariants.
+//
+// SIGINT/SIGTERM stop the driver gracefully: the in-flight experiment or
+// chaos episode finishes, partial results are printed, and the process
+// exits 0. A second signal exits immediately.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"partadvisor/internal/chaos"
@@ -34,6 +44,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		chaosRun   = flag.Bool("chaos", false, "run the chaos soak harness instead of experiments")
 		chaosEps   = flag.Int("chaos-episodes", 3, "chaos soak episodes (with -chaos)")
+		guarded    = flag.Bool("guard", false, "arm the online guard in the chaos soak (with -chaos)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -47,10 +58,13 @@ func main() {
 		return
 	}
 
+	stop := trapSignals("expdriver")
+
 	if *chaosRun {
-		cfg := chaos.Config{Episodes: *chaosEps, Seed: 1, Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		}}
+		cfg := chaos.Config{Episodes: *chaosEps, Seed: 1, Guarded: *guarded, Stop: stop,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}}
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
@@ -69,8 +83,12 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("chaos soak passed: %d episodes, 0 violations, %s (seed %d)\n",
-			len(rep.Episodes), time.Since(start).Round(time.Millisecond), cfg.Seed)
+		mode := ""
+		if *guarded {
+			mode = " (guarded)"
+		}
+		fmt.Printf("chaos soak%s passed: %d episodes, 0 violations, %s (seed %d)\n",
+			mode, len(rep.Episodes), time.Since(start).Round(time.Millisecond), cfg.Seed)
 		return
 	}
 
@@ -92,6 +110,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Stop = stop
 
 	start := time.Now()
 	var (
@@ -110,6 +129,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
 		os.Exit(1)
 	}
+	if stop() {
+		fmt.Printf("stopped after %d experiments in %s (profile %s, scale %g, seed %d)\n",
+			len(results), time.Since(start).Round(time.Millisecond), *profile, cfg.Scale, cfg.Seed)
+		return
+	}
 	fmt.Printf("done in %s (profile %s, scale %g, seed %d)\n", time.Since(start).Round(time.Millisecond), *profile, cfg.Scale, cfg.Seed)
 	prof.WriteHeap(*memProfile)
+}
+
+// trapSignals arms graceful shutdown: the first SIGINT/SIGTERM flips the
+// returned flag (polled between experiments and chaos episodes) so in-flight
+// work finishes and partial results print; a second signal exits immediately.
+func trapSignals(name string) func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		fmt.Fprintf(os.Stderr, "%s: signal received; finishing in-flight work (send again to exit now)\n", name)
+		<-ch
+		fmt.Fprintf(os.Stderr, "%s: second signal; exiting immediately\n", name)
+		os.Exit(1)
+	}()
+	return stopped.Load
 }

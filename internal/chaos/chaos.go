@@ -12,6 +12,7 @@ import (
 	"partadvisor/internal/costmodel"
 	"partadvisor/internal/exec"
 	"partadvisor/internal/faults"
+	"partadvisor/internal/guard"
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
 	"partadvisor/internal/sqlparse"
@@ -36,6 +37,16 @@ type Config struct {
 	EpisodeDeadline time.Duration
 	// Logf, when set, receives per-episode progress lines.
 	Logf func(format string, args ...any)
+	// Guarded arms the guard.DefaultConfig safety envelope around each
+	// episode's online training and enables two additional invariants:
+	// every rollback must leave the deployed layout bit-for-bit equal to
+	// the best-known design, and veto/canary/rollback counts must replay
+	// identically.
+	Guarded bool
+	// Stop, when set, is polled between episodes: once true, the soak
+	// returns the episodes completed so far (a graceful shutdown, not a
+	// violation).
+	Stop func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +87,12 @@ type EpisodeReport struct {
 	FailedQueries   int
 	BreakerTrips    int
 
+	// Guard accounting (zero unless Config.Guarded).
+	GuardVetoes   int
+	CanaryAborts  int
+	BudgetDenials int
+	Rollbacks     int
+
 	// Suggestion is the design the advisor settled on, Cost its measured
 	// workload cost.
 	Suggestion string
@@ -110,6 +127,10 @@ func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := &Report{}
 	for ep := 0; ep < cfg.Episodes; ep++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			cfg.Logf("chaos: stop requested, finishing after %d/%d episodes", ep, cfg.Episodes)
+			return rep, nil
+		}
 		epSeed := cfg.Seed + 7919*int64(ep)
 		// Every third episode loses a node forever; the others only see
 		// recoverable faults.
@@ -118,9 +139,14 @@ func Run(cfg Config) (*Report, error) {
 			return rep, err
 		}
 		rep.Episodes = append(rep.Episodes, er)
-		cfg.Logf("chaos: episode %d/%d seed=%d crashes=%d permanent=%d partitions=%d repairs=%d repaired=%dB failedq=%d violations=%d",
+		guardLine := ""
+		if cfg.Guarded {
+			guardLine = fmt.Sprintf(" vetoes=%d canary=%d budget=%d rollbacks=%d",
+				er.GuardVetoes, er.CanaryAborts, er.BudgetDenials, er.Rollbacks)
+		}
+		cfg.Logf("chaos: episode %d/%d seed=%d crashes=%d permanent=%d partitions=%d repairs=%d repaired=%dB failedq=%d violations=%d%s",
 			ep+1, cfg.Episodes, epSeed, er.Crashes, er.Permanent, er.Partitions,
-			er.Repairs, er.RepairedBytes, er.FailedQueries, len(er.Violations))
+			er.Repairs, er.RepairedBytes, er.FailedQueries, len(er.Violations), guardLine)
 	}
 	return rep, nil
 }
@@ -137,6 +163,12 @@ type outcome struct {
 	sig              string
 	cost             float64
 	probeFails       int
+	// rollbackDigest concatenates every rollback's (from, to, clock)
+	// triple: with Config.Guarded, replay equality of this string is the
+	// deterministic-guard invariant (identical rollback decisions at
+	// identical simulated instants; the embedded stats cover the veto,
+	// canary-abort and budget-denial counts).
+	rollbackDigest string
 }
 
 type episodeResult struct {
@@ -180,6 +212,8 @@ func runEpisode(cfg Config, ep int, epSeed int64, permanentLoss bool) (EpisodeRe
 	er.BytesMoved, er.DeployedBytes, er.RepairedBytes = first.out.moved, first.out.deployed, first.out.repaired
 	er.Retries, er.FailedQueries = first.out.stats.Retries, first.out.stats.FailedQueries
 	er.BreakerTrips = first.out.stats.BreakerTrips
+	er.GuardVetoes, er.CanaryAborts = first.out.stats.GuardVetoes, first.out.stats.CanaryAborts
+	er.BudgetDenials, er.Rollbacks = first.out.stats.BudgetDenials, first.out.stats.Rollbacks
 	er.Suggestion, er.Cost = first.out.sig, first.out.cost
 	er.Violations = vio
 	return er, nil
@@ -251,6 +285,18 @@ func runOnce(cfg Config, epSeed int64, permanentLoss bool) (outcome, schedule, [
 		return out, sched, nil, fmt.Errorf("chaos: offline training: %w", err)
 	}
 	oc := core.NewOnlineCost(e, wl, nil)
+	var g *guard.Guard
+	if cfg.Guarded {
+		gcfg := guard.DefaultConfig()
+		// The canary only arms when it is a strict prefix of a pass's cache
+		// misses; the microbenchmark has two queries, so K=1.
+		gcfg.CanaryQueries = 1
+		g, err = guard.New(e, wl, gcfg)
+		if err != nil {
+			return out, sched, nil, fmt.Errorf("chaos: build guard: %w", err)
+		}
+		oc.Guard = g
+	}
 	if err := adv.TrainOnline(oc, nil); err != nil {
 		return out, sched, nil, fmt.Errorf("chaos: online training: %w", err)
 	}
@@ -306,6 +352,23 @@ func runOnce(cfg Config, epSeed int64, permanentLoss bool) (outcome, schedule, [
 	}
 	if math.IsNaN(oc.Stats.ExecSeconds) || oc.Stats.ExecSeconds < 0 {
 		vio = append(vio, fmt.Sprintf("accounting: ExecSeconds = %v", oc.Stats.ExecSeconds))
+	}
+
+	// Guard invariants: every rollback must have left the deployed layout
+	// bit-for-bit equal to the best-known design (the record carries the
+	// post-deploy self-check), and the rollback sequence digested into the
+	// outcome must replay identically.
+	if g != nil {
+		var dig strings.Builder
+		for ri, r := range g.Rollbacks() {
+			if !r.Consistent {
+				vio = append(vio, fmt.Sprintf(
+					"rollback %d: deployed layout diverged from best-known design (%s -> %s at sim t=%g)",
+					ri, r.FromSig, r.ToSig, r.At))
+			}
+			fmt.Fprintf(&dig, "%s>%s@%.17g;", r.FromSig, r.ToSig, r.At)
+		}
+		out.rollbackDigest = dig.String()
 	}
 
 	out.stats = oc.Stats

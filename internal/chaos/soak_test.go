@@ -44,6 +44,39 @@ func TestSoak(t *testing.T) {
 	}
 }
 
+// TestGuardedSoak runs the soak with the online guard armed: on top of
+// every base invariant it checks rollback consistency (after each rollback
+// the deployed layout equals best-known bit-for-bit) and guarded-replay
+// determinism (identical veto/canary/rollback counts and rollback digests
+// between run and replay). Three episodes, so the permanent-loss episode
+// (every third) exercises the validator's veto path.
+func TestGuardedSoak(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:            1,
+		Episodes:        3,
+		EpisodeDeadline: 5 * time.Minute,
+		Guarded:         true,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("guarded soak harness error: %v", err)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("invariant violation: %s", v)
+	}
+	vetoes, rollbacks := 0, 0
+	for _, ep := range rep.Episodes {
+		vetoes += ep.GuardVetoes
+		rollbacks += ep.Rollbacks
+	}
+	// The guard must have actually engaged somewhere in the soak: the
+	// permanent-loss episode forces vetoes, the crash regimes force
+	// regressed passes.
+	if vetoes == 0 && rollbacks == 0 {
+		t.Error("guarded soak never vetoed or rolled back — the guard was idle")
+	}
+}
+
 // TestPermanentLossChangesDesign: after a permanent node loss the online
 // agent must settle on a different design than the fault-free run — and
 // reproducibly so under a fixed seed.

@@ -46,6 +46,13 @@ type Advisor struct {
 	// EpisodesTrained reaches it — a controlled crash point for testing
 	// kill-and-resume.
 	HaltAfter int
+	// Stop, when set, is polled after every completed episode: once it
+	// returns true, training finishes the in-flight episode, writes a
+	// final checkpoint (when Ckpt is set and the offline phase is running;
+	// other phases keep the last offline snapshot untouched, see
+	// trainEpisodes), and returns ErrStopped. The commands' SIGINT/SIGTERM
+	// handlers set the flag this polls.
+	Stop func() bool
 
 	seed int64
 	src  *countingSource
@@ -185,6 +192,20 @@ func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes
 		}
 		if a.HaltAfter > 0 && a.EpisodesTrained >= a.HaltAfter {
 			return ErrHalted
+		}
+		if a.Stop != nil && a.Stop() {
+			// Graceful stop: the episode above completed in full. Snapshot
+			// only during the offline phase — the online phase's measured-
+			// runtime cache lives outside the checkpoint, so overwriting the
+			// offline-boundary snapshot here would break bit-identical
+			// resume. Leaving it in place means a resumed run replays online
+			// training deterministically from that boundary.
+			if a.Ckpt != nil && phase == PhaseOffline {
+				if err := a.SaveCheckpoint(a.Ckpt.Path); err != nil {
+					return fmt.Errorf("core: checkpoint at stop (episode %d): %w", a.EpisodesTrained, err)
+				}
+			}
+			return ErrStopped
 		}
 	}
 	return nil

@@ -25,6 +25,12 @@ const (
 // snapshot exactly as it would after a real kill.
 var ErrHalted = errors.New("core: training halted by HaltAfter")
 
+// ErrStopped is returned by training when the advisor's Stop hook fired: the
+// in-flight episode completed, a final offline-phase checkpoint (if armed)
+// was written, and the process may exit cleanly. Unlike ErrHalted — the
+// simulated crash — a stop is an orderly shutdown and exits with status 0.
+var ErrStopped = errors.New("core: training stopped by request")
+
 // CheckpointConfig enables periodic crash-safe training checkpoints.
 type CheckpointConfig struct {
 	// Path is the snapshot file; it is replaced atomically (temp file +

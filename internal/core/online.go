@@ -7,10 +7,14 @@ import (
 	"sort"
 
 	"partadvisor/internal/exec"
+	"partadvisor/internal/guard"
 	"partadvisor/internal/partition"
 	"partadvisor/internal/sqlparse"
 	"partadvisor/internal/workload"
 )
+
+// ErrBadConfig is wrapped by OnlineCost configuration-validation failures.
+var ErrBadConfig = errors.New("core: invalid online-cost configuration")
 
 // OnlineStats accounts the simulated time of the online phase, including
 // what the naive approach *would* have spent — the method the paper itself
@@ -56,6 +60,28 @@ type OnlineStats struct {
 	// callers book it here so Table-2-style accounting charges the bootstrap
 	// honestly.
 	SetupSeconds float64
+
+	// Guarded-advising accounting (DESIGN.md §8). GuardVetoes counts designs
+	// the validator rejected before any deploy; CanaryAborts counts full
+	// passes skipped after a regressing canary; BudgetDenials counts
+	// measurement passes denied by the exploration budget governor. Each is
+	// charged the finite penalty without touching the engine (veto, denial)
+	// or beyond the canary prefix (abort).
+	GuardVetoes   int
+	CanaryAborts  int
+	BudgetDenials int
+	// Rollbacks counts redeploys of the best-known design after a regressed
+	// or failed measurement; RollbackSeconds is their deploy time, included
+	// in RepartitionSeconds (and the moved bytes in the engine's BytesMoved
+	// conservation identity, charged by Deploy as usual).
+	Rollbacks       int
+	RollbackSeconds float64
+	// RegressedSeconds is the simulated time (execution + repartitioning,
+	// retries and backoffs included) spent inside measurement passes whose
+	// final cost exceeded twice the then-best-known cost of the mix — the
+	// "time spent in regressed layouts" the guard exists to cut. Tracked
+	// with or without a guard so guarded and unguarded runs compare.
+	RegressedSeconds float64
 }
 
 // TotalSeconds returns the actual online-phase simulated time.
@@ -106,6 +132,15 @@ type OnlineCost struct {
 	// partition heals and node rejoins. 0 disables the breaker.
 	CircuitBreakAfter int
 
+	// Guard, when non-nil, arms the safety envelope of DESIGN.md §8 around
+	// every measurement: design validation before deploy, canary
+	// measurement of never-measured designs, automatic rollback after
+	// regressed passes, and the sliding-window exploration budget. The
+	// guard shares this OnlineCost's serialization (it has no locking of
+	// its own), so wrap concurrent use in env.SynchronizedCost exactly as
+	// for an unguarded OnlineCost.
+	Guard *guard.Guard
+
 	Stats OnlineStats
 
 	cache       []map[string]float64
@@ -149,6 +184,29 @@ func NewOnlineCost(engine *exec.Engine, wl *workload.Workload, scale []float64) 
 	return oc
 }
 
+// Validate rejects nonsensical fault-tolerance knobs with errors wrapping
+// ErrBadConfig. TrainOnline calls it before the first measurement;
+// hand-rolled training loops should call it after mutating the knobs.
+func (oc *OnlineCost) Validate() error {
+	if oc.MaxRetries < 0 {
+		return fmt.Errorf("%w: MaxRetries %d is negative", ErrBadConfig, oc.MaxRetries)
+	}
+	if oc.RetryBackoffSec < 0 {
+		return fmt.Errorf("%w: RetryBackoffSec %g is negative", ErrBadConfig, oc.RetryBackoffSec)
+	}
+	if oc.RetryBackoffCapSec < oc.RetryBackoffSec {
+		return fmt.Errorf("%w: RetryBackoffCapSec %g below RetryBackoffSec %g",
+			ErrBadConfig, oc.RetryBackoffCapSec, oc.RetryBackoffSec)
+	}
+	if oc.FailurePenaltySec < 0 {
+		return fmt.Errorf("%w: FailurePenaltySec %g is negative", ErrBadConfig, oc.FailurePenaltySec)
+	}
+	if oc.CircuitBreakAfter < 0 {
+		return fmt.Errorf("%w: CircuitBreakAfter %d is negative", ErrBadConfig, oc.CircuitBreakAfter)
+	}
+	return nil
+}
+
 // Visited returns the distinct physical layouts measured so far (keyed by
 // layout signature). Together with the runtime cache this lets inference
 // rank every explored design at (almost) no additional execution cost.
@@ -170,9 +228,19 @@ func (oc *OnlineCost) CacheSize() int {
 	return n
 }
 
+// regressedFactor classifies a measurement pass as "time spent in a
+// regressed layout" when its final cost exceeds this multiple of the
+// then-best-known cost of the mix (OnlineStats.RegressedSeconds).
+const regressedFactor = 2.0
+
 // WorkloadCost measures Σ_j f_j·S_j·c_sample(P, q_j) under the given
 // partitioning, executing only uncached queries and repartitioning only the
-// tables those queries touch.
+// tables those queries touch. With a Guard armed, the measurement runs
+// inside the safety envelope: infeasible designs are vetoed before any
+// deploy, budget-exhausted passes are denied, never-measured designs run a
+// canary prefix first, and regressed or failed passes roll the cluster back
+// to the best-known design — each charged the same finite penalty the
+// circuit breaker uses, which never becomes the cost to beat.
 func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector) float64 {
 	if key := freqKey(freq); key != oc.curFreqKey {
 		oc.curFreqKey = key
@@ -184,6 +252,14 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		// heals, so charge the penalty without deploying or executing.
 		oc.Stats.CircuitBroken++
 		return oc.breakerPenalty(freq)
+	}
+	if oc.Guard != nil {
+		if err := oc.Guard.CheckDesign(st); err != nil {
+			// Infeasible or degenerate: never deployed, never registered as
+			// visited (SuggestBest must not rank it), penalty charged.
+			oc.Stats.GuardVetoes++
+			return oc.breakerPenalty(freq)
+		}
 	}
 	if oc.visited[dsig] == nil {
 		oc.visited[dsig] = st
@@ -207,7 +283,22 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		misses = append(misses, i)
 	}
 	oc.accountNaiveRepartition(st)
+	measuredClean := true
 	if len(misses) > 0 {
+		if oc.Guard != nil && oc.Guard.BudgetExhausted() {
+			// The sliding-window exploration budget is spent: no deploy, no
+			// execution — the agent is forced onto cached designs until
+			// older passes age out of the window.
+			oc.Stats.BudgetDenials++
+			return oc.breakerPenalty(freq)
+		}
+		// Pre-pass snapshots for guard accounting: bytes moved and degraded
+		// seconds feed the budget window, total spent seconds classify the
+		// pass as regressed time.
+		_, _, preBytes := oc.Engine.Counters()
+		preDegraded := oc.Stats.DegradedSeconds
+		preSpent := oc.Stats.ExecSeconds + oc.Stats.RepartitionSeconds
+
 		var tables []string
 		if oc.LazyRepartition {
 			set := make(map[string]bool)
@@ -228,38 +319,91 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		// The §4.2 limits are computable before any execution: bestForFreq
 		// only moves after the whole pass, so every miss shares the same
 		// budget rule — which is what lets the misses run as one batch.
-		qs := make([]exec.BatchQuery, len(misses))
 		weights := make([]float64, len(misses))
+		limits := make([]float64, len(misses))
 		for k, i := range misses {
 			q := oc.WL.Queries[i]
 			weights[k] = freq[i] * q.Weight * oc.scaleOf(i)
-			qs[k].Graph = q.Graph
 			if oc.UseTimeouts && !math.IsInf(oc.bestForFreq, 1) && weights[k] > 0 {
-				qs[k].Limit = oc.bestForFreq / weights[k]
+				limits[k] = oc.bestForFreq / weights[k]
 			}
+		}
+		// order maps batch position → miss index. The canary stage front-
+		// loads the highest-weight misses (stable sort: ties keep query
+		// order) so the first K batch positions are the top-K canary.
+		order := make([]int, len(misses))
+		for k := range order {
+			order[k] = k
+		}
+		canaryK := 0
+		if oc.Guard != nil && oc.Guard.NeedsCanary(dsig) && !math.IsInf(oc.bestForFreq, 1) {
+			if k := oc.Guard.Config().CanaryQueries; k < len(misses) {
+				canaryK = k
+				sort.SliceStable(order, func(a, b int) bool {
+					return weights[order[a]] > weights[order[b]]
+				})
+			}
+		}
+		qs := make([]exec.BatchQuery, len(misses))
+		for pos, k := range order {
+			qs[pos] = exec.BatchQuery{Graph: oc.WL.Queries[misses[k]].Graph, Limit: limits[k]}
 		}
 		workers := 1
 		if oc.Parallel {
 			workers = 0 // GOMAXPROCS
 		}
-		rep := oc.Engine.RunBatchQueries(qs, workers)
-		oc.Stats.QueriesExecuted += len(misses)
+		var abort *exec.BatchAbort
+		var onResult func(pos int, r exec.RunReport, err error)
+		if canaryK > 0 {
+			// Abort from the in-order delivery callback: the decision is a
+			// pure function of batch position, so the cut — and the charged
+			// prefix — is identical at every worker count. Failed canary
+			// queries contribute only their consumed (overhead) time, which
+			// underestimates and so never aborts spuriously.
+			abort = &exec.BatchAbort{}
+			canaryCost := total
+			threshold := oc.Guard.Config().CanaryRegressionFactor * oc.bestForFreq
+			onResult = func(pos int, r exec.RunReport, err error) {
+				if pos >= canaryK {
+					return
+				}
+				canaryCost += weights[order[pos]] * r.Seconds
+				if canaryCost > threshold {
+					abort.Set()
+				}
+			}
+		}
+		rep := oc.Engine.RunBatchQueriesAbort(qs, workers, abort, onResult)
+		oc.Stats.QueriesExecuted += rep.Completed
 		oc.Stats.ExecSeconds += rep.Seconds
 		oc.Stats.NaiveExecSeconds += rep.Seconds
 		oc.Stats.DegradedSeconds += rep.DegradedSeconds
+		if rep.Completed < len(qs) {
+			// Canary regression: the full pass is skipped, only the canary
+			// prefix was charged, and the design stays canary-subject (it
+			// never completed a clean full measurement). A pass this bad is
+			// regressed time by definition.
+			oc.Stats.CanaryAborts++
+			oc.Stats.RegressedSeconds += oc.Stats.ExecSeconds + oc.Stats.RepartitionSeconds - preSpent
+			_, _, postBytes := oc.Engine.Counters()
+			oc.Guard.RecordPass(postBytes-preBytes, oc.Stats.DegradedSeconds-preDegraded)
+			oc.rollbackIfNeeded(st, dsig, 0, true)
+			return oc.breakerPenalty(freq)
+		}
 		passFailed := false
-		for k, i := range misses {
+		for pos, k := range order {
+			i := misses[k]
 			q := oc.WL.Queries[i]
 			weight := weights[k]
 			sig := st.TableSignature(q.Tables())
-			rt := rep.Reports[k].Seconds
-			aborted := rep.Reports[k].Aborted
-			degraded := rep.Reports[k].DegradedSeconds > 0
-			err := rep.Errs[k]
+			rt := rep.Reports[pos].Seconds
+			aborted := rep.Reports[pos].Aborted
+			degraded := rep.Reports[pos].DegradedSeconds > 0
+			err := rep.Errs[pos]
 			if err != nil {
 				// The batch attempt failed (injected fault); fall back to the
 				// sequential retry-with-backoff loop for this query alone.
-				rt, aborted, degraded, err = oc.retry(q.Graph, qs[k].Limit, err)
+				rt, aborted, degraded, err = oc.retry(q.Graph, limits[k], err)
 			}
 			if err != nil {
 				// Retry budget exhausted: the design loses this query under
@@ -307,11 +451,46 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 				delete(oc.failStreak, dsig)
 			}
 		}
+		measuredClean = !passFailed
+		if !math.IsInf(oc.bestForFreq, 1) && total > regressedFactor*oc.bestForFreq {
+			oc.Stats.RegressedSeconds += oc.Stats.ExecSeconds + oc.Stats.RepartitionSeconds - preSpent
+		}
+		if oc.Guard != nil {
+			// Budget accounting precedes any rollback: the rollback is a
+			// forced safety action, not exploration, so its bytes do not
+			// count against the exploration window.
+			_, _, postBytes := oc.Engine.Counters()
+			oc.Guard.RecordPass(postBytes-preBytes, oc.Stats.DegradedSeconds-preDegraded)
+			if measuredClean {
+				oc.Guard.MarkMeasured(dsig)
+			}
+			oc.rollbackIfNeeded(st, dsig, total, passFailed)
+		}
+	}
+	if oc.Guard != nil && measuredClean {
+		// Record after the rollback decision — the measurement must compete
+		// against the previous best, not against itself.
+		oc.Guard.ObserveMeasured(oc.curFreqKey, st, total)
 	}
 	if total < oc.bestForFreq {
 		oc.bestForFreq = total
 	}
 	return total
+}
+
+// rollbackIfNeeded consults the guard about the just-measured design and,
+// when it regressed past RollbackFactor × best (or failed), redeploys the
+// best-known design, charging the deploy seconds into RepartitionSeconds
+// (Deploy itself charges the moved bytes into the conservation identity).
+func (oc *OnlineCost) rollbackIfNeeded(st *partition.State, dsig string, cost float64, failed bool) {
+	to, ok := oc.Guard.ShouldRollback(oc.curFreqKey, st, cost, failed)
+	if !ok {
+		return
+	}
+	secs := oc.Guard.Rollback(to, dsig)
+	oc.Stats.Rollbacks++
+	oc.Stats.RollbackSeconds += secs
+	oc.Stats.RepartitionSeconds += secs
 }
 
 // breakerPenalty prices a circuit-broken design without touching the
@@ -482,6 +661,9 @@ func ComputeScaleFactors(full, sample *exec.Engine, wl *workload.Workload, pOffl
 // measured runtimes. Per §4.2 the ε schedule resumes from
 // hp.OnlineEpsilonFromEpisode rather than from full exploration.
 func (a *Advisor) TrainOnline(oc *OnlineCost, sampler FreqSampler) error {
+	if err := oc.Validate(); err != nil {
+		return fmt.Errorf("core: online training: %w", err)
+	}
 	a.Agent.Epsilon = a.HP.DQN.EpsilonAfter(a.HP.OnlineEpsilonFromEpisode)
 	if err := a.trainEpisodes(oc.WorkloadCost, sampler, a.HP.OnlineEpisodes, PhaseOnline); err != nil {
 		return fmt.Errorf("core: online training: %w", err)
@@ -501,10 +683,14 @@ func (a *Advisor) SuggestBest(freq workload.FreqVector, oc *OnlineCost) (*partit
 		return nil, 0, fmt.Errorf("core: inference rollout: %w", err)
 	}
 	bestCost := oc.WorkloadCost(best, freq)
-	// A rollout result already observed to lose queries must not anchor the
-	// ranking with its (stale or penalty-free) measured cost: any surviving
-	// cached design beats it.
+	// A rollout result already observed to lose queries — or vetoed by the
+	// guard's validator under the cluster's current health — must not
+	// anchor the ranking with its (stale or penalty) measured cost: any
+	// surviving cached design beats it.
 	if oc.KnownFailed(best, freq) {
+		bestCost = math.Inf(1)
+	}
+	if oc.Guard != nil && oc.Guard.CheckDesign(best) != nil {
 		bestCost = math.Inf(1)
 	}
 	// Scan visited designs in sorted-signature order so ties resolve
@@ -516,6 +702,9 @@ func (a *Advisor) SuggestBest(freq workload.FreqVector, oc *OnlineCost) (*partit
 	sort.Strings(sigs)
 	for _, sig := range sigs {
 		st := oc.Visited()[sig]
+		if oc.Guard != nil && oc.Guard.CheckDesign(st) != nil {
+			continue
+		}
 		if c, ok := oc.CachedCost(st, freq); ok && c < bestCost {
 			bestCost = c
 			best = st

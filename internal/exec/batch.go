@@ -1,12 +1,31 @@
 package exec
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"partadvisor/internal/sqlparse"
 )
+
+// ErrBatchAborted marks a batch position that was never charged because the
+// batch stopped early: either the caller's abort signal fired before the
+// position was dispatched, or its speculative result was discarded to keep
+// the charged prefix deterministic (see RunBatchQueriesAbort).
+var ErrBatchAborted = errors.New("exec: batch aborted before this query")
+
+// BatchAbort is a caller-owned early-stop signal for a running batch.
+// Deterministic policies (the guard's canary threshold) set it from the
+// batch's in-order result callback; external events (a shutdown request)
+// may Set it from any goroutine at any time.
+type BatchAbort struct{ flag atomic.Bool }
+
+// Set requests the batch to stop dispatching new queries.
+func (a *BatchAbort) Set() { a.flag.Store(true) }
+
+// Aborted reports whether the abort has fired.
+func (a *BatchAbort) Aborted() bool { return a.flag.Load() }
 
 // BatchQuery pairs one query with its §4.2 time limit (0 = none).
 type BatchQuery struct {
@@ -19,11 +38,18 @@ type BatchQuery struct {
 // totals are reduced in position order, so the report is bit-identical
 // regardless of worker count or completion order.
 type BatchReport struct {
-	// Reports holds each query's outcome at its batch position.
+	// Reports holds each query's outcome at its batch position. Positions
+	// at or past Completed are zero (never charged).
 	Reports []RunReport
-	// Errs holds each query's injected failure (nil on success).
+	// Errs holds each query's injected failure (nil on success);
+	// ErrBatchAborted for positions the batch never charged.
 	Errs []error
-	// Seconds is Σ Reports[i].Seconds in position order.
+	// Completed is the length of the charged position prefix: positions
+	// [0, Completed) executed and are summed into the totals. It equals
+	// len(Reports) unless an abort fired.
+	Completed int
+	// Seconds is Σ Reports[i].Seconds in position order over the charged
+	// prefix.
 	Seconds float64
 	// Aborts counts §4.2 timeout aborts.
 	Aborts int
@@ -44,7 +70,14 @@ func (e *Engine) RunBatch(gs []*sqlparse.Graph, limit float64) BatchReport {
 
 // RunBatchQueries executes a batch of queries concurrently (workers <= 0
 // uses GOMAXPROCS; 1 runs inline) and returns per-position reports plus
-// position-ordered totals.
+// position-ordered totals. It is RunBatchQueriesAbort without an abort
+// signal: every position is charged.
+func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
+	return e.RunBatchQueriesAbort(qs, workers, nil, nil)
+}
+
+// RunBatchQueriesAbort executes a batch of queries concurrently with an
+// optional early-abort hook.
 //
 // Execution contract: a deployed layout is immutable while queries run, so
 // the batch holds the engine mutex for its whole duration (serializing
@@ -55,15 +88,27 @@ func (e *Engine) RunBatch(gs []*sqlparse.Graph, limit float64) BatchReport {
 // derived from (schedule seed, batch number, query position) rather than
 // from the sequential draw stream, and per-query degraded overlap is
 // measured from batch start. The simulated clock advances by the
-// position-ordered sum at the end, exactly as if the queries had been
-// measured back to back on an idle cluster.
+// position-ordered sum of the charged prefix at the end, exactly as if the
+// queries had been measured back to back on an idle cluster.
 //
-// Determinism contract: with no injector armed, totals are bit-identical
-// to running the queries one by one through Execute and summing in
-// position order. With an injector armed, results are a pure function of
-// (deployment, schedule, clock, batch number, positions) — identical
-// across runs and across any workers/GOMAXPROCS values.
-func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
+// Abort contract: onResult (when non-nil) is invoked in strict position
+// order as the contiguous completed prefix extends; it runs under the
+// engine mutex and must not call back into the engine. Once abort fires —
+// from inside onResult or externally — no new positions are dispatched, no
+// further results are delivered, and the report charges exactly the
+// positions delivered so far (Completed). Parallel workers may have
+// speculatively executed later positions; their results are discarded
+// (zeroed, Errs = ErrBatchAborted), which keeps the charged prefix a pure
+// function of position-ordered results. An abort raised only from onResult
+// therefore cuts the batch at the same position for every worker count:
+// sequential and parallel runs charge bit-identical prefixes.
+//
+// Determinism contract: with no injector armed and no abort, totals are
+// bit-identical to running the queries one by one through Execute and
+// summing in position order. With an injector armed, results are a pure
+// function of (deployment, schedule, clock, batch number, positions) —
+// identical across runs and across any workers/GOMAXPROCS values.
+func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *BatchAbort, onResult func(pos int, rep RunReport, err error)) BatchReport {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rep := BatchReport{
@@ -74,11 +119,12 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 		return rep
 	}
 	e.healLocked()
-	e.QueriesExecuted += len(qs)
 	batch := e.batchSeq
 	e.batchSeq++
 	start := e.simNow
 	fc := e.faultCtx()
+
+	aborted := func() bool { return abort != nil && abort.Aborted() }
 
 	runOne := func(i int) {
 		if e.faults != nil && e.faults.TransientFailureAt(batch, i) {
@@ -94,8 +140,8 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 		}
 		x := newExecutor(e, qs[i].Graph, qs[i].Limit)
 		x.fc = fc
-		sec, aborted := x.run()
-		r := RunReport{Seconds: sec, Aborted: aborted}
+		sec, timedOut := x.run()
+		r := RunReport{Seconds: sec, Aborted: timedOut}
 		if e.faults != nil {
 			r.DegradedSeconds = e.faults.DegradedOverlap(start, start+sec)
 		}
@@ -109,11 +155,41 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 	if workers > len(qs) {
 		workers = len(qs)
 	}
+	completed := 0
 	if workers <= 1 {
 		for i := range qs {
+			if aborted() {
+				break
+			}
 			runOne(i)
+			completed = i + 1
+			if onResult != nil {
+				onResult(i, rep.Reports[i], rep.Errs[i])
+			}
 		}
 	} else {
+		// Delivery state: results are handed to onResult in strict position
+		// order; frozen stops delivery (and the Completed count) at the
+		// moment the abort is observed, so speculatively executed later
+		// positions never count.
+		var dmu sync.Mutex
+		done := make([]bool, len(qs))
+		cursor := 0
+		frozen := false
+		deliver := func(i int) {
+			dmu.Lock()
+			defer dmu.Unlock()
+			done[i] = true
+			for !frozen && cursor < len(qs) && done[cursor] {
+				if onResult != nil {
+					onResult(cursor, rep.Reports[cursor], rep.Errs[cursor])
+				}
+				cursor++
+				if aborted() {
+					frozen = true
+				}
+			}
+		}
 		var next atomic.Int64
 		next.Store(-1)
 		var wg sync.WaitGroup
@@ -122,18 +198,29 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 			go func() {
 				defer wg.Done()
 				for {
+					if aborted() {
+						return
+					}
 					i := int(next.Add(1))
 					if i >= len(qs) {
 						return
 					}
 					runOne(i)
+					deliver(i)
 				}
 			}()
 		}
 		wg.Wait()
+		completed = cursor
 	}
 
-	for i := range rep.Reports {
+	rep.Completed = completed
+	for i := completed; i < len(qs); i++ {
+		rep.Reports[i] = RunReport{}
+		rep.Errs[i] = ErrBatchAborted
+	}
+	e.QueriesExecuted += completed
+	for i := 0; i < completed; i++ {
 		rep.Seconds += rep.Reports[i].Seconds
 		if rep.Reports[i].Aborted {
 			rep.Aborts++

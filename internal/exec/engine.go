@@ -178,6 +178,55 @@ func (e *Engine) Counters() (queriesExecuted, repartitions int, bytesMoved int64
 	return e.QueriesExecuted, e.Repartitions, e.BytesMoved
 }
 
+// Topology is a mutex-coherent snapshot of cluster health at one simulated
+// instant, for feasibility checks that must not race with engine mutations.
+type Topology struct {
+	// Now is the simulated clock the snapshot was taken at.
+	Now float64
+	// Nodes is the configured cluster size.
+	Nodes int
+	// Down[i] reports node i crashed, Unreachable[i] partition-isolated
+	// from the coordinator side, Permanent[i] inside a crash window that
+	// never closes (the node will not rejoin).
+	Down, Unreachable, Permanent []bool
+	// Live counts nodes neither down nor unreachable.
+	Live int
+}
+
+// TopologyView snapshots node health under one mutex acquisition. With no
+// injector armed every node is live.
+func (e *Engine) TopologyView() Topology {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tv := Topology{
+		Now:         e.simNow,
+		Nodes:       e.HW.Nodes,
+		Down:        make([]bool, e.HW.Nodes),
+		Unreachable: make([]bool, e.HW.Nodes),
+		Permanent:   make([]bool, e.HW.Nodes),
+	}
+	if e.faults != nil {
+		e.nodeStateLocked(e.simNow, tv.Down, tv.Unreachable)
+		for n := 0; n < e.HW.Nodes; n++ {
+			tv.Permanent[n] = e.faults.PermanentlyLost(n, e.simNow)
+		}
+	}
+	for n := 0; n < e.HW.Nodes; n++ {
+		if !tv.Down[n] && !tv.Unreachable[n] {
+			tv.Live++
+		}
+	}
+	return tv
+}
+
+// TableFootprint returns the table's current true row count and base byte
+// size (one copy, before replication), for deploy-size feasibility checks.
+func (e *Engine) TableFootprint(table string) (rows, bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.trueCat.Rows(table), e.trueCat.Bytes(table)
+}
+
 // Run executes a query and returns the simulated wall time in seconds.
 func (e *Engine) Run(g *sqlparse.Graph) float64 {
 	sec, _ := e.RunWithLimit(g, 0)

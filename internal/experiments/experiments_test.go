@@ -58,7 +58,7 @@ func TestIDsCovered(t *testing.T) {
 	// the cheap ones; the expensive ones are covered by dedicated tests and
 	// the bench harness).
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("IDs = %v", ids)
 	}
 }
@@ -374,5 +374,40 @@ func TestAvailabilityExperiment(t *testing.T) {
 	// At the fixed test seed the validated suggestion is fully replicated.
 	if online != 100 {
 		t.Fatalf("RL online availability = %v%%, want 100%% at this seed", online)
+	}
+}
+
+func TestGuardedOnlineExperiment(t *testing.T) {
+	r, err := GuardedOnline(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "guard" || len(r.Rows) != 2 {
+		t.Fatalf("guard result = %+v", r)
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("guard cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	plain, guarded := r.Rows[0], r.Rows[1]
+	if plain[0] != "Unguarded" || guarded[0] != "Guarded" {
+		t.Fatalf("rows = %v / %v", plain, guarded)
+	}
+	// The guard must not cost final design quality at the fixed test seed…
+	if g, p := cell(guarded, 1), cell(plain, 1); g > p {
+		t.Fatalf("guarded final runtime %v worse than unguarded %v", g, p)
+	}
+	// …and must spend no more simulated time in regressed layouts.
+	if g, p := cell(guarded, 2), cell(plain, 2); g > p {
+		t.Fatalf("guarded regressed seconds %v exceed unguarded %v", g, p)
+	}
+	// The unguarded run has no guard, so its protection counters stay zero.
+	for col := 4; col <= 6; col++ {
+		if plain[col] != "0" {
+			t.Fatalf("unguarded run reports guard activity: %v", plain)
+		}
 	}
 }

@@ -31,6 +31,10 @@ type Config struct {
 	Mixes int
 	// Seed makes every experiment reproducible.
 	Seed int64
+	// Stop, when set, is polled by RunAll between experiments: once true,
+	// the remaining experiments are skipped and the results so far are
+	// returned (graceful shutdown).
+	Stop func() bool
 }
 
 // ReproConfig is the default used by cmd/expdriver and EXPERIMENTS.md.

@@ -17,6 +17,7 @@ func IDs() []string {
 		"fig8a", "fig8b",
 		"availability",
 		"ablations",
+		"guard",
 	}
 }
 
@@ -62,6 +63,9 @@ func Run(id string, cfg Config) ([]*Result, error) {
 	case "ablations":
 		r, err := Ablations(cfg)
 		return []*Result{r}, err
+	case "guard":
+		r, err := GuardedOnline(cfg)
+		return []*Result{r}, err
 	}
 	known := IDs()
 	sort.Strings(known)
@@ -72,6 +76,7 @@ func Run(id string, cfg Config) ([]*Result, error) {
 // across fig4a/fig4b/table2/fig5/fig7.
 func RunAll(cfg Config) ([]*Result, error) {
 	var out []*Result
+	stopped := func() bool { return cfg.Stop != nil && cfg.Stop() }
 	add := func(rs []*Result, err error) error {
 		if err != nil {
 			return err
@@ -79,10 +84,10 @@ func RunAll(cfg Config) ([]*Result, error) {
 		out = append(out, rs...)
 		return nil
 	}
-	if err := add(Run("table1", cfg)); err != nil {
+	if err := add(Run("table1", cfg)); err != nil || stopped() {
 		return out, err
 	}
-	if err := add(Fig3(cfg, "")); err != nil {
+	if err := add(Fig3(cfg, "")); err != nil || stopped() {
 		return out, err
 	}
 	r4a, run, err := Fig4a(cfg)
@@ -90,31 +95,49 @@ func RunAll(cfg Config) ([]*Result, error) {
 		return out, err
 	}
 	out = append(out, r4a)
+	if stopped() {
+		return out, nil
+	}
 	rT2, err := Table2(cfg)
 	if err != nil {
 		return out, err
 	}
 	out = append(out, rT2)
+	if stopped() {
+		return out, nil
+	}
 	r5, committee, err := Fig5(cfg, run)
 	if err != nil {
 		return out, err
 	}
 	out = append(out, r5)
+	if stopped() {
+		return out, nil
+	}
 	r6, err := Fig6(cfg, nil, 0)
 	if err != nil {
 		return out, err
 	}
 	out = append(out, r6)
+	if stopped() {
+		return out, nil
+	}
 	r7a, exploit, explore, err := Fig7a(cfg, run)
 	if err != nil {
 		return out, err
 	}
 	out = append(out, r7a)
+	if stopped() {
+		return out, nil
+	}
 	r7b, err := Fig7b(cfg, run, committee, exploit, explore)
 	if err != nil {
 		return out, err
 	}
 	out = append(out, r7b)
+	if stopped() {
+		return out, nil
+	}
 	// Fig. 4b bulk-loads into the shared TPC-CH engine, so it must run
 	// after every other consumer of the shared online run.
 	r4b, err := Fig4b(cfg, run)
@@ -122,13 +145,16 @@ func RunAll(cfg Config) ([]*Result, error) {
 		return out, err
 	}
 	out = append(out, r4b)
-	if err := add(Run("fig8a", cfg)); err != nil {
+	if err := add(Run("fig8a", cfg)); err != nil || stopped() {
 		return out, err
 	}
-	if err := add(Run("fig8b", cfg)); err != nil {
+	if err := add(Run("fig8b", cfg)); err != nil || stopped() {
 		return out, err
 	}
-	if err := add(Run("availability", cfg)); err != nil {
+	if err := add(Run("availability", cfg)); err != nil || stopped() {
+		return out, err
+	}
+	if err := add(Run("guard", cfg)); err != nil {
 		return out, err
 	}
 	// Restore presentation order.

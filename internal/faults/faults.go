@@ -286,6 +286,20 @@ func (in *Injector) NodeDown(node int, now float64) bool {
 	return false
 }
 
+// PermanentlyLost reports whether the node is inside a crash window that
+// never closes (End = +Inf) at simulated time now — the schedule's encoding
+// of a permanent node loss (such a node never emits a rejoin event, see
+// Events). Guards use this to veto designs that would place unreplicated
+// shards with no surviving copy.
+func (in *Injector) PermanentlyLost(node int, now float64) bool {
+	for _, cr := range in.cfg.Crashes {
+		if cr.Node == node && cr.Contains(now) && math.IsInf(cr.End, 1) {
+			return true
+		}
+	}
+	return false
+}
+
 // SlowdownFactor returns the node's compute/scan time multiplier at now
 // (>= 1; overlapping stragglers compound).
 func (in *Injector) SlowdownFactor(node int, now float64) float64 {

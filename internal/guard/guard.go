@@ -1,0 +1,374 @@
+// Package guard is the safety envelope for online partitioning advice: it
+// wraps a measured cost (core.OnlineCost) with four independent, composable
+// protections so a learning agent can explore designs on a live cluster
+// without leaving it broken or bleeding budget.
+//
+//  1. Design validation (CheckDesign): infeasible or degenerate layouts —
+//     hash-partitioned tables whose shards would live on permanently lost
+//     nodes, deploys exceeding a per-table bytes ceiling, shards too thin
+//     to be worth the fan-out, too few live nodes — are vetoed before any
+//     deploy and charged a finite penalty instead of touching the engine.
+//  2. Canary measurement (NeedsCanary/MarkMeasured): a never-before-measured
+//     design first runs only the top-K highest-frequency queries; if the
+//     canary already regresses past CanaryRegressionFactor × the best-known
+//     workload cost, the full pass is aborted and the design penalized.
+//  3. Automatic rollback (ObserveMeasured/ShouldRollback/Rollback): the
+//     guard remembers the best (design, cost) per frequency mix and, after
+//     a measurement regressing beyond RollbackFactor × best (or failing
+//     outright), redeploys the best-known design so the cluster never
+//     *stays* in a bad layout. Rollback bytes and seconds are charged
+//     honestly through the engine's normal Deploy accounting.
+//  4. Exploration budgets (RecordPass/BudgetExhausted): bytes moved and
+//     degraded-execution seconds are tracked over a sliding window of
+//     measurement passes; once the window budget is spent, new-design
+//     exploration is denied until older passes age out.
+//
+// A Guard has no internal locking: it inherits the serialization of its
+// caller (core.OnlineCost under env.SynchronizedCost, or a single-threaded
+// training loop). All decisions are pure functions of the call sequence, so
+// guarded runs replay deterministically.
+package guard
+
+import (
+	"errors"
+	"fmt"
+
+	"partadvisor/internal/cluster"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// ErrBadConfig is wrapped by every configuration-validation failure.
+var ErrBadConfig = errors.New("guard: invalid configuration")
+
+// Config holds the guard's knobs. The zero value disables every protection;
+// DefaultConfig returns the recommended envelope.
+type Config struct {
+	// ValidateDesigns enables the design validator (protection 1).
+	ValidateDesigns bool
+	// MinLiveNodes vetoes any deploy while fewer nodes are live (down or
+	// partition-unreachable nodes do not count). Zero disables the check.
+	MinLiveNodes int
+	// MaxTableBytes vetoes designs whose single-table deployed footprint
+	// (bytes × nodes when replicated, bytes when partitioned) exceeds the
+	// ceiling. Zero means unlimited.
+	MaxTableBytes int64
+	// MinRowsPerShard vetoes hash-partitioning a table so thin that the
+	// average shard would hold fewer rows than this (fragment-count
+	// sanity). Zero disables the check.
+	MinRowsPerShard int64
+
+	// CanaryQueries is K, the number of highest-frequency queries measured
+	// before committing to a full pass on a never-measured design. Zero
+	// disables the canary stage.
+	CanaryQueries int
+	// CanaryRegressionFactor aborts the full pass when the canary's
+	// weighted cost already exceeds this multiple of the best-known
+	// workload cost. Must exceed 1 when the canary is enabled.
+	CanaryRegressionFactor float64
+
+	// RollbackFactor triggers a rollback to the best-known design after a
+	// measurement exceeding this multiple of the best-known cost, or after
+	// a failed pass. Zero disables rollback; otherwise it must exceed 1.
+	RollbackFactor float64
+
+	// WindowPasses is the sliding-window length (in measurement passes)
+	// for the exploration budget. Zero disables the governor.
+	WindowPasses int
+	// WindowBytes caps bytes moved by deploys within the window. Zero
+	// means unlimited.
+	WindowBytes int64
+	// WindowDegradedSec caps degraded-execution seconds within the window.
+	// Zero means unlimited.
+	WindowDegradedSec float64
+}
+
+// DefaultConfig returns the recommended protection envelope: validation on,
+// a 2-query canary at 3× regression, rollback at 2× regression, and a
+// 32-pass budget window with no byte/degraded caps (set them per workload).
+func DefaultConfig() Config {
+	return Config{
+		ValidateDesigns:        true,
+		MinLiveNodes:           1,
+		CanaryQueries:          2,
+		CanaryRegressionFactor: 3,
+		RollbackFactor:         2,
+		WindowPasses:           32,
+	}
+}
+
+// Validate rejects nonsensical knob combinations with errors wrapping
+// ErrBadConfig.
+func (c Config) Validate() error {
+	if c.MinLiveNodes < 0 {
+		return fmt.Errorf("%w: MinLiveNodes %d is negative", ErrBadConfig, c.MinLiveNodes)
+	}
+	if c.MaxTableBytes < 0 {
+		return fmt.Errorf("%w: MaxTableBytes %d is negative", ErrBadConfig, c.MaxTableBytes)
+	}
+	if c.MinRowsPerShard < 0 {
+		return fmt.Errorf("%w: MinRowsPerShard %d is negative", ErrBadConfig, c.MinRowsPerShard)
+	}
+	if c.CanaryQueries < 0 {
+		return fmt.Errorf("%w: CanaryQueries %d is negative", ErrBadConfig, c.CanaryQueries)
+	}
+	if c.CanaryQueries > 0 && c.CanaryRegressionFactor <= 1 {
+		return fmt.Errorf("%w: CanaryRegressionFactor %g must exceed 1 when the canary is enabled",
+			ErrBadConfig, c.CanaryRegressionFactor)
+	}
+	if c.RollbackFactor != 0 && c.RollbackFactor <= 1 {
+		return fmt.Errorf("%w: RollbackFactor %g must exceed 1 (or be 0 to disable)",
+			ErrBadConfig, c.RollbackFactor)
+	}
+	if c.WindowPasses < 0 {
+		return fmt.Errorf("%w: WindowPasses %d is negative", ErrBadConfig, c.WindowPasses)
+	}
+	if c.WindowBytes < 0 {
+		return fmt.Errorf("%w: WindowBytes %d is negative", ErrBadConfig, c.WindowBytes)
+	}
+	if c.WindowDegradedSec < 0 {
+		return fmt.Errorf("%w: WindowDegradedSec %g is negative", ErrBadConfig, c.WindowDegradedSec)
+	}
+	if (c.WindowBytes > 0 || c.WindowDegradedSec > 0) && c.WindowPasses == 0 {
+		return fmt.Errorf("%w: window caps set but WindowPasses is 0 (the window never holds a pass)",
+			ErrBadConfig)
+	}
+	return nil
+}
+
+// RollbackRecord documents one executed rollback.
+type RollbackRecord struct {
+	// At is the simulated time after the rollback deploy completed.
+	At float64
+	// FromSig is the signature of the regressed design rolled away from,
+	// ToSig the best-known design redeployed.
+	FromSig, ToSig string
+	// Seconds is the simulated deploy time charged for the rollback.
+	Seconds float64
+	// Consistent reports the post-rollback self-check: every table's
+	// deployed design equals the best-known design bit-for-bit. The chaos
+	// harness asserts this is always true.
+	Consistent bool
+}
+
+// bestEntry is the best-known (design, cost) for one frequency mix.
+type bestEntry struct {
+	st   *partition.State
+	cost float64
+}
+
+// passRecord is one measurement pass's budget spend.
+type passRecord struct {
+	bytes       int64
+	degradedSec float64
+}
+
+// Guard is the safety envelope instance. Not safe for concurrent use on its
+// own — callers serialize (see the package comment).
+type Guard struct {
+	cfg Config
+	eng *exec.Engine
+	wl  *workload.Workload
+
+	measured  map[string]bool      // design signature → measured a clean full pass
+	best      map[string]bestEntry // frequency key → best-known (design, cost)
+	window    []passRecord         // last ≤ WindowPasses measurement passes
+	rollbacks []RollbackRecord
+}
+
+// New validates the configuration and builds a guard over the engine the
+// designs deploy to and the workload whose queries they serve.
+func New(eng *exec.Engine, wl *workload.Workload, cfg Config) (*Guard, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("%w: nil engine", ErrBadConfig)
+	}
+	if wl == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrBadConfig)
+	}
+	return &Guard{
+		cfg:      cfg,
+		eng:      eng,
+		wl:       wl,
+		measured: make(map[string]bool),
+		best:     make(map[string]bestEntry),
+	}, nil
+}
+
+// Config returns the armed configuration.
+func (g *Guard) Config() Config { return g.cfg }
+
+// CheckDesign is the pre-deploy validator: it returns a descriptive error
+// when the design is infeasible or degenerate under the cluster's current
+// health, nil when the design may be deployed. It never touches the engine
+// beyond coherent read-only snapshots.
+func (g *Guard) CheckDesign(st *partition.State) error {
+	if !g.cfg.ValidateDesigns {
+		return nil
+	}
+	sp := st.Space()
+	for _, q := range g.wl.Queries {
+		for _, tbl := range q.Tables() {
+			if sp.TableIndex(tbl) < 0 {
+				return fmt.Errorf("guard: workload table %q is not placed by the design space", tbl)
+			}
+		}
+	}
+	tv := g.eng.TopologyView()
+	if g.cfg.MinLiveNodes > 0 && tv.Live < g.cfg.MinLiveNodes {
+		return fmt.Errorf("guard: only %d of %d nodes live, need %d", tv.Live, tv.Nodes, g.cfg.MinLiveNodes)
+	}
+	anyPermanent := false
+	for _, p := range tv.Permanent {
+		if p {
+			anyPermanent = true
+			break
+		}
+	}
+	for _, ts := range sp.Tables {
+		rows, bytes := g.eng.TableFootprint(ts.Name)
+		_, hashed := st.KeyOf(ts.Name)
+		if hashed && rows > 0 {
+			if anyPermanent {
+				// Hash shards land on every node; a shard assigned to a
+				// permanently lost node has no surviving copy, so every
+				// scan of the table fails forever.
+				return fmt.Errorf("guard: table %q hash-partitioned while a node is permanently lost", ts.Name)
+			}
+			if g.cfg.MinRowsPerShard > 0 && tv.Live > 0 && rows < g.cfg.MinRowsPerShard*int64(tv.Live) {
+				return fmt.Errorf("guard: table %q too thin to partition: %d rows over %d live nodes (< %d/shard)",
+					ts.Name, rows, tv.Live, g.cfg.MinRowsPerShard)
+			}
+		}
+		if g.cfg.MaxTableBytes > 0 {
+			foot := bytes
+			if !hashed {
+				foot = bytes * int64(tv.Nodes)
+			}
+			if foot > g.cfg.MaxTableBytes {
+				return fmt.Errorf("guard: table %q deployed footprint %d bytes exceeds ceiling %d",
+					ts.Name, foot, g.cfg.MaxTableBytes)
+			}
+		}
+	}
+	return nil
+}
+
+// NeedsCanary reports whether a design (by layout signature) should pass
+// the canary stage before a full measurement: the canary is enabled and no
+// clean full pass of the design has been recorded yet.
+func (g *Guard) NeedsCanary(sig string) bool {
+	return g.cfg.CanaryQueries > 0 && !g.measured[sig]
+}
+
+// MarkMeasured records that the design completed a clean full measurement
+// pass; subsequent passes skip the canary.
+func (g *Guard) MarkMeasured(sig string) { g.measured[sig] = true }
+
+// RecordPass feeds one measurement pass's budget spend (deploy bytes moved,
+// degraded-execution seconds) into the sliding window.
+func (g *Guard) RecordPass(bytes int64, degradedSec float64) {
+	if g.cfg.WindowPasses == 0 {
+		return
+	}
+	g.window = append(g.window, passRecord{bytes: bytes, degradedSec: degradedSec})
+	if len(g.window) > g.cfg.WindowPasses {
+		g.window = g.window[len(g.window)-g.cfg.WindowPasses:]
+	}
+}
+
+// BudgetExhausted reports whether the sliding window's exploration budget
+// is spent: new-design deploys should be denied until older passes age out.
+func (g *Guard) BudgetExhausted() bool {
+	if g.cfg.WindowPasses == 0 || (g.cfg.WindowBytes == 0 && g.cfg.WindowDegradedSec == 0) {
+		return false
+	}
+	var bytes int64
+	var degraded float64
+	for _, p := range g.window {
+		bytes += p.bytes
+		degraded += p.degradedSec
+	}
+	if g.cfg.WindowBytes > 0 && bytes >= g.cfg.WindowBytes {
+		return true
+	}
+	if g.cfg.WindowDegradedSec > 0 && degraded >= g.cfg.WindowDegradedSec {
+		return true
+	}
+	return false
+}
+
+// ObserveMeasured records a completed full measurement of a design for a
+// frequency mix, updating the best-known (design, cost) when it improves.
+// The state is cloned, so later mutations by the caller cannot corrupt the
+// rollback target.
+func (g *Guard) ObserveMeasured(freqKey string, st *partition.State, cost float64) {
+	if cur, ok := g.best[freqKey]; ok && cur.cost <= cost {
+		return
+	}
+	g.best[freqKey] = bestEntry{st: st.Clone(), cost: cost}
+}
+
+// BestKnown returns the best-known design and cost for a frequency mix.
+func (g *Guard) BestKnown(freqKey string) (*partition.State, float64, bool) {
+	e, ok := g.best[freqKey]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.st, e.cost, true
+}
+
+// ShouldRollback decides whether the just-measured design must be rolled
+// back: rollback is enabled, a best-known design exists for the mix, the
+// measured design is not already that layout, and the measurement either
+// failed or regressed beyond RollbackFactor × best.
+func (g *Guard) ShouldRollback(freqKey string, st *partition.State, cost float64, failed bool) (*partition.State, bool) {
+	if g.cfg.RollbackFactor == 0 {
+		return nil, false
+	}
+	e, ok := g.best[freqKey]
+	if !ok || st.SameLayout(e.st) {
+		return nil, false
+	}
+	if failed || cost > g.cfg.RollbackFactor*e.cost {
+		return e.st, true
+	}
+	return nil, false
+}
+
+// Rollback redeploys the given best-known design over the whole schema and
+// self-checks that the deployed layout now equals it bit-for-bit, recording
+// a RollbackRecord. It returns the simulated deploy seconds, which the
+// engine has already charged into its BytesMoved/DeployedBytes accounting
+// (preserving the conservation identity).
+func (g *Guard) Rollback(to *partition.State, fromSig string) float64 {
+	seconds := g.eng.Deploy(to, nil)
+	consistent := true
+	for _, ts := range to.Space().Tables {
+		want := cluster.Design{Replicated: true}
+		if key, ok := to.KeyOf(ts.Name); ok {
+			want = cluster.Design{Key: key}
+		}
+		if !g.eng.CurrentDesign(ts.Name).Equal(want) {
+			consistent = false
+		}
+	}
+	g.rollbacks = append(g.rollbacks, RollbackRecord{
+		At:         g.eng.SimNow(),
+		FromSig:    fromSig,
+		ToSig:      to.Signature(),
+		Seconds:    seconds,
+		Consistent: consistent,
+	})
+	return seconds
+}
+
+// Rollbacks returns a copy of the executed-rollback log.
+func (g *Guard) Rollbacks() []RollbackRecord {
+	out := make([]RollbackRecord, len(g.rollbacks))
+	copy(out, g.rollbacks)
+	return out
+}

@@ -1,0 +1,285 @@
+package guard
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/faults"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// testRig is one materialized microbenchmark cluster for guard tests.
+type testRig struct {
+	eng   *exec.Engine
+	sp    *partition.Space
+	wl    *workload.Workload
+	part  *partition.State // every table hash-partitioned
+	repl  *partition.State // every table replicated
+	guard *Guard
+}
+
+func newRig(t *testing.T, cfg Config) *testRig {
+	t.Helper()
+	b := benchmarks.Micro()
+	data := b.Generate(0.05, 1)
+	e := exec.New(b.Schema, data, hardware.SystemXMemory(), exec.Memory)
+	sp := b.Space()
+	part := sp.InitialState()
+	repl := part
+	for ti := range sp.Tables {
+		repl = sp.Apply(repl, partition.Action{Kind: partition.ActReplicate, Table: ti})
+	}
+	g, err := New(e, b.Workload, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &testRig{eng: e, sp: sp, wl: b.Workload, part: part, repl: repl, guard: g}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := DefaultConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero Config invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative MinLiveNodes", func(c *Config) { c.MinLiveNodes = -1 }},
+		{"negative MaxTableBytes", func(c *Config) { c.MaxTableBytes = -1 }},
+		{"negative MinRowsPerShard", func(c *Config) { c.MinRowsPerShard = -5 }},
+		{"negative CanaryQueries", func(c *Config) { c.CanaryQueries = -1 }},
+		{"canary factor at 1", func(c *Config) { c.CanaryRegressionFactor = 1 }},
+		{"canary factor below 1", func(c *Config) { c.CanaryRegressionFactor = 0.5 }},
+		{"rollback factor at 1", func(c *Config) { c.RollbackFactor = 1 }},
+		{"negative WindowPasses", func(c *Config) { c.WindowPasses = -1 }},
+		{"negative WindowBytes", func(c *Config) { c.WindowPasses = 0; c.WindowBytes = -1 }},
+		{"negative WindowDegradedSec", func(c *Config) { c.WindowDegradedSec = -0.5 }},
+		{"caps without window", func(c *Config) { c.WindowPasses = 0; c.WindowBytes = 1 << 20 }},
+	}
+	for _, tc := range cases {
+		c := DefaultConfig()
+		tc.mut(&c)
+		err := c.Validate()
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: Validate = %v, want ErrBadConfig", tc.name, err)
+		}
+		if _, nerr := New(nil, nil, c); !errors.Is(nerr, ErrBadConfig) {
+			t.Errorf("%s: New accepted the bad config (%v)", tc.name, nerr)
+		}
+	}
+	// New must also reject nil collaborators even with a good config.
+	if _, err := New(nil, nil, ok); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("New(nil engine) = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestCheckDesignHealthy(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	if err := r.guard.CheckDesign(r.part); err != nil {
+		t.Errorf("partitioned design vetoed on a healthy cluster: %v", err)
+	}
+	if err := r.guard.CheckDesign(r.repl); err != nil {
+		t.Errorf("replicated design vetoed on a healthy cluster: %v", err)
+	}
+}
+
+func TestCheckDesignPermanentLoss(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// Node 1 is lost forever from t=1: hash shards assigned to it have no
+	// surviving copy, so hash-partitioning any non-empty table is infeasible.
+	r.eng.SetFaults(faults.MustNew(faults.Config{Crashes: []faults.NodeCrash{
+		{Node: 1, Window: faults.Window{Start: 1, End: math.Inf(1)}},
+	}}))
+	r.eng.ResetClock()
+	r.eng.AdvanceClock(2)
+	err := r.guard.CheckDesign(r.part)
+	if err == nil || !strings.Contains(err.Error(), "permanently lost") {
+		t.Errorf("partitioned design under permanent loss: err = %v, want permanent-loss veto", err)
+	}
+	// Replication survives any single permanent loss.
+	if err := r.guard.CheckDesign(r.repl); err != nil {
+		t.Errorf("replicated design vetoed under permanent loss: %v", err)
+	}
+	// Before the loss begins the partitioned design is still fine.
+	r.eng.ResetClock()
+	if err := r.guard.CheckDesign(r.part); err != nil {
+		t.Errorf("partitioned design vetoed before the loss window: %v", err)
+	}
+}
+
+func TestCheckDesignMinLiveNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinLiveNodes = 4 // the SystemX profile has 4 nodes; one crash drops below
+	r := newRig(t, cfg)
+	r.eng.SetFaults(faults.MustNew(faults.Config{Crashes: []faults.NodeCrash{
+		{Node: 2, Window: faults.Window{Start: 0, End: 100}},
+	}}))
+	r.eng.ResetClock()
+	if err := r.guard.CheckDesign(r.repl); err == nil {
+		t.Errorf("deploy allowed with %d live nodes, want MinLiveNodes veto", 3)
+	}
+	r.eng.AdvanceClock(200) // node back up
+	if err := r.guard.CheckDesign(r.repl); err != nil {
+		t.Errorf("deploy vetoed after the crash window: %v", err)
+	}
+}
+
+func TestCheckDesignFootprintCeilings(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxTableBytes = 1 // every non-empty table exceeds this
+	r := newRig(t, cfg)
+	if err := r.guard.CheckDesign(r.repl); err == nil || !strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("MaxTableBytes=1: err = %v, want footprint veto", err)
+	}
+
+	cfg = DefaultConfig()
+	cfg.MinRowsPerShard = 1 << 40 // absurd: every partitioned table is too thin
+	r = newRig(t, cfg)
+	if err := r.guard.CheckDesign(r.part); err == nil || !strings.Contains(err.Error(), "too thin") {
+		t.Errorf("MinRowsPerShard huge: err = %v, want thin-shard veto", err)
+	}
+	// Replication is not sharded, so the thin-shard rule does not apply.
+	if err := r.guard.CheckDesign(r.repl); err != nil {
+		t.Errorf("replicated design hit the thin-shard rule: %v", err)
+	}
+}
+
+func TestCanaryLifecycle(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	sig := r.part.Signature()
+	if !r.guard.NeedsCanary(sig) {
+		t.Fatalf("never-measured design does not need a canary")
+	}
+	r.guard.MarkMeasured(sig)
+	if r.guard.NeedsCanary(sig) {
+		t.Fatalf("measured design still needs a canary")
+	}
+	// Canary disabled → never needed.
+	cfg := DefaultConfig()
+	cfg.CanaryQueries = 0
+	cfg.CanaryRegressionFactor = 0
+	r2 := newRig(t, cfg)
+	if r2.guard.NeedsCanary(sig) {
+		t.Fatalf("canary stage disabled but NeedsCanary = true")
+	}
+}
+
+func TestBudgetWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowPasses = 3
+	cfg.WindowBytes = 100
+	r := newRig(t, cfg)
+	g := r.guard
+	if g.BudgetExhausted() {
+		t.Fatalf("budget exhausted before any pass")
+	}
+	g.RecordPass(60, 0)
+	if g.BudgetExhausted() {
+		t.Fatalf("budget exhausted at 60/100 bytes")
+	}
+	g.RecordPass(60, 0)
+	if !g.BudgetExhausted() {
+		t.Fatalf("budget not exhausted at 120/100 bytes")
+	}
+	// Two cheap passes age the expensive ones out of the 3-pass window.
+	g.RecordPass(0, 0)
+	g.RecordPass(0, 0)
+	if g.BudgetExhausted() {
+		t.Fatalf("budget still exhausted after the spend aged out")
+	}
+
+	// Degraded-seconds cap works the same way.
+	cfg = DefaultConfig()
+	cfg.WindowPasses = 2
+	cfg.WindowDegradedSec = 1.0
+	r = newRig(t, cfg)
+	r.guard.RecordPass(0, 0.7)
+	r.guard.RecordPass(0, 0.7)
+	if !r.guard.BudgetExhausted() {
+		t.Fatalf("degraded-seconds budget not exhausted at 1.4/1.0")
+	}
+}
+
+func TestObserveBestAndShouldRollback(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	g := r.guard
+	const mix = "uniform"
+	if _, _, ok := g.BestKnown(mix); ok {
+		t.Fatalf("best known before any observation")
+	}
+	if _, roll := g.ShouldRollback(mix, r.part, 1e9, true); roll {
+		t.Fatalf("rollback fired with no best-known design")
+	}
+	g.ObserveMeasured(mix, r.repl, 10)
+	if st, cost, ok := g.BestKnown(mix); !ok || cost != 10 || !st.SameLayout(r.repl) {
+		t.Fatalf("BestKnown = (%v, %v, %v)", st, cost, ok)
+	}
+	g.ObserveMeasured(mix, r.part, 20) // worse: must not replace
+	if _, cost, _ := g.BestKnown(mix); cost != 10 {
+		t.Fatalf("worse measurement replaced the best (cost %v)", cost)
+	}
+	// Mild regression (≤ 2×) keeps the new design.
+	if _, roll := g.ShouldRollback(mix, r.part, 19, false); roll {
+		t.Fatalf("rollback fired below RollbackFactor")
+	}
+	// Hard regression and outright failure both roll back.
+	if to, roll := g.ShouldRollback(mix, r.part, 21, false); !roll || !to.SameLayout(r.repl) {
+		t.Fatalf("regression past 2x best did not roll back to best")
+	}
+	if _, roll := g.ShouldRollback(mix, r.part, 0, true); !roll {
+		t.Fatalf("failed pass did not roll back")
+	}
+	// The best layout itself never rolls back, however bad the reading.
+	if _, roll := g.ShouldRollback(mix, r.repl, 1e9, true); roll {
+		t.Fatalf("rollback fired on the best-known layout itself")
+	}
+	// Disabled rollback never fires.
+	cfg := DefaultConfig()
+	cfg.RollbackFactor = 0
+	r2 := newRig(t, cfg)
+	r2.guard.ObserveMeasured(mix, r2.repl, 10)
+	if _, roll := r2.guard.ShouldRollback(mix, r2.part, 1e9, true); roll {
+		t.Fatalf("rollback fired with RollbackFactor=0")
+	}
+}
+
+func TestRollbackRestoresLayoutExactly(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.eng.Deploy(r.part, nil) // the "regressed" layout currently deployed
+	sec := r.guard.Rollback(r.repl, r.part.Signature())
+	if sec <= 0 {
+		t.Fatalf("rollback deploy charged %v seconds, want > 0", sec)
+	}
+	recs := r.guard.Rollbacks()
+	if len(recs) != 1 {
+		t.Fatalf("rollback log = %v", recs)
+	}
+	rec := recs[0]
+	if !rec.Consistent {
+		t.Fatalf("rollback self-check failed: %+v", rec)
+	}
+	if rec.FromSig != r.part.Signature() || rec.ToSig != r.repl.Signature() {
+		t.Fatalf("rollback record signatures = %+v", rec)
+	}
+	if rec.Seconds != sec || rec.At != r.eng.SimNow() {
+		t.Fatalf("rollback record accounting = %+v (sec %v, now %v)", rec, sec, r.eng.SimNow())
+	}
+	// Invariant: after the rollback the deployed layout equals best-known
+	// bit-for-bit, table by table.
+	for _, ts := range r.sp.Tables {
+		got := r.eng.CurrentDesign(ts.Name)
+		if !got.Replicated {
+			t.Fatalf("table %q deployed as %+v after rollback to replicate-all", ts.Name, got)
+		}
+	}
+}

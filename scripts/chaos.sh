@@ -4,15 +4,24 @@
 # (accounting conservation, seeded determinism, replica-placement
 # consistency, training-liveness watchdog).
 #
-# Usage: scripts/chaos.sh [episodes] [seed]
+# Usage: scripts/chaos.sh [episodes] [seed] [guard]
 #
 # Defaults to 3 episodes at seed 1 (≈ seconds). Raise the episode count
 # for longer soaks; every episode is replayed once for the bit-identical
 # determinism check. Exits non-zero on any invariant violation.
+#
+# Pass "guard" as the third argument to arm the online guard inside the
+# soak, adding the rollback-consistency and guarded-replay invariants.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 episodes="${1:-3}"
 seed="${2:-1}"
+mode="${3:-}"
 
-go run ./cmd/expdriver -chaos -chaos-episodes "$episodes" -seed "$seed"
+args=(-chaos -chaos-episodes "$episodes" -seed "$seed")
+if [[ "$mode" == "guard" ]]; then
+  args+=(-guard)
+fi
+
+go run ./cmd/expdriver "${args[@]}"
