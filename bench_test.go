@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -199,8 +200,10 @@ func BenchmarkDeployRevisit(b *testing.B)         { benchDeployRevisit(b, cluste
 func BenchmarkDeployRevisitUncached(b *testing.B) { benchDeployRevisit(b, 0) }
 
 // benchRunBatch measures one TPC-CH workload evaluated as a batch with the
-// given worker count (0 = GOMAXPROCS). The batch contract makes the two
-// variants return bit-identical totals; only wall-clock differs.
+// given worker count (0 = GOMAXPROCS). The batch contract makes all
+// variants return bit-identical totals; only wall-clock differs. Workers
+// execute against the immutable layout snapshot with pooled scratch
+// arenas, so steady-state bytes/op stays flat in the worker count.
 func benchRunBatch(b *testing.B, workers int) {
 	b.Helper()
 	bench := benchmarks.TPCCH()
@@ -211,6 +214,7 @@ func benchRunBatch(b *testing.B, workers int) {
 	for i, q := range bench.Workload.Queries {
 		qs[i] = exec.BatchQuery{Graph: q.Graph}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RunBatchQueries(qs, workers)
@@ -222,6 +226,22 @@ func benchRunBatch(b *testing.B, workers int) {
 // two variants converge; the gap scales with GOMAXPROCS.
 func BenchmarkRunBatchSequential(b *testing.B) { benchRunBatch(b, 1) }
 func BenchmarkRunBatchParallel(b *testing.B)   { benchRunBatch(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkRunBatchWorkers sweeps the worker count 1, 2, 4, … up to
+// NumCPU — the saturation curve for the batch pool. Sub-benchmark names
+// are stable (`workers=N`) so bench.sh can graph the curve per machine.
+func BenchmarkRunBatchWorkers(b *testing.B) {
+	max := runtime.NumCPU()
+	for w := 1; ; w *= 2 {
+		if w > max {
+			break
+		}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchRunBatch(b, w) })
+	}
+	if max > 1 && max&(max-1) != 0 { // NumCPU itself when not a power of two
+		b.Run(fmt.Sprintf("workers=%d", max), func(b *testing.B) { benchRunBatch(b, max) })
+	}
+}
 
 // --- Parallelism benches -----------------------------------------------------
 

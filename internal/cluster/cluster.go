@@ -96,6 +96,11 @@ type shardEntry struct {
 type Cluster struct {
 	n      int
 	tables map[string]*table
+	// rev counts layout mutations (loads, deploys that change a design,
+	// appends, repairs). Snapshot-taking readers (exec.Engine's immutable
+	// layout view) compare revisions to decide whether a cached snapshot
+	// still describes the cluster.
+	rev uint64
 
 	cacheCap   int64
 	cacheBytes int64
@@ -205,6 +210,12 @@ func (c *Cluster) invalidateTable(name string) {
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return c.n }
 
+// Revision returns the layout revision: it advances on every mutation of
+// what is physically placed where (Load, a design-changing Deploy, Append,
+// ExecuteRepair). Two calls returning the same value bracket a window in
+// which every table's shard set, replica and design were untouched.
+func (c *Cluster) Revision() uint64 { return c.rev }
+
 // Tables returns the names of loaded tables.
 func (c *Cluster) Tables() []string {
 	out := make([]string, 0, len(c.tables))
@@ -228,6 +239,7 @@ func (c *Cluster) Load(name string, data *relation.Relation, rowWidth int) {
 		shards:   data.SplitRoundRobin(c.n),
 	}
 	c.tables[name] = t
+	c.rev++
 	c.cachePut(name, t.design.canonical(), t.shards)
 }
 
@@ -287,6 +299,7 @@ func (c *Cluster) Deploy(name string, d Design) (bytesMoved int64) {
 	bytesMoved = c.transitionBytes(name, t, d)
 	c.materialize(name, t, d)
 	t.design = d
+	c.rev++
 	return bytesMoved
 }
 
@@ -380,33 +393,49 @@ func (c *Cluster) movedBytes(t *table, moves func(r *relation.Relation, row, nod
 // from the pre-append base, so they are invalidated first; a hash design's
 // updated shard set is re-registered afterwards (it stays hot for
 // revisits).
+//
+// Append is copy-on-write: the grown base and updated shards are fresh
+// relations, never in-place mutations of the previous ones. Readers that
+// snapshotted the pre-append layout (exec.Engine's lock-free view) keep a
+// consistent — merely stale — picture until they observe the new revision.
 func (c *Cluster) Append(name string, rows *relation.Relation) {
 	t := c.mustTable(name)
 	c.invalidateTable(name)
-	t.base.Concat(rows)
+	c.rev++
+	grown := t.base.Clone()
+	grown.Concat(rows)
+	t.base = grown
 	switch {
 	case t.design.Replicated:
-		// replica aliases base; nothing further to do.
+		t.replica = t.base // replicas alias base
 	case len(t.design.Key) == 0:
 		// Round-robin placement of appended rows restarts at node 0, so the
 		// updated shards differ from a fresh SplitRoundRobin of the grown
 		// base; they are NOT re-registered in the cache (a later revisit
 		// rebuilds, exactly like the pre-cache engine).
 		add := rows.SplitRoundRobin(c.n)
-		for i := range t.shards {
-			t.shards[i].Concat(add[i])
-		}
+		t.shards = concatShards(t.shards, add)
 	default:
 		// Hash placement is row-order independent: appending the hash-split
 		// of the new rows yields byte-identical shards to re-splitting the
 		// grown base, so the updated set is re-registered as this design's
 		// materialization.
 		add := rows.SplitByHash(t.design.Key, c.n)
-		for i := range t.shards {
-			t.shards[i].Concat(add[i])
-		}
+		t.shards = concatShards(t.shards, add)
 		c.cachePut(name, t.design.canonical(), t.shards)
 	}
+}
+
+// concatShards builds a fresh shard set holding old[i] ++ add[i] per node,
+// leaving the old shards untouched (copy-on-write for snapshot readers).
+func concatShards(old, add []*relation.Relation) []*relation.Relation {
+	out := make([]*relation.Relation, len(old))
+	for i := range old {
+		s := old[i].Clone()
+		s.Concat(add[i])
+		out[i] = s
+	}
+	return out
 }
 
 // RowsOn returns how many rows of the named table are stored on a node:

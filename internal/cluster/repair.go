@@ -125,6 +125,9 @@ func (c *Cluster) PlanRepair(node int, staleTables []string) RepairPlan {
 // re-register the rebuilt set so the next repair or deploy of the same
 // design is a registration again.
 func (c *Cluster) ExecuteRepair(p RepairPlan) int64 {
+	if len(p.Actions) > 0 {
+		c.rev++
+	}
 	for _, a := range p.Actions {
 		t := c.mustTable(a.Table)
 		if t.design.Replicated {

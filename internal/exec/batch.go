@@ -79,17 +79,21 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 // RunBatchQueriesAbort executes a batch of queries concurrently with an
 // optional early-abort hook.
 //
-// Execution contract: a deployed layout is immutable while queries run, so
-// the batch holds the engine mutex for its whole duration (serializing
-// against Deploy/BulkLoad/Analyze and other engines sharing the injector)
-// and fans the read-only executions across the pool. All queries in a
-// batch are submitted at the same simulated instant: every executor sees
-// the fault state sampled at batch start, transient-failure verdicts are
-// derived from (schedule seed, batch number, query position) rather than
-// from the sequential draw stream, and per-query degraded overlap is
-// measured from batch start. The simulated clock advances by the
-// position-ordered sum of the charged prefix at the end, exactly as if the
-// queries had been measured back to back on an idle cluster.
+// Execution contract: the batch takes an immutable snapshot of the
+// deployed layout (shard sets, designs, optimizer catalog, hardware) once
+// at batch start; workers execute against the snapshot entirely lock-free,
+// each with its own scratch arena and recycled executor buffers checked
+// out of the engine pool. The engine mutex is still held for the whole
+// batch — it serializes *mutations* (Deploy/BulkLoad/Analyze and other
+// engines sharing the injector) against the batch as a whole, while
+// read-only accessors are served from the previously published view. All
+// queries in a batch are submitted at the same simulated instant: every
+// executor sees the fault state sampled at batch start, transient-failure
+// verdicts are derived from (schedule seed, batch number, query position)
+// rather than from the sequential draw stream, and per-query degraded
+// overlap is measured from batch start. The simulated clock advances by
+// the position-ordered sum of the charged prefix at the end, exactly as if
+// the queries had been measured back to back on an idle cluster.
 //
 // Abort contract: onResult (when non-nil) is invoked in strict position
 // order as the contiguous completed prefix extends; it runs under the
@@ -111,6 +115,7 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *BatchAbort, onResult func(pos int, rep RunReport, err error)) BatchReport {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	rep := BatchReport{
 		Reports: make([]RunReport, len(qs)),
 		Errs:    make([]error, len(qs)),
@@ -123,30 +128,36 @@ func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 	e.batchSeq++
 	start := e.simNow
 	fc := e.faultCtx()
+	// Everything a worker reads below is frozen for the batch: the layout
+	// snapshot, the fault context, the injector pointer (its positional
+	// verdict and window methods are pure), and the overhead constant.
+	// Workers touch no mutable engine state at all.
+	lay := e.layoutLocked()
+	inj := e.faults
+	overhead := e.HW.QueryOverheadSec
 
 	aborted := func() bool { return abort != nil && abort.Aborted() }
 
-	runOne := func(i int) {
-		if e.faults != nil && e.faults.TransientFailureAt(batch, i) {
+	runOne := func(s *execScratch, i int) {
+		if inj != nil && inj.TransientFailureAt(batch, i) {
 			// The query dies before doing real work (worker restart,
 			// connection reset): only the fixed per-query overhead is lost.
-			sec := e.HW.QueryOverheadSec
 			rep.Reports[i] = RunReport{
-				Seconds:         sec,
-				DegradedSeconds: e.faults.DegradedOverlap(start, start+sec),
+				Seconds:         overhead,
+				DegradedSeconds: inj.DegradedOverlap(start, start+overhead),
 			}
 			rep.Errs[i] = &TransientError{At: start}
 			return
 		}
-		x := newExecutor(e, qs[i].Graph, qs[i].Limit)
-		x.fc = fc
+		x := s.prepare(lay, qs[i].Graph, qs[i].Limit, start, fc)
 		sec, timedOut := x.run()
 		r := RunReport{Seconds: sec, Aborted: timedOut}
-		if e.faults != nil {
-			r.DegradedSeconds = e.faults.DegradedOverlap(start, start+sec)
+		if inj != nil {
+			r.DegradedSeconds = inj.DegradedOverlap(start, start+sec)
 		}
 		rep.Reports[i] = r
 		rep.Errs[i] = x.err
+		s.release() // rewind the arena; the report holds only scalars
 	}
 
 	if workers <= 0 {
@@ -157,16 +168,18 @@ func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 	}
 	completed := 0
 	if workers <= 1 {
+		s := e.grabScratchLocked()
 		for i := range qs {
 			if aborted() {
 				break
 			}
-			runOne(i)
+			runOne(s, i)
 			completed = i + 1
 			if onResult != nil {
 				onResult(i, rep.Reports[i], rep.Errs[i])
 			}
 		}
+		e.putScratchLocked(s)
 	} else {
 		// Delivery state: results are handed to onResult in strict position
 		// order; frozen stops delivery (and the Completed count) at the
@@ -194,8 +207,9 @@ func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 		next.Store(-1)
 		var wg sync.WaitGroup
 		wg.Add(workers)
+		scratches := e.grabScratchesLocked(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(s *execScratch) {
 				defer wg.Done()
 				for {
 					if aborted() {
@@ -205,12 +219,13 @@ func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 					if i >= len(qs) {
 						return
 					}
-					runOne(i)
+					runOne(s, i)
 					deliver(i)
 				}
-			}()
+			}(scratches[w])
 		}
 		wg.Wait()
+		e.putScratchesLocked(scratches)
 		completed = cursor
 	}
 

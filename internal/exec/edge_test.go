@@ -156,7 +156,9 @@ func TestCompositeKeyJoinCorrectAndColocated(t *testing.T) {
 }
 
 func resultRowsOf(e *Engine, g *sqlparse.Graph) int {
-	x := newExecutor(e, g, 0)
+	v := e.loadView()
+	var s execScratch
+	x := s.prepare(v.layout, g, 0, v.now, newFaultCtx(v.faults, e.HW.Nodes, v.now))
 	x.run()
 	total := 0
 	for _, d := range x.items {

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"partadvisor/internal/cluster"
 	"partadvisor/internal/costmodel"
@@ -42,12 +43,19 @@ func (f Flavor) String() string {
 const estimateNoiseSigma = 0.7
 
 // Engine is one deployed distributed database. Its stateful operations
-// (Deploy, Run/RunWithLimit, RunBatch, Explain, EstimateCost, Analyze,
-// BulkLoad) are serialized by an internal mutex, so one engine can be
-// shared by concurrent advisors — e.g. the parallel committee's expert
-// trainers measuring costs while an experiment loop executes queries.
-// RunBatch holds the mutex for the whole batch and parallelizes the
-// (read-only) query executions internally across a worker pool.
+// (Deploy, Run/RunWithLimit, RunBatch, EstimateCost, Analyze, BulkLoad) are
+// serialized by an internal mutex, so one engine can be shared by
+// concurrent advisors — e.g. the parallel committee's expert trainers
+// measuring costs while an experiment loop executes queries. RunBatch holds
+// the mutex for the whole batch; its workers execute against an immutable
+// layout snapshot taken at batch start (see snapshot.go), entirely
+// lock-free.
+//
+// Read-only accessors (Counters, TopologyView, TableFootprint,
+// CurrentDesign, Explain, SimNow, Faults, RepairStats, RepairLog,
+// NodeStates) serve the atomically published engine view instead of taking
+// the mutex: they return immediately — with the state as of the last
+// completed operation — even while a long batch is running.
 type Engine struct {
 	Schema *schema.Schema
 	HW     hardware.Profile
@@ -58,6 +66,15 @@ type Engine struct {
 	trueCat *stats.Catalog
 	estCat  *stats.Catalog
 	estim   *costmodel.NoisyModel
+
+	// layout caches the immutable snapshot of the deployed placement for
+	// the cluster's current revision; view is the lock-free published read
+	// state (layout + counters + clock), refreshed at the end of every
+	// stateful operation. scratches pools per-worker execution scratch
+	// (arena + reusable executor buffers) across queries and batches.
+	layout    *layoutSnap
+	view      atomic.Pointer[engineView]
+	scratches []*execScratch
 
 	// faults is the armed fault schedule (nil = perfect cluster) and
 	// simNow the simulated clock it is evaluated against; see faults.go.
@@ -108,11 +125,13 @@ func New(sch *schema.Schema, data map[string]*relation.Relation, hw hardware.Pro
 			e.trueCat.SetTable(t.Name, &stats.TableStats{Rows: 0, RowWidth: t.RowWidth(), Columns: map[string]*stats.ColumnStats{}})
 		}
 	}
-	e.Analyze()
+	e.Analyze() // publishes the first view
 	return e
 }
 
-// Cluster exposes the underlying cluster (tests, diagnostics).
+// Cluster exposes the underlying cluster (tests, diagnostics). Callers that
+// mutate it directly bump the cluster revision, which invalidates the
+// engine's cached layout snapshot on the next operation.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 
 // TrueCatalog exposes the maintained true statistics.
@@ -137,6 +156,7 @@ func designOf(st *partition.State, table string) cluster.Design {
 func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	if tables == nil {
 		tables = e.Schema.TableNames()
 	}
@@ -164,21 +184,20 @@ func (e *Engine) Deploy(st *partition.State, tables []string) float64 {
 	return seconds
 }
 
-// CurrentDesign returns the deployed design of a table.
+// CurrentDesign returns the deployed design of a table, served lock-free
+// from the published view (it never blocks behind a running batch).
 func (e *Engine) CurrentDesign(table string) cluster.Design {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cluster.Design(table)
+	return e.loadView().layout.table(table).design
 }
 
-// Counters returns a coherent snapshot of the accounting counters.
+// Counters returns a coherent snapshot of the accounting counters, served
+// lock-free from the published view.
 func (e *Engine) Counters() (queriesExecuted, repartitions int, bytesMoved int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.QueriesExecuted, e.Repartitions, e.BytesMoved
+	v := e.loadView()
+	return v.queries, v.repartitions, v.bytesMoved
 }
 
-// Topology is a mutex-coherent snapshot of cluster health at one simulated
+// Topology is a coherent snapshot of cluster health at one simulated
 // instant, for feasibility checks that must not race with engine mutations.
 type Topology struct {
 	// Now is the simulated clock the snapshot was taken at.
@@ -193,25 +212,26 @@ type Topology struct {
 	Live int
 }
 
-// TopologyView snapshots node health under one mutex acquisition. With no
-// injector armed every node is live.
+// TopologyView snapshots node health from one published view (lock-free;
+// coherent because each view is immutable). With no injector armed every
+// node is live.
 func (e *Engine) TopologyView() Topology {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	v := e.loadView()
+	nodes := e.HW.Nodes
 	tv := Topology{
-		Now:         e.simNow,
-		Nodes:       e.HW.Nodes,
-		Down:        make([]bool, e.HW.Nodes),
-		Unreachable: make([]bool, e.HW.Nodes),
-		Permanent:   make([]bool, e.HW.Nodes),
+		Now:         v.now,
+		Nodes:       nodes,
+		Down:        make([]bool, nodes),
+		Unreachable: make([]bool, nodes),
+		Permanent:   make([]bool, nodes),
 	}
-	if e.faults != nil {
-		e.nodeStateLocked(e.simNow, tv.Down, tv.Unreachable)
-		for n := 0; n < e.HW.Nodes; n++ {
-			tv.Permanent[n] = e.faults.PermanentlyLost(n, e.simNow)
+	if v.faults != nil {
+		nodeStateAt(v.faults, nodes, v.now, tv.Down, tv.Unreachable)
+		for n := 0; n < nodes; n++ {
+			tv.Permanent[n] = v.faults.PermanentlyLost(n, v.now)
 		}
 	}
-	for n := 0; n < e.HW.Nodes; n++ {
+	for n := 0; n < nodes; n++ {
 		if !tv.Down[n] && !tv.Unreachable[n] {
 			tv.Live++
 		}
@@ -219,12 +239,15 @@ func (e *Engine) TopologyView() Topology {
 	return tv
 }
 
-// TableFootprint returns the table's current true row count and base byte
-// size (one copy, before replication), for deploy-size feasibility checks.
+// TableFootprint returns the table's true row count and base byte size (one
+// copy, before replication) as of the published view, for deploy-size
+// feasibility checks. Lock-free.
 func (e *Engine) TableFootprint(table string) (rows, bytes int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.trueCat.Rows(table), e.trueCat.Bytes(table)
+	t := e.loadView().layout.tables[table]
+	if t == nil {
+		return 0, 0
+	}
+	return t.rows, t.bytes
 }
 
 // Run executes a query and returns the simulated wall time in seconds.
@@ -249,14 +272,14 @@ func (e *Engine) RunWithLimit(g *sqlparse.Graph, limit float64) (seconds float64
 // an EXPLAIN ANALYZE equivalent for the simulated engine.
 // Explain is a pure diagnostic: it neither counts as an executed query,
 // advances the simulated clock, nor draws from the transient-failure
-// stream, but it does see the fault state at the current clock (a
-// failing step appends an ERROR line to the plan).
+// stream. It runs lock-free against the published view (so it works even
+// mid-batch, seeing the pre-batch state), including the fault state at the
+// published clock — a failing step appends an ERROR line to the plan.
 func (e *Engine) Explain(g *sqlparse.Graph) (plan []string, seconds float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	x := newExecutor(e, g, 0)
+	v := e.loadView()
+	var s execScratch // private stack scratch: Explain never touches the pool
+	x := s.prepare(v.layout, g, 0, v.now, newFaultCtx(v.faults, e.HW.Nodes, v.now))
 	x.trace = &plan
-	x.fc = e.faultCtx()
 	seconds, _ = x.run()
 	if x.err != nil {
 		plan = append(plan, "ERROR: "+x.err.Error())
@@ -277,10 +300,13 @@ func (e *Engine) EstimateCost(st *partition.State, g *sqlparse.Graph) (float64, 
 }
 
 // Analyze refreshes the optimizer's statistics from the true statistics
-// (ANALYZE). Until called after bulk updates, estimates are stale.
+// (ANALYZE). Until called after bulk updates, estimates are stale. The new
+// catalog pointer invalidates the cached layout snapshot, so queries after
+// an Analyze plan with the fresh statistics.
 func (e *Engine) Analyze() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.estCat = e.trueCat.Clone()
 	e.estim = &costmodel.NoisyModel{
 		Base:         costmodel.New(e.estCat, e.HW),
@@ -290,8 +316,10 @@ func (e *Engine) Analyze() {
 
 // BulkLoad appends rows to a table following its current design, updating
 // true statistics but leaving optimizer statistics stale (paper Exp. 3a).
-// Loading into an unknown table is a caller error, reported rather than
-// panicking so a bad CLI flag can't crash with a stack trace.
+// The appended shards are built copy-on-write, so snapshot readers of the
+// pre-load layout stay consistent. Loading into an unknown table is a
+// caller error, reported rather than panicking so a bad CLI flag can't
+// crash with a stack trace.
 func (e *Engine) BulkLoad(table string, rows *relation.Relation) error {
 	t := e.Schema.Table(table)
 	if t == nil {
@@ -299,6 +327,7 @@ func (e *Engine) BulkLoad(table string, rows *relation.Relation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.healLocked()
 	e.cluster.Append(table, rows)
 	e.recordMutationLocked(table)

@@ -96,8 +96,9 @@ func bruteOrdersCustomer(data map[string]*relation.Relation, region int64, filte
 // resultRows counts total rows of the final intermediate by re-running the
 // executor directly.
 func resultRows(e *Engine, g *sqlparse.Graph) int {
-	x := newExecutor(e, g, 0)
-	x.fc = e.faultCtx()
+	v := e.loadView()
+	var s execScratch
+	x := s.prepare(v.layout, g, 0, v.now, newFaultCtx(v.faults, e.HW.Nodes, v.now))
 	x.run()
 	total := 0
 	for _, d := range x.items {

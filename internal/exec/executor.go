@@ -66,11 +66,23 @@ func predsString(preds []jpred) string {
 	return out
 }
 
-// executor runs one query.
+// executor runs one query against an immutable layout snapshot. It is
+// embedded in an execScratch and recycled across queries: the maps and
+// join buffers below are cleared (not reallocated) between runs, and all
+// intermediate column storage comes from the scratch arena, which is
+// rewound after every query. An executor therefore performs no engine
+// access at all while running — batch workers share the snapshot
+// lock-free.
 type executor struct {
-	e     *Engine
+	lay   *layoutSnap
 	g     *sqlparse.Graph
 	limit float64
+	// now is the simulated clock the query was submitted at (batch start
+	// for batched queries) — failure timestamps are stamped with it.
+	now float64
+	// ar allocates intermediate column storage; invalidated by the
+	// per-query arena reset.
+	ar *relation.Arena
 
 	time    float64
 	aborted bool
@@ -86,19 +98,14 @@ type executor struct {
 	items    []*dist
 	// trace records the planned operators when non-nil (Engine.Explain).
 	trace *[]string
-}
 
-func newExecutor(e *Engine, g *sqlparse.Graph, limit float64) *executor {
-	x := &executor{
-		e: e, g: g, limit: limit,
-		aliasIdx: make(map[string]int, len(g.Refs)),
-		colTable: make(map[string]string),
-		colBase:  make(map[string]string),
-	}
-	for i, r := range g.Refs {
-		x.aliasIdx[r.Alias] = i
-	}
-	return x
+	// Recycled join/scan buffers (see hashJoin, scan, shuffle): hash-table
+	// bucket heads and chains, a row-index/assignment buffer, and
+	// per-target counters.
+	buckets []int32
+	next    []int32
+	rows32  []int32
+	counts  []int
 }
 
 func (x *executor) charge(seconds float64) bool {
@@ -154,7 +161,7 @@ func (x *executor) tracef(format string, args ...interface{}) {
 
 // run executes scans then joins and returns (simulated seconds, aborted).
 func (x *executor) run() (float64, bool) {
-	x.time = x.e.HW.QueryOverheadSec
+	x.time = x.lay.hw.QueryOverheadSec
 	for _, ref := range x.g.Refs {
 		d := x.scan(ref)
 		if x.err != nil {
@@ -205,7 +212,7 @@ func (x *executor) neededCols(alias, table string) []string {
 		}
 	}
 	if len(set) == 0 {
-		set[x.e.Schema.MustTable(table).Attributes[0].Name] = true
+		set[x.lay.schema.MustTable(table).Attributes[0].Name] = true
 	}
 	cols := make([]string, 0, len(set))
 	for c := range set {
@@ -216,39 +223,69 @@ func (x *executor) neededCols(alias, table string) []string {
 }
 
 // scan reads one alias: per-node filter + project, charging scan bandwidth
-// on the stored bytes and CPU per scanned row.
+// on the stored bytes and CPU per scanned row. The filter, projection and
+// alias-qualification are fused into a single pass that materializes only
+// the needed columns into exact-size arena storage; an unfiltered scan is
+// zero-copy (the intermediate aliases the stored shard columns).
 func (x *executor) scan(ref sqlparse.TableRef) *dist {
-	e := x.e
+	t := x.lay.table(ref.Table)
+	hw := x.lay.hw
 	baseCols := x.neededCols(ref.Alias, ref.Table)
-	qualify := func(c string) string { return ref.Alias + "." + c }
-	for _, c := range baseCols {
-		x.colTable[qualify(c)] = ref.Table
-		x.colBase[qualify(c)] = c
+	qcols := make([]string, len(baseCols))
+	for i, c := range baseCols {
+		q := ref.Alias + "." + c
+		qcols[i] = q
+		x.colTable[q] = ref.Table
+		x.colBase[q] = c
 	}
 	filters := x.g.FiltersFor(ref.Alias)
 	apply := func(shard *relation.Relation) *relation.Relation {
-		filtered := shard
-		if len(filters) > 0 {
-			cols := make([][]int64, len(filters))
-			for i, f := range filters {
-				cols[i] = shard.Col(f.Column)
+		if len(filters) == 0 {
+			// Zero-copy scan path: share the stored (possibly cached) shard
+			// columns under qualified names — no row is copied.
+			data := make([][]int64, len(baseCols))
+			for i, c := range baseCols {
+				data[i] = shard.Col(c)
 			}
-			filtered = shard.Filter(func(row int) bool {
-				for i, f := range filters {
-					if !f.Matches(cols[i][row]) {
-						return false
-					}
-				}
-				return true
-			})
+			return relation.FromColumns(ref.Alias, qcols, data)
 		}
-		return filtered.Project(baseCols).Rename(ref.Alias, qualify)
+		// Fused filter+project: one pass over the filter columns collects
+		// the surviving row set, then only the needed columns are gathered
+		// into exact-size arena columns.
+		fcols := make([][]int64, len(filters))
+		for i, f := range filters {
+			fcols[i] = shard.Col(f.Column)
+		}
+		keep := x.rows32[:0]
+		n := shard.Rows()
+		for row := 0; row < n; row++ {
+			ok := true
+			for i, f := range filters {
+				if !f.Matches(fcols[i][row]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, int32(row))
+			}
+		}
+		data := make([][]int64, len(baseCols))
+		for i, c := range baseCols {
+			src := shard.Col(c)
+			dst := x.ar.Int64s(len(keep))
+			for k, row := range keep {
+				dst[k] = src[row]
+			}
+			data[i] = dst
+		}
+		x.rows32 = keep[:0] // retain grown capacity for the next shard
+		return relation.FromColumns(ref.Alias, qcols, data)
 	}
 
-	rowWidth := float64(e.cluster.RowWidth(ref.Table))
-	shards, replica, replicated := e.cluster.Shards(ref.Table)
+	rowWidth := float64(t.rowWidth)
 	d := &dist{mask: 1 << uint(x.aliasIdx[ref.Alias]), estRows: x.estScanRows(ref)}
-	if replicated {
+	if t.replica != nil {
 		// Every node scans its own full copy; with crashed nodes the
 		// survivors carry on (replica-aware failover), gated by the
 		// slowest surviving straggler.
@@ -256,9 +293,10 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 			x.fail(&UnavailableError{Table: ref.Table, Node: -1, Replicated: true})
 			return d
 		}
+		replica := t.replica
 		d.replica = apply(replica)
 		bytes := float64(replica.Rows()) * rowWidth
-		x.charge((bytes/e.HW.ScanBytesPerSec + float64(replica.Rows())/e.HW.CPUTuplesPerSec) * x.maxLiveSlowdown())
+		x.charge((bytes/hw.ScanBytesPerSec + float64(replica.Rows())/hw.CPUTuplesPerSec) * x.maxLiveSlowdown())
 		if x.fc != nil && len(x.fc.live) < len(x.fc.down) {
 			x.tracef("scan %s as %s [replicated, %d rows, failover to %d/%d live nodes]",
 				ref.Table, ref.Alias, replica.Rows(), len(x.fc.live), len(x.fc.down))
@@ -267,6 +305,7 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 		}
 		return d
 	}
+	shards := t.shards
 	d.shards = make([]*relation.Relation, len(shards))
 	maxSec := 0.0
 	for i, s := range shards {
@@ -281,22 +320,22 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 				// The shard is alive but across the partition: reading it
 				// would need a cross-partition shuffle, which the engine
 				// refuses. The query fails until the partition heals.
-				x.fail(&PartitionError{Table: ref.Table, Node: i, At: x.e.simNow})
+				x.fail(&PartitionError{Table: ref.Table, Node: i, At: x.now})
 				return d
 			}
 		}
 		d.shards[i] = apply(s)
-		sec := (float64(s.Rows())*rowWidth/e.HW.ScanBytesPerSec + float64(s.Rows())/e.HW.CPUTuplesPerSec) * x.slowdown(i)
+		sec := (float64(s.Rows())*rowWidth/hw.ScanBytesPerSec + float64(s.Rows())/hw.CPUTuplesPerSec) * x.slowdown(i)
 		if sec > maxSec {
 			maxSec = sec
 		}
 	}
 	x.charge(maxSec)
-	x.tracef("scan %s as %s [%s, %d rows]", ref.Table, ref.Alias, e.cluster.Design(ref.Table), d.realRows())
-	if design := e.cluster.Design(ref.Table); len(design.Key) > 0 {
+	x.tracef("scan %s as %s [%s, %d rows]", ref.Table, ref.Alias, t.design, d.realRows())
+	if design := t.design; len(design.Key) > 0 {
 		d.partCols = make([][]string, len(design.Key))
 		for i, k := range design.Key {
-			d.partCols[i] = []string{qualify(k)}
+			d.partCols[i] = []string{ref.Alias + "." + k}
 		}
 	}
 	return d
@@ -305,7 +344,7 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 // estScanRows is the optimizer's (possibly stale) estimate of an alias's
 // filtered cardinality.
 func (x *executor) estScanRows(ref sqlparse.TableRef) float64 {
-	cat := x.e.estCat
+	cat := x.lay.estCat
 	rows := float64(cat.Rows(ref.Table))
 	for _, f := range x.g.FiltersFor(ref.Alias) {
 		s := cat.Selectivity(ref.Table, f.Column, f.Op, f.Args)
@@ -391,7 +430,7 @@ func (x *executor) estJoinRows(a, b *dist, preds []jpred) float64 {
 
 func (x *executor) estDistinct(qcol string, sideRows float64) float64 {
 	table, col := x.colTable[qcol], x.colBase[qcol]
-	d := float64(x.e.estCat.Distinct(table, col))
+	d := float64(x.lay.estCat.Distinct(table, col))
 	return math.Min(d, math.Max(sideRows, 1))
 }
 
@@ -422,8 +461,8 @@ func classifySemi(preds []jpred) (semi, anti, outerA bool) {
 // *estimated* sizes and paying real costs.
 func (x *executor) join(a, b *dist) *dist {
 	preds := x.crossingPreds(a, b)
-	e := x.e
-	n := float64(e.HW.Nodes)
+	hw := x.lay.hw
+	n := float64(hw.Nodes)
 	estOut := x.estJoinRows(a, b, preds)
 
 	// Resolve semi/anti orientation: the executor's local join keeps "a" as
@@ -448,8 +487,8 @@ func (x *executor) join(a, b *dist) *dist {
 	switch {
 	case a.replicated() && b.replicated():
 		x.tracef("join %s [both-replicated, local]", predsString(preds))
-		joined, cpuRows := localHashJoin(a.replica, b.replica, preds, mode)
-		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec * x.maxLiveSlowdown())
+		joined, cpuRows := x.hashJoin(a.replica, b.replica, preds, mode)
+		x.charge(float64(cpuRows) / hw.CPUTuplesPerSec * x.maxLiveSlowdown())
 		out.replica = joined
 		return out
 	case a.replicated() && mode != modeInner:
@@ -460,8 +499,8 @@ func (x *executor) join(a, b *dist) *dist {
 		x.tracef("join %s [semi/anti against replicated outer: gather inner]", predsString(preds))
 		full, movedB, movedR := x.broadcast(b)
 		x.chargeNet(movedB, movedR)
-		joined, cpuRows := localHashJoin(a.replica, full, preds, mode)
-		x.charge(float64(cpuRows) / e.HW.CPUTuplesPerSec * x.maxLiveSlowdown())
+		joined, cpuRows := x.hashJoin(a.replica, full, preds, mode)
+		x.charge(float64(cpuRows) / hw.CPUTuplesPerSec * x.maxLiveSlowdown())
 		out.replica = joined
 		return out
 	case a.replicated() || b.replicated():
@@ -479,12 +518,12 @@ func (x *executor) join(a, b *dist) *dist {
 			var joined *relation.Relation
 			var cpuRows int
 			if swapped {
-				joined, cpuRows = localHashJoin(repl.replica, shard, preds, mode)
+				joined, cpuRows = x.hashJoin(repl.replica, shard, preds, mode)
 			} else {
-				joined, cpuRows = localHashJoin(shard, repl.replica, preds, mode)
+				joined, cpuRows = x.hashJoin(shard, repl.replica, preds, mode)
 			}
 			out.shards[i] = joined
-			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
+			if sec := float64(cpuRows) / hw.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 				maxCPU = sec
 			}
 		}
@@ -544,9 +583,9 @@ func (x *executor) join(a, b *dist) *dist {
 		out.shards = make([]*relation.Relation, len(a.shards))
 		maxCPU := 0.0
 		for i, shard := range a.shards {
-			joined, cpuRows := localHashJoin(shard, full, preds, mode)
+			joined, cpuRows := x.hashJoin(shard, full, preds, mode)
 			out.shards[i] = joined
-			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
+			if sec := float64(cpuRows) / hw.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 				maxCPU = sec
 			}
 		}
@@ -558,9 +597,9 @@ func (x *executor) join(a, b *dist) *dist {
 		out.shards = make([]*relation.Relation, len(b.shards))
 		maxCPU := 0.0
 		for i, shard := range b.shards {
-			joined, cpuRows := localHashJoin(full, shard, preds, mode)
+			joined, cpuRows := x.hashJoin(full, shard, preds, mode)
 			out.shards[i] = joined
-			if sec := float64(cpuRows) / e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
+			if sec := float64(cpuRows) / hw.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 				maxCPU = sec
 			}
 		}
@@ -626,12 +665,13 @@ const serializationSpeedup = 4
 // CPU — distributed engines rarely shuffle at wire speed. An active
 // bandwidth degradation shrinks the effective interconnect speed.
 func (x *executor) chargeNet(movedBytes, movedRows int64) {
-	n := float64(x.e.HW.Nodes)
-	net := x.e.HW.NetBytesPerSec
+	hw := x.lay.hw
+	n := float64(hw.Nodes)
+	net := hw.NetBytesPerSec
 	if x.fc != nil {
 		net *= x.fc.net
 	}
-	x.charge(float64(movedBytes)/(n*net) + float64(movedRows)/(n*serializationSpeedup*x.e.HW.CPUTuplesPerSec))
+	x.charge(float64(movedBytes)/(n*net) + float64(movedRows)/(n*serializationSpeedup*hw.CPUTuplesPerSec))
 }
 
 // localJoinShards joins co-located shard pairs, charging the straggler
@@ -640,9 +680,9 @@ func (x *executor) localJoinShards(out *dist, aShards, bShards []*relation.Relat
 	out.shards = make([]*relation.Relation, len(aShards))
 	maxCPU := 0.0
 	for i := range aShards {
-		joined, cpuRows := localHashJoin(aShards[i], bShards[i], preds, mode)
+		joined, cpuRows := x.hashJoin(aShards[i], bShards[i], preds, mode)
 		out.shards[i] = joined
-		if sec := float64(cpuRows) / x.e.HW.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
+		if sec := float64(cpuRows) / x.lay.hw.CPUTuplesPerSec * x.slowdown(i); sec > maxCPU {
 			maxCPU = sec
 		}
 	}
@@ -650,13 +690,25 @@ func (x *executor) localJoinShards(out *dist, aShards, bShards []*relation.Relat
 }
 
 // broadcast concatenates all shards into a full copy shipped to every node
-// (every live node when some are down).
+// (every live node when some are down). The concatenated columns are
+// exact-size arena allocations filled with bulk copies.
 func (x *executor) broadcast(d *dist) (full *relation.Relation, movedBytes, movedRows int64) {
-	full = relation.New(d.shards[0].Name, d.shards[0].Columns())
+	nc := d.shards[0].NumCols()
+	total := 0
 	for _, s := range d.shards {
-		full.Concat(s)
+		total += s.Rows()
 	}
-	receivers := int64(x.e.HW.Nodes - 1)
+	data := make([][]int64, nc)
+	for ci := 0; ci < nc; ci++ {
+		dst := x.ar.Int64s(total)
+		w := 0
+		for _, s := range d.shards {
+			w += copy(dst[w:], s.ColAt(ci))
+		}
+		data[ci] = dst
+	}
+	full = relation.FromColumns(d.shards[0].Name, d.shards[0].Columns(), data)
+	receivers := int64(x.lay.hw.Nodes - 1)
 	if x.fc != nil && len(x.fc.live) < len(x.fc.down) {
 		receivers = int64(len(x.fc.live) - 1)
 	}
@@ -669,14 +721,34 @@ func (x *executor) broadcast(d *dist) (full *relation.Relation, movedBytes, move
 // of rows that change node. A non-nil live set maps hash buckets onto
 // those nodes only (crashed nodes receive nothing); nil preserves the
 // hash-mod-N placement of deployed base tables.
+//
+// One hashing pass records each row's target (and the moved count); the
+// target shards are then allocated at exact size from the arena and filled
+// in a second scatter pass. Execution intermediates share one column
+// order across shards (they come from the same scan/join construction),
+// so columns are matched by position.
 func (x *executor) shuffle(shards []*relation.Relation, cols []string, live []int) (out []*relation.Relation, movedBytes, movedRows int64) {
 	n := len(shards)
-	out = make([]*relation.Relation, n)
-	for i := range out {
-		out[i] = relation.New(shards[0].Name, shards[0].Columns())
+	names := shards[0].Columns()
+	nc := shards[0].NumCols()
+	total := 0
+	for _, s := range shards {
+		total += s.Rows()
 	}
+	if cap(x.rows32) < total {
+		x.rows32 = make([]int32, total)
+	}
+	asgn := x.rows32[:total]
+	if cap(x.counts) < n {
+		x.counts = make([]int, n)
+	}
+	counts := x.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	idxs := make([]int, len(cols))
+	p := 0
 	for node, shard := range shards {
-		idxs := make([]int, len(cols))
 		for i, c := range cols {
 			idxs[i] = shard.ColIndex(c)
 			if idxs[i] < 0 {
@@ -694,10 +766,44 @@ func (x *executor) shuffle(shards []*relation.Relation, cols []string, live []in
 			if target != node {
 				movedRows++
 			}
-			out[target].AppendFrom(shard, row)
+			asgn[p] = int32(target)
+			p++
+			counts[target]++
 		}
 	}
-	return out, movedRows * int64(shards[0].NumCols()) * colWidth, movedRows
+	datas := make([][][]int64, n)
+	for t := 0; t < n; t++ {
+		data := make([][]int64, nc)
+		for ci := 0; ci < nc; ci++ {
+			data[ci] = x.ar.Int64s(counts[t])
+		}
+		datas[t] = data
+	}
+	for i := range counts {
+		counts[i] = 0 // reuse as write cursors
+	}
+	srcCols := make([][]int64, nc)
+	p = 0
+	for _, shard := range shards {
+		for ci := 0; ci < nc; ci++ {
+			srcCols[ci] = shard.ColAt(ci)
+		}
+		rows := shard.Rows()
+		for row := 0; row < rows; row++ {
+			t := int(asgn[p])
+			p++
+			w := counts[t]
+			counts[t] = w + 1
+			for ci := 0; ci < nc; ci++ {
+				datas[t][ci][w] = srcCols[ci][row]
+			}
+		}
+	}
+	out = make([]*relation.Relation, n)
+	for t := 0; t < n; t++ {
+		out[t] = relation.FromColumns(shards[0].Name, names, datas[t])
+	}
+	return out, movedRows * int64(nc) * colWidth, movedRows
 }
 
 // colocatedPartCols reports whether a and b are already co-partitioned for
@@ -836,10 +942,19 @@ const (
 	modeAnti           // keep outer rows with no match (zero-filled inner columns)
 )
 
-// localHashJoin joins two co-located relations. It returns the joined
-// relation and the number of processed tuples (build + probe + output) for
-// CPU accounting.
-func localHashJoin(a, b *relation.Relation, preds []jpred, mode joinMode) (*relation.Relation, int) {
+// hashJoin joins two co-located relations and returns the joined relation
+// plus the number of processed tuples (build + probe + output) for CPU
+// accounting.
+//
+// The hash table is a power-of-two bucket array with chained rows, both
+// recycled from the worker's scratch across joins and queries; build
+// iterates the inner side in reverse so chains traverse b-rows ascending
+// (the emit order of the map-based join this replaced — collisions across
+// distinct keys are resolved by the key-equality check either way). A
+// first probe pass counts output rows so the output columns are single
+// exact-size arena allocations; the second pass fills them with no
+// per-row allocation at all.
+func (x *executor) hashJoin(a, b *relation.Relation, preds []jpred, mode joinMode) (*relation.Relation, int) {
 	aIdx := make([]int, len(preds))
 	bIdx := make([]int, len(preds))
 	for i, p := range preds {
@@ -849,20 +964,34 @@ func localHashJoin(a, b *relation.Relation, preds []jpred, mode joinMode) (*rela
 			panic(fmt.Sprintf("exec: join columns %q/%q missing (%v / %v)", p.aCol, p.bCol, a.Columns(), b.Columns()))
 		}
 	}
-	outCols := append(append([]string{}, a.Columns()...), b.Columns()...)
-	out := relation.New(a.Name+"⋈"+b.Name, outCols)
-
-	// Build on b.
-	table := make(map[uint64][]int32, b.Rows())
-	for row := 0; row < b.Rows(); row++ {
-		h := b.HashRow(row, bIdx)
-		table[h] = append(table[h], int32(row))
+	na, nb := a.Rows(), b.Rows()
+	size := 1
+	for size < nb {
+		size <<= 1
 	}
+	if cap(x.buckets) < size {
+		x.buckets = make([]int32, size)
+	}
+	buckets := x.buckets[:size]
+	for i := range buckets {
+		buckets[i] = -1
+	}
+	if cap(x.next) < nb {
+		x.next = make([]int32, nb)
+	}
+	next := x.next[:nb]
+	mask := uint64(size - 1)
+	for row := nb - 1; row >= 0; row-- {
+		h := b.HashRow(row, bIdx) & mask
+		next[row] = buckets[h]
+		buckets[h] = int32(row)
+	}
+
 	aKey := make([][]int64, len(preds))
 	bKey := make([][]int64, len(preds))
-	for i, p := range preds {
-		aKey[i] = a.Col(p.aCol)
-		bKey[i] = b.Col(p.bCol)
+	for i := range preds {
+		aKey[i] = a.ColAt(aIdx[i])
+		bKey[i] = b.ColAt(bIdx[i])
 	}
 	keysEqual := func(ar, br int) bool {
 		for i := range preds {
@@ -872,34 +1001,62 @@ func localHashJoin(a, b *relation.Relation, preds []jpred, mode joinMode) (*rela
 		}
 		return true
 	}
-	aCols := make([][]int64, a.NumCols())
-	for i, c := range a.Columns() {
-		aCols[i] = a.Col(c)
+
+	// Pass 1: count output rows.
+	outRows := 0
+	for row := 0; row < na; row++ {
+		h := a.HashRow(row, aIdx) & mask
+		matched := false
+		for br := buckets[h]; br >= 0; br = next[br] {
+			if !keysEqual(row, int(br)) {
+				continue
+			}
+			matched = true
+			if mode != modeInner {
+				break
+			}
+			outRows++
+		}
+		if (mode == modeSemi && matched) || (mode == modeAnti && !matched) {
+			outRows++
+		}
 	}
-	bCols := make([][]int64, b.NumCols())
-	for i, c := range b.Columns() {
-		bCols[i] = b.Col(c)
+
+	// Pass 2: fill exact-size output columns.
+	naCols := a.NumCols()
+	outCols := append(append(make([]string, 0, naCols+b.NumCols()), a.Columns()...), b.Columns()...)
+	data := make([][]int64, len(outCols))
+	for i := range data {
+		data[i] = x.ar.Int64s(outRows)
 	}
+	aData := make([][]int64, naCols)
+	for i := range aData {
+		aData[i] = a.ColAt(i)
+	}
+	bData := make([][]int64, b.NumCols())
+	for i := range bData {
+		bData[i] = b.ColAt(i)
+	}
+	w := 0
 	emit := func(ar, br int) {
-		vals := make([]int64, 0, len(outCols))
-		for _, c := range aCols {
-			vals = append(vals, c[ar])
+		for ci, c := range aData {
+			data[ci][w] = c[ar]
 		}
 		if br >= 0 {
-			for _, c := range bCols {
-				vals = append(vals, c[br])
+			for ci, c := range bData {
+				data[naCols+ci][w] = c[br]
 			}
 		} else {
-			for range bCols {
-				vals = append(vals, 0)
+			for ci := range bData {
+				data[naCols+ci][w] = 0
 			}
 		}
-		out.AppendRow(vals...)
+		w++
 	}
-	for row := 0; row < a.Rows(); row++ {
-		h := a.HashRow(row, aIdx)
+	for row := 0; row < na; row++ {
+		h := a.HashRow(row, aIdx) & mask
 		matched := false
-		for _, br := range table[h] {
+		for br := buckets[h]; br >= 0; br = next[br] {
 			if !keysEqual(row, int(br)) {
 				continue
 			}
@@ -916,6 +1073,6 @@ func localHashJoin(a, b *relation.Relation, preds []jpred, mode joinMode) (*rela
 			emit(row, -1)
 		}
 	}
-	cpuRows := a.Rows() + b.Rows() + out.Rows()
-	return out, cpuRows
+	out := relation.FromColumns(a.Name+"⋈"+b.Name, outCols, data)
+	return out, na + nb + outRows
 }

@@ -107,6 +107,7 @@ type RunReport struct {
 func (e *Engine) SetFaults(in *faults.Injector) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.faults = in
 	// A new schedule is a new failure epoch: catch-up state recorded under
 	// the previous schedule no longer describes anything observable.
@@ -114,21 +115,19 @@ func (e *Engine) SetFaults(in *faults.Injector) {
 	e.pending = nil
 }
 
-// Faults returns the armed injector (nil when faults are disabled).
+// Faults returns the armed injector (nil when faults are disabled),
+// lock-free from the published view.
 func (e *Engine) Faults() *faults.Injector {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.faults
+	return e.loadView().faults
 }
 
 // SimNow returns the engine's simulated clock: total simulated seconds
 // consumed by Run/Deploy calls (and explicit AdvanceClock) since
 // construction or the last ResetClock. Fault windows are defined over
-// this clock.
+// this clock. Served lock-free from the published view (the clock as of
+// the last completed operation).
 func (e *Engine) SimNow() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.simNow
+	return e.loadView().now
 }
 
 // AdvanceClock moves the simulated clock forward, modeling idle time
@@ -140,6 +139,7 @@ func (e *Engine) AdvanceClock(seconds float64) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.simNow += seconds
 }
 
@@ -148,6 +148,7 @@ func (e *Engine) AdvanceClock(seconds float64) {
 func (e *Engine) ResetClock() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.simNow = 0
 	e.lastHeal = 0
 	e.pending = nil
@@ -160,6 +161,7 @@ func (e *Engine) ResetClock() {
 func (e *Engine) Execute(g *sqlparse.Graph, limit float64) (RunReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.healLocked()
 	e.QueriesExecuted++
 	start := e.simNow
@@ -173,15 +175,17 @@ func (e *Engine) Execute(g *sqlparse.Graph, limit float64) (RunReport, error) {
 			DegradedSeconds: e.faults.DegradedOverlap(start, start+sec),
 		}, &TransientError{At: start}
 	}
-	x := newExecutor(e, g, limit)
-	x.fc = e.faultCtx()
+	s := e.grabScratchLocked()
+	x := s.prepare(e.layoutLocked(), g, limit, start, e.faultCtx())
 	sec, aborted := x.run()
+	err := x.err
+	e.putScratchLocked(s)
 	e.simNow += sec
 	rep := RunReport{Seconds: sec, Aborted: aborted}
 	if e.faults != nil {
 		rep.DegradedSeconds = e.faults.DegradedOverlap(start, start+sec)
 	}
-	return rep, x.err
+	return rep, err
 }
 
 // RunErr executes a query and surfaces injected failures alongside the
@@ -191,24 +195,31 @@ func (e *Engine) RunErr(g *sqlparse.Graph) (float64, error) {
 	return rep.Seconds, err
 }
 
-// faultCtx is the fault state sampled at query start: queries are short
+// faultCtx samples the fault state at the current clock: queries are short
 // relative to fault windows, so node liveness, reachability and slowdowns
 // are held fixed for the duration of one execution. The caller must hold
 // e.mu.
 func (e *Engine) faultCtx() *faultCtx {
-	if e.faults == nil {
+	return newFaultCtx(e.faults, e.HW.Nodes, e.simNow)
+}
+
+// newFaultCtx builds a query's fault context from an injector at simulated
+// time now (nil injector = nil context). It only calls the injector's pure
+// window-evaluation methods, so it is safe without the engine mutex — the
+// lock-free Explain path uses it against the published view.
+func newFaultCtx(f *faults.Injector, nodes int, now float64) *faultCtx {
+	if f == nil {
 		return nil
 	}
-	now := e.simNow
 	fc := &faultCtx{
-		down:    make([]bool, e.HW.Nodes),
-		unreach: make([]bool, e.HW.Nodes),
-		slow:    make([]float64, e.HW.Nodes),
-		net:     e.faults.NetFactor(now),
+		down:    make([]bool, nodes),
+		unreach: make([]bool, nodes),
+		slow:    make([]float64, nodes),
+		net:     f.NetFactor(now),
 	}
-	e.nodeStateLocked(now, fc.down, fc.unreach)
-	for i := 0; i < e.HW.Nodes; i++ {
-		fc.slow[i] = e.faults.SlowdownFactor(i, now)
+	nodeStateAt(f, nodes, now, fc.down, fc.unreach)
+	for i := 0; i < nodes; i++ {
+		fc.slow[i] = f.SlowdownFactor(i, now)
 		if !fc.down[i] && !fc.unreach[i] {
 			fc.live = append(fc.live, i)
 		}
@@ -217,31 +228,37 @@ func (e *Engine) faultCtx() *faultCtx {
 }
 
 // nodeStateLocked fills per-node crash and reachability state at simulated
-// time now. Queries are coordinated from the partition side holding the
+// time now. The caller must hold e.mu and have checked e.faults != nil.
+func (e *Engine) nodeStateLocked(now float64, down, unreach []bool) {
+	nodeStateAt(e.faults, e.HW.Nodes, now, down, unreach)
+}
+
+// nodeStateAt fills per-node crash and reachability state at simulated time
+// now. Queries are coordinated from the partition side holding the
 // lowest-numbered live node; nodes outside that side are up but
 // unreachable — their data cannot be scanned and they receive no shuffle
-// or broadcast traffic. The caller must hold e.mu and have checked
-// e.faults != nil.
-func (e *Engine) nodeStateLocked(now float64, down, unreach []bool) {
-	for i := 0; i < e.HW.Nodes; i++ {
-		down[i] = e.faults.NodeDown(i, now)
+// or broadcast traffic. Pure with respect to the injector (window
+// evaluation only), so callers may use it lock-free on a published view.
+func nodeStateAt(f *faults.Injector, nodes int, now float64, down, unreach []bool) {
+	for i := 0; i < nodes; i++ {
+		down[i] = f.NodeDown(i, now)
 		unreach[i] = false
 	}
-	if !e.faults.PartitionActive(now) {
+	if !f.PartitionActive(now) {
 		return
 	}
 	coord := -1
-	for i := 0; i < e.HW.Nodes; i++ {
+	for i := 0; i < nodes; i++ {
 		if !down[i] {
-			coord = e.faults.GroupOf(i, now)
+			coord = f.GroupOf(i, now)
 			break
 		}
 	}
 	if coord < 0 {
 		return // every node down: crash handling already covers it
 	}
-	for i := 0; i < e.HW.Nodes; i++ {
-		if !down[i] && e.faults.GroupOf(i, now) != coord {
+	for i := 0; i < nodes; i++ {
+		if !down[i] && f.GroupOf(i, now) != coord {
 			unreach[i] = true
 		}
 	}

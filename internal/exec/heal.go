@@ -49,37 +49,38 @@ type RepairRecord struct {
 func (e *Engine) SetSelfHeal(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.publishLocked()
 	e.selfHeal = on
 	e.lastHeal = e.simNow
 	e.pending = nil
 }
 
-// RepairStats returns a coherent snapshot of the repair accounting.
+// RepairStats returns a coherent snapshot of the repair accounting,
+// lock-free from the published view.
 func (e *Engine) RepairStats() (repairs int, bytes int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.Repairs, e.RepairedBytes
+	v := e.loadView()
+	return v.repairs, v.repairedBytes
 }
 
-// RepairLog returns a copy of the executed-repair log.
+// RepairLog returns a copy of the executed-repair log, lock-free from the
+// published view (the log is append-only, so the published slice prefix is
+// immutable).
 func (e *Engine) RepairLog() []RepairRecord {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]RepairRecord, len(e.repairLog))
-	copy(out, e.repairLog)
+	log := e.loadView().repairLog
+	out := make([]RepairRecord, len(log))
+	copy(out, log)
 	return out
 }
 
 // NodeStates reports per-node crash and partition-unreachability at the
-// engine's current simulated clock (all false with no injector armed).
-// Chaos invariant checks cross-reference these against query outcomes.
+// published simulated clock (all false with no injector armed). Chaos
+// invariant checks cross-reference these against query outcomes. Lock-free.
 func (e *Engine) NodeStates() (down, unreachable []bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	v := e.loadView()
 	down = make([]bool, e.HW.Nodes)
 	unreachable = make([]bool, e.HW.Nodes)
-	if e.faults != nil {
-		e.nodeStateLocked(e.simNow, down, unreachable)
+	if v.faults != nil {
+		nodeStateAt(v.faults, e.HW.Nodes, v.now, down, unreachable)
 	}
 	return down, unreachable
 }

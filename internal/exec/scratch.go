@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"partadvisor/internal/relation"
+	"partadvisor/internal/sqlparse"
+)
+
+// execScratch is one worker's reusable execution state: a bump arena for
+// intermediate column storage plus the executor's recycled maps and join
+// buffers. The engine keeps a pool of them (guarded by e.mu); a batch
+// checks out one per worker at batch start and returns them at batch end,
+// so arenas warm up once and are recycled across queries, workers and
+// consecutive batches.
+//
+// Recycling contract: the arena is Reset between queries and nothing an
+// executor allocates survives a query (only the RunReport scalars and the
+// error escape), so no data can leak from one query — or one batch — into
+// the next through a reused scratch buffer.
+type execScratch struct {
+	ar relation.Arena
+	x  executor
+}
+
+// prepare readies the embedded executor for one query against the given
+// layout snapshot. The previous query's maps are cleared in place; the
+// arena keeps its slabs (Reset after the previous query already rewound
+// them).
+func (s *execScratch) prepare(lay *layoutSnap, g *sqlparse.Graph, limit, now float64, fc *faultCtx) *executor {
+	x := &s.x
+	x.lay = lay
+	x.g = g
+	x.limit = limit
+	x.now = now
+	x.fc = fc
+	x.ar = &s.ar
+	x.time = 0
+	x.aborted = false
+	x.err = nil
+	x.trace = nil
+	x.items = x.items[:0]
+	if x.aliasIdx == nil {
+		x.aliasIdx = make(map[string]int, len(g.Refs))
+		x.colTable = make(map[string]string)
+		x.colBase = make(map[string]string)
+	} else {
+		clear(x.aliasIdx)
+		clear(x.colTable)
+		clear(x.colBase)
+	}
+	for i, r := range g.Refs {
+		x.aliasIdx[r.Alias] = i
+	}
+	return x
+}
+
+// release rewinds the arena after a query: every intermediate allocated
+// during execution is recycled for the next one.
+func (s *execScratch) release() { s.ar.Reset() }
+
+// grabScratchLocked checks one scratch out of the engine pool (allocating
+// a cold one when the pool is empty). Caller must hold e.mu.
+func (e *Engine) grabScratchLocked() *execScratch {
+	if n := len(e.scratches); n > 0 {
+		s := e.scratches[n-1]
+		e.scratches[n-1] = nil
+		e.scratches = e.scratches[:n-1]
+		return s
+	}
+	return &execScratch{}
+}
+
+// putScratchLocked returns a scratch to the pool for reuse by later
+// queries and batches. Caller must hold e.mu.
+func (e *Engine) putScratchLocked(s *execScratch) {
+	s.ar.Reset()
+	e.scratches = append(e.scratches, s)
+}
+
+// grabScratchesLocked checks out n scratches (one per batch worker).
+func (e *Engine) grabScratchesLocked(n int) []*execScratch {
+	out := make([]*execScratch, n)
+	for i := range out {
+		out[i] = e.grabScratchLocked()
+	}
+	return out
+}
+
+// putScratchesLocked returns a batch's worker scratches to the pool.
+func (e *Engine) putScratchesLocked(ss []*execScratch) {
+	for _, s := range ss {
+		e.putScratchLocked(s)
+	}
+}

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"partadvisor/internal/cluster"
+	"partadvisor/internal/faults"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/relation"
+	"partadvisor/internal/schema"
+	"partadvisor/internal/stats"
+)
+
+// Snapshot execution: every query runs against an immutable layoutSnap —
+// the deployed placement of every table, the optimizer catalog, and the
+// hardware profile, frozen at one cluster revision. A batch takes the
+// snapshot once at batch start and its workers read it lock-free; the
+// engine mutex only serializes *mutations* (Deploy, BulkLoad, Analyze,
+// clock advances) against the batch as a whole.
+//
+// The engine additionally publishes an engineView — the layout snapshot
+// plus the accounting counters and simulated clock — through an atomic
+// pointer after every stateful operation. Read-only accessors (Counters,
+// TopologyView, TableFootprint, CurrentDesign, Explain, SimNow, …) serve
+// the latest published view without touching the mutex, so monitoring and
+// graceful shutdown are never starved by a long-running batch.
+
+// tableSnap is one table's frozen placement.
+type tableSnap struct {
+	shards   []*relation.Relation // per node; nil when replicated
+	replica  *relation.Relation   // full copy when replicated
+	design   cluster.Design
+	rowWidth int
+	// rows and bytes are the table's true footprint (one copy, before
+	// replication) at snapshot time — TableFootprint serves these.
+	rows  int64
+	bytes int64
+}
+
+// layoutSnap is an immutable picture of everything the executor reads:
+// deployed shard sets, designs, the optimizer catalog and the hardware
+// profile. It is valid for exactly one cluster revision; all fields are
+// written once at construction and never mutated (the cluster's
+// copy-on-write Append/repair discipline guarantees the referenced
+// relations stay frozen too).
+type layoutSnap struct {
+	rev    uint64
+	tables map[string]*tableSnap
+	estCat *stats.Catalog
+	schema *schema.Schema
+	hw     hardware.Profile
+}
+
+// table returns the snapshot of a table, panicking on unknown names with
+// the same contract as cluster.mustTable.
+func (l *layoutSnap) table(name string) *tableSnap {
+	t := l.tables[name]
+	if t == nil {
+		panic("exec: table " + name + " not in layout snapshot")
+	}
+	return t
+}
+
+// layoutLocked returns the layout snapshot for the cluster's current
+// revision, rebuilding it only when a mutation (deploy, append, repair —
+// tracked by cluster.Revision) or a catalog refresh invalidated the cached
+// one. A rebuild copies table-count-many pointers; it never re-hashes
+// data. The caller must hold e.mu.
+func (e *Engine) layoutLocked() *layoutSnap {
+	rev := e.cluster.Revision()
+	if e.layout != nil && e.layout.rev == rev && e.layout.estCat == e.estCat {
+		return e.layout
+	}
+	lay := &layoutSnap{
+		rev:    rev,
+		tables: make(map[string]*tableSnap, len(e.Schema.Tables)),
+		estCat: e.estCat,
+		schema: e.Schema,
+		hw:     e.HW,
+	}
+	for _, name := range e.Schema.TableNames() {
+		shards, replica, _ := e.cluster.Shards(name)
+		lay.tables[name] = &tableSnap{
+			shards:   shards,
+			replica:  replica,
+			design:   e.cluster.Design(name),
+			rowWidth: e.cluster.RowWidth(name),
+			rows:     e.trueCat.Rows(name),
+			bytes:    e.trueCat.Bytes(name),
+		}
+	}
+	e.layout = lay
+	return lay
+}
+
+// engineView is one coherent published read state: the layout snapshot
+// plus clock, fault schedule and accounting counters. Views are immutable;
+// the engine stores a fresh one (a few pointer-sized fields) at the end of
+// every stateful operation.
+type engineView struct {
+	layout        *layoutSnap
+	faults        *faults.Injector
+	now           float64
+	queries       int
+	repartitions  int
+	bytesMoved    int64
+	deployedBytes int64
+	repairedBytes int64
+	repairs       int
+	repairLog     []RepairRecord
+}
+
+// publishLocked snapshots the engine's observable state into the atomic
+// view. Called (under e.mu) at the end of every operation that mutates
+// counters, clock, faults, catalogs or placement.
+func (e *Engine) publishLocked() {
+	e.view.Store(&engineView{
+		layout:        e.layoutLocked(),
+		faults:        e.faults,
+		now:           e.simNow,
+		queries:       e.QueriesExecuted,
+		repartitions:  e.Repartitions,
+		bytesMoved:    e.BytesMoved,
+		deployedBytes: e.DeployedBytes,
+		repairedBytes: e.RepairedBytes,
+		repairs:       e.Repairs,
+		// repairLog is append-only: sharing the slice header is safe, the
+		// elements below len never mutate.
+		repairLog: e.repairLog,
+	})
+}
+
+// loadView returns the latest published view (never nil after New).
+func (e *Engine) loadView() *engineView {
+	return e.view.Load()
+}

@@ -1,0 +1,100 @@
+package relation
+
+// Arena is a bump allocator for int64 column storage. Query execution
+// builds many short-lived intermediate relations (filtered scans, join
+// outputs, shuffle targets) whose column data dies with the query; an
+// arena lets an executor carve all of that storage out of a few reusable
+// slabs and recycle them with a single Reset instead of leaving megabytes
+// per query to the garbage collector.
+//
+// An Arena is NOT safe for concurrent use: each worker owns one. Slices
+// returned by Int64s are handed out with cap == len, so an append past
+// capacity escapes to the regular heap instead of overwriting slab space
+// that a later allocation would receive — arena-backed relations stay
+// safe even for callers that grow them.
+//
+// Lifecycle contract: everything allocated from an arena is invalidated
+// by Reset. Callers must not retain arena-backed storage (directly or via
+// FromColumns relations) across a Reset; the execution engine resets its
+// per-worker arenas between queries, so executor intermediates must never
+// leak into long-lived structures such as the cluster's shard cache.
+type Arena struct {
+	slabs [][]int64
+	si    int // index of the slab currently allocated from
+	off   int // next free offset within slabs[si]
+}
+
+// arenaSlabInts is the default slab size (64 Ki int64s = 512 KiB). A
+// request larger than the remaining space of every existing slab gets a
+// dedicated slab of exactly its size.
+const arenaSlabInts = 64 << 10
+
+// Int64s returns a slab-backed slice of length (and capacity) n. The
+// contents are unspecified — callers must fully overwrite it. n == 0
+// returns an empty slice without consuming slab space.
+func (a *Arena) Int64s(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.si == len(a.slabs) {
+			size := arenaSlabInts
+			if n > size {
+				size = n
+			}
+			a.slabs = append(a.slabs, make([]int64, size))
+		}
+		slab := a.slabs[a.si]
+		if a.off+n <= len(slab) {
+			s := slab[a.off : a.off+n : a.off+n]
+			a.off += n
+			return s
+		}
+		// Current slab exhausted for this request: move on. The skipped
+		// tail is wasted until the next Reset — bounded by one request per
+		// slab.
+		a.si++
+		a.off = 0
+	}
+}
+
+// Reset recycles every slab: subsequent Int64s calls reuse the same
+// backing memory. All previously returned slices are invalidated.
+func (a *Arena) Reset() {
+	a.si = 0
+	a.off = 0
+}
+
+// Footprint returns the total bytes of slab memory the arena retains
+// (diagnostics and tests).
+func (a *Arena) Footprint() int64 {
+	var n int64
+	for _, s := range a.slabs {
+		n += int64(len(s)) * 8
+	}
+	return n
+}
+
+// FromColumns wraps caller-owned column storage in a Relation without
+// copying. All columns must have identical length; the slice of columns is
+// adopted as-is (the caller must not resize it afterwards). This is the
+// assembly point for arena-backed intermediates: the executor allocates
+// exact-size columns from its arena, fills them, and wraps them here.
+func FromColumns(name string, cols []string, data [][]int64) *Relation {
+	if len(data) != len(cols) {
+		panic("relation: FromColumns column/data count mismatch")
+	}
+	r := New(name, cols)
+	for i := 1; i < len(data); i++ {
+		if len(data[i]) != len(data[0]) {
+			panic("relation: FromColumns ragged columns")
+		}
+	}
+	copy(r.data, data)
+	return r
+}
+
+// ColAt returns the storage of the column at position i (shared, do not
+// resize) — the index-based sibling of Col for hot paths that have already
+// resolved positions.
+func (r *Relation) ColAt(i int) []int64 { return r.data[i] }

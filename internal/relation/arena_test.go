@@ -1,0 +1,94 @@
+package relation
+
+import "testing"
+
+func TestArenaExactSizeAndCapIsolation(t *testing.T) {
+	var a Arena
+	x := a.Int64s(4)
+	if len(x) != 4 || cap(x) != 4 {
+		t.Fatalf("len/cap = %d/%d, want 4/4", len(x), cap(x))
+	}
+	y := a.Int64s(3)
+	for i := range x {
+		x[i] = 100 + int64(i)
+	}
+	for i := range y {
+		y[i] = 200 + int64(i)
+	}
+	// cap == len means an append on x escapes to the heap instead of
+	// clobbering y's slab region.
+	x = append(x, 999)
+	if y[0] != 200 || y[1] != 201 || y[2] != 202 {
+		t.Fatalf("append on earlier allocation corrupted later one: %v", y)
+	}
+	if a.Int64s(0) != nil {
+		t.Fatal("Int64s(0) should be nil")
+	}
+}
+
+func TestArenaResetRecyclesSlabs(t *testing.T) {
+	var a Arena
+	const n = 1000
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 50; i++ {
+			s := a.Int64s(n)
+			for j := range s {
+				s[j] = int64(round)
+			}
+		}
+		a.Reset()
+	}
+	fp := a.Footprint()
+	if fp == 0 {
+		t.Fatal("footprint should count retained slabs")
+	}
+	// Identical rounds after Reset must not grow the arena.
+	for i := 0; i < 50; i++ {
+		a.Int64s(n)
+	}
+	a.Reset()
+	if got := a.Footprint(); got != fp {
+		t.Fatalf("footprint grew across identical rounds: %d -> %d", fp, got)
+	}
+}
+
+func TestArenaOversizedAllocation(t *testing.T) {
+	var a Arena
+	huge := a.Int64s(arenaSlabInts * 3)
+	if len(huge) != arenaSlabInts*3 {
+		t.Fatalf("oversized allocation len = %d", len(huge))
+	}
+	small := a.Int64s(8)
+	huge[len(huge)-1] = 7
+	small[0] = 9
+	if huge[len(huge)-1] != 7 {
+		t.Fatal("oversized and small allocations overlap")
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	r := FromColumns("t", []string{"a", "b"}, [][]int64{{1, 2, 3}, {4, 5, 6}})
+	if r.Rows() != 3 || r.NumCols() != 2 {
+		t.Fatalf("rows/cols = %d/%d", r.Rows(), r.NumCols())
+	}
+	if got := r.Col("b")[1]; got != 5 {
+		t.Fatalf("b[1] = %d", got)
+	}
+	if got := r.ColAt(0)[2]; got != 3 {
+		t.Fatalf("ColAt(0)[2] = %d", got)
+	}
+	// Zero-copy: the relation aliases the caller's columns.
+	data := [][]int64{{1, 2}}
+	r2 := FromColumns("z", []string{"c"}, data)
+	data[0][0] = 42
+	if r2.Col("c")[0] != 42 {
+		t.Fatal("FromColumns copied column storage; expected aliasing")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromColumns should panic")
+		}
+	}()
+	FromColumns("bad", []string{"a", "b"}, [][]int64{{1, 2}, {1}})
+}

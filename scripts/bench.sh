@@ -4,18 +4,21 @@
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #
-# The default output is BENCH_pr3.json at the repo root; benchtime defaults
-# to 0.5s per bench (raise it for more stable numbers). The raw `go test`
-# output is echoed as the benches run.
+# The output path is the first argument (default BENCH.json at the repo
+# root) — pass e.g. BENCH_pr6.json to snapshot a PR's numbers without
+# clobbering earlier artifacts. benchtime defaults to 0.5s per bench
+# (raise it for more stable numbers). The raw `go test` output is echoed
+# as the benches run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH.json}"
 benchtime="${2:-0.5s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-# Root-package benches: design-deployment memoization and batch execution.
+# Root-package benches: design-deployment memoization and batch execution
+# (RunBatchWorkers emits the 1..NumCPU worker saturation curve).
 go test -run '^$' -bench 'DeployRevisit|RunBatch|EngineDeploy|EngineRunQuery' \
   -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 # Relation substrate: hashing, scattering, column lookup.

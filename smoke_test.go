@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestRunBatchParallelSpeedupSmoke is the CI gate for the snapshot-execution
+// perf fix: RunBatch at NumCPU workers must beat the sequential path by a
+// tolerance margin, and the allocation footprint must stay well below the
+// pre-arena level (105 MB/op per batch before the fix; the >5x-reduction
+// acceptance bound is enforced at ~4x headroom).
+//
+// The test is opt-in (BATCH_SPEEDUP_SMOKE=1) because testing.Benchmark runs
+// take seconds, and the wall-clock half is skipped below 2 CPUs, where the
+// worker pool is starved and the two variants legitimately converge.
+func TestRunBatchParallelSpeedupSmoke(t *testing.T) {
+	if os.Getenv("BATCH_SPEEDUP_SMOKE") == "" {
+		t.Skip("set BATCH_SPEEDUP_SMOKE=1 to run the batch speedup smoke test")
+	}
+	seq := testing.Benchmark(BenchmarkRunBatchSequential)
+	if seq.N == 0 {
+		t.Fatal("sequential benchmark did not run")
+	}
+	// Allocation gate: pre-fix the batch allocated ~105 MB/op; the arena
+	// path must stay under a fifth of that with margin to spare.
+	const maxBytesPerOp = 20 << 20
+	if got := seq.AllocedBytesPerOp(); got > maxBytesPerOp {
+		t.Fatalf("sequential batch allocates %d B/op, want <= %d (arena regression)", got, maxBytesPerOp)
+	}
+
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("GOMAXPROCS < 2: parallel speedup is unmeasurable on one CPU")
+	}
+	par := testing.Benchmark(BenchmarkRunBatchParallel)
+	if par.N == 0 {
+		t.Fatal("parallel benchmark did not run")
+	}
+	// Tolerance: parallel must win by at least 15% at NumCPU workers —
+	// far below the near-linear ideal, but enough to fail CI if the pool
+	// ever regresses to slower-than-sequential again.
+	if float64(par.NsPerOp()) > 0.85*float64(seq.NsPerOp()) {
+		t.Fatalf("parallel batch %d ns/op is not >=15%% faster than sequential %d ns/op",
+			par.NsPerOp(), seq.NsPerOp())
+	}
+}
