@@ -1,0 +1,146 @@
+// Command advisord hosts many independent tenant databases — each with
+// its own schema, workload, simulated engine and guarded online advisor —
+// behind one HTTP API with admission control, weighted-fair scheduling,
+// request deadlines and graceful degradation (DESIGN.md §9).
+//
+// Usage:
+//
+//	advisord [-addr :8080] [-workers N] [-tenant-inflight N]
+//	         [-tenant-queue N] [-global-queue N] [-batch-workers N]
+//	         [-tier1 F] [-tier2 F] [-tick-ms N] [-advise-ms N]
+//	         [-checkpoint-dir DIR]
+//	         [-preload N] [-bench micro] [-scale F] [-offline-episodes N]
+//
+// API (see internal/serve):
+//
+//	POST   /tenants              create a tenant (JSON TenantSpec)
+//	GET    /tenants              list tenants with stats
+//	DELETE /tenants/{id}         delete a tenant
+//	POST   /tenants/{id}/batch   run a query batch (admission-controlled)
+//	GET    /tenants/{id}/stats   per-tenant stats (never shed)
+//	GET    /tenants/{id}/explain?query=q1
+//	GET    /healthz              liveness + degradation tier (never shed)
+//	GET    /statz                global service stats
+//
+// -preload N creates N tenants named t1..tN at startup so a load driver
+// can start immediately.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops accepting, the
+// admission gate closes (new work answers 503), queued and running batches
+// drain, every tenant's advising goroutine stops at an episode boundary,
+// and — with -checkpoint-dir — each tenant writes one atomic checkpoint.
+// A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"partadvisor/internal/serve"
+)
+
+func main() {
+	cfg := serve.DefaultConfig()
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		drainSec  = flag.Float64("drain-sec", 30, "max seconds to drain admitted work at shutdown")
+		ckptDir   = flag.String("checkpoint-dir", "", "write per-tenant checkpoints here at shutdown")
+		preload   = flag.Int("preload", 0, "create this many tenants (t1..tN) at startup")
+		bench     = flag.String("bench", "micro", "benchmark for preloaded tenants")
+		scale     = flag.Float64("scale", 0.1, "data scale for preloaded tenants")
+		episodes  = flag.Int("offline-episodes", 4, "offline bootstrap episodes for preloaded tenants")
+		tickMS    = flag.Int64("tick-ms", cfg.TickEvery.Milliseconds(), "overload-controller sampling period (ms)")
+		adviseMS  = flag.Int64("advise-ms", cfg.AdviseEvery.Milliseconds(), "default per-tenant advising period (ms)")
+		tier1     = flag.Float64("tier1", cfg.Tier1Occupancy, "queue occupancy arming tier 1 (pause advising)")
+		tier2     = flag.Float64("tier2", cfg.Tier2Occupancy, "queue occupancy arming tier 2 (shed low priority)")
+		upTicks   = flag.Int("tier-up-ticks", cfg.TierUpTicks, "consecutive hot ticks to escalate a tier")
+		downTicks = flag.Int("tier-down-ticks", cfg.TierDownTicks, "consecutive cool ticks to step a tier down")
+	)
+	flag.IntVar(&cfg.MaxConcurrent, "workers", cfg.MaxConcurrent, "worker pool size (global execution semaphore)")
+	flag.IntVar(&cfg.MaxTenantInflight, "tenant-inflight", cfg.MaxTenantInflight, "max workers one tenant may occupy")
+	flag.IntVar(&cfg.MaxTenantQueue, "tenant-queue", cfg.MaxTenantQueue, "per-tenant queue bound")
+	flag.IntVar(&cfg.MaxGlobalQueue, "global-queue", cfg.MaxGlobalQueue, "global queue bound")
+	flag.IntVar(&cfg.BatchWorkers, "batch-workers", cfg.BatchWorkers, "per-batch engine workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg.CheckpointDir = *ckptDir
+	cfg.TickEvery = time.Duration(*tickMS) * time.Millisecond
+	cfg.AdviseEvery = time.Duration(*adviseMS) * time.Millisecond
+	cfg.Tier1Occupancy, cfg.Tier2Occupancy = *tier1, *tier2
+	cfg.TierUpTicks, cfg.TierDownTicks = *upTicks, *downTicks
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisord:", err)
+		os.Exit(2)
+	}
+	srv.Start()
+
+	for i := 1; i <= *preload; i++ {
+		spec := serve.TenantSpec{
+			ID:              fmt.Sprintf("t%d", i),
+			Bench:           *bench,
+			Scale:           *scale,
+			Seed:            int64(i),
+			OfflineEpisodes: *episodes,
+		}
+		start := time.Now()
+		if _, err := srv.CreateTenant(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "advisord: preload:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("advisord: tenant %s ready (%s %g, bootstrap %.0fms)\n",
+			spec.ID, spec.Bench, spec.Scale, time.Since(start).Seconds()*1000)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("advisord: listening on %s (%d workers, queue %d, tiers %.2f/%.2f)\n",
+		*addr, cfg.MaxConcurrent, cfg.MaxGlobalQueue, cfg.Tier1Occupancy, cfg.Tier2Occupancy)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "advisord: listener:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("advisord: %v: draining\n", s)
+	}
+	go func() { // second signal: give up on graceful
+		<-sig
+		fmt.Fprintln(os.Stderr, "advisord: forced exit")
+		os.Exit(1)
+	}()
+
+	// Shutdown ordering: stop accepting first (listener), then close the
+	// admission gate and drain the scheduler, then checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec*float64(time.Second)))
+	defer cancel()
+	srv.BeginDrain()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "advisord: http shutdown:", err)
+	}
+	rep, err := srv.Shutdown(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisord: shutdown:", err)
+	}
+	st := srv.Stats()
+	fmt.Printf("advisord: drained=%v served=%d shed=%d deadline_misses=%d\n",
+		rep.Drained, st.Served, st.ShedQueue+st.ShedPriority, st.DeadlineMisses)
+	for _, path := range rep.Checkpoints {
+		fmt.Printf("advisord: checkpoint %s\n", path)
+	}
+	fmt.Println("advisord: shutdown complete")
+	if err != nil || !rep.Drained {
+		os.Exit(1)
+	}
+}

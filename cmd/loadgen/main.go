@@ -1,0 +1,381 @@
+// Command loadgen is a closed-loop load driver for advisord. It runs
+// `-concurrency × -overload` workers per tenant for -duration, each
+// posting batches back-to-back, and reports per-tenant QPS, admitted-
+// request latency (avg/p50/p95/p99), shed rate and deadline-miss rate
+// plus the server's own /statz counters.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-tenants 4] [-concurrency 2]
+//	        [-overload 1] [-duration 20s] [-deadline-ms 0] [-repeat 1]
+//	        [-low-priority-frac 0] [-create] [-scale F]
+//	        [-offline-episodes N] [-out BENCH.json] [-check]
+//	        [-check-p95-ms 5000]
+//
+// With -create, the tenants (t1..tN) are created first; otherwise they
+// must already exist (e.g. advisord -preload).
+//
+// With -check, the run becomes an assertion harness for the graceful-
+// degradation contract and exits non-zero unless:
+//
+//   - zero 5xx and zero transport errors,
+//   - every shed is a 429 carrying a Retry-After header,
+//   - p95 latency of admitted requests stays under -check-p95-ms,
+//   - when -overload > 1: some requests were shed, background advising
+//     paused at least once, and the tier returns to normal after cooldown.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type tenantReport struct {
+	Tenant        string  `json:"tenant"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	Errors5xx     int     `json:"errors_5xx"`
+	OtherErrors   int     `json:"other_errors"`
+	NoRetryAfter  int     `json:"shed_without_retry_after"`
+	DeadlineMiss  int     `json:"deadline_misses"`
+	QPS           float64 `json:"qps"`
+	AvgMS         float64 `json:"avg_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ShedRate      float64 `json:"shed_rate"`
+	DeadlineRate  float64 `json:"deadline_miss_rate"`
+	QueriesServed int64   `json:"queries_served"`
+}
+
+type summary struct {
+	Addr        string         `json:"addr"`
+	Tenants     int            `json:"tenants"`
+	Workers     int            `json:"workers_per_tenant"`
+	Overload    float64        `json:"overload"`
+	DurationSec float64        `json:"duration_sec"`
+	PerTenant   []tenantReport `json:"per_tenant"`
+	Total       tenantReport   `json:"total"`
+	Statz       map[string]any `json:"statz"`
+	FinalTier   int            `json:"final_tier"`
+	Checked     bool           `json:"checked"`
+	Failures    []string       `json:"check_failures,omitempty"`
+}
+
+type sample struct {
+	status       int
+	wallMS       float64
+	retryAfter   bool
+	deadlineMiss bool
+	transportErr bool
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "advisord base URL")
+		tenants  = flag.Int("tenants", 4, "number of tenants (t1..tN)")
+		conc     = flag.Int("concurrency", 2, "closed-loop workers per tenant at overload 1")
+		overload = flag.Float64("overload", 1, "offered-load multiplier (workers = concurrency*overload)")
+		duration = flag.Duration("duration", 20*time.Second, "measurement duration")
+		deadline = flag.Int64("deadline-ms", 0, "per-request deadline forwarded to the server (0 = none)")
+		repeat   = flag.Int("repeat", 1, "workload repetitions per batch")
+		lowFrac  = flag.Float64("low-priority-frac", 0, "fraction of requests sent at priority 0 (sheddable)")
+		create   = flag.Bool("create", false, "create the tenants before driving load")
+		scale    = flag.Float64("scale", 0.1, "data scale for -create")
+		episodes = flag.Int("offline-episodes", 4, "offline bootstrap episodes for -create")
+		outPath  = flag.String("out", "", "write the JSON summary to this file")
+		check    = flag.Bool("check", false, "assert the graceful-degradation contract; exit 1 on violation")
+		p95Bound = flag.Float64("check-p95-ms", 5000, "admitted-request p95 bound for -check")
+	)
+	flag.Parse()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	if *create {
+		for i := 1; i <= *tenants; i++ {
+			spec := map[string]any{
+				"id": fmt.Sprintf("t%d", i), "bench": "micro", "scale": *scale,
+				"seed": i, "offline_episodes": *episodes,
+			}
+			body, _ := json.Marshal(spec)
+			resp, err := client.Post(*addr+"/tenants", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fatalf("create t%d: %v", i, err)
+			}
+			if resp.StatusCode != http.StatusCreated {
+				b, _ := io.ReadAll(resp.Body)
+				fatalf("create t%d: status %d: %s", i, resp.StatusCode, b)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	workers := int(math.Ceil(float64(*conc) * *overload))
+	if workers < 1 {
+		workers = 1
+	}
+	fmt.Printf("loadgen: %d tenants x %d workers for %v (overload %.1fx)\n",
+		*tenants, workers, *duration, *overload)
+
+	var mu sync.Mutex
+	samplesByTenant := make(map[string][]sample)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(*duration)
+	for ti := 1; ti <= *tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			lowPriority := *lowFrac > 0 && float64(w) < *lowFrac*float64(workers)
+			go func() {
+				defer wg.Done()
+				req := map[string]any{"repeat": *repeat}
+				if *deadline > 0 {
+					req["deadline_ms"] = *deadline
+				}
+				if lowPriority {
+					p := 0
+					req["priority"] = &p
+				}
+				body, _ := json.Marshal(req)
+				url := *addr + "/tenants/" + tenant + "/batch"
+				for time.Now().Before(stop) {
+					start := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					sm := sample{wallMS: float64(time.Since(start).Microseconds()) / 1000}
+					if err != nil {
+						sm.transportErr = true
+					} else {
+						sm.status = resp.StatusCode
+						sm.retryAfter = resp.Header.Get("Retry-After") != ""
+						if resp.StatusCode == http.StatusOK {
+							var br struct {
+								DeadlineMiss bool `json:"deadline_miss"`
+							}
+							_ = json.NewDecoder(resp.Body).Decode(&br)
+							sm.deadlineMiss = br.DeadlineMiss
+						} else {
+							_, _ = io.Copy(io.Discard, resp.Body)
+						}
+						resp.Body.Close()
+					}
+					mu.Lock()
+					samplesByTenant[tenant] = append(samplesByTenant[tenant], sm)
+					mu.Unlock()
+					if sm.status == http.StatusTooManyRequests {
+						// Closed-loop backoff on shed: keep offering load but
+						// don't melt the local CPU spinning on 429s.
+						time.Sleep(10 * time.Millisecond)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	sum := summary{
+		Addr: *addr, Tenants: *tenants, Workers: workers,
+		Overload: *overload, DurationSec: duration.Seconds(), Checked: *check,
+	}
+	for ti := 1; ti <= *tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		rep := reduce(tenant, samplesByTenant[tenant], duration.Seconds())
+		rep.QueriesServed = tenantQueries(client, *addr, tenant)
+		sum.PerTenant = append(sum.PerTenant, rep)
+		sum.Total.Requests += rep.Requests
+		sum.Total.OK += rep.OK
+		sum.Total.Shed += rep.Shed
+		sum.Total.Errors5xx += rep.Errors5xx
+		sum.Total.OtherErrors += rep.OtherErrors
+		sum.Total.NoRetryAfter += rep.NoRetryAfter
+		sum.Total.DeadlineMiss += rep.DeadlineMiss
+		sum.Total.QPS += rep.QPS
+	}
+	sum.Total.Tenant = "all"
+	if sum.Total.Requests > 0 {
+		sum.Total.ShedRate = float64(sum.Total.Shed) / float64(sum.Total.Requests)
+	}
+	var all []sample
+	for _, ss := range samplesByTenant {
+		all = append(all, ss...)
+	}
+	agg := reduce("all", all, duration.Seconds())
+	sum.Total.AvgMS, sum.Total.P50MS, sum.Total.P95MS, sum.Total.P99MS =
+		agg.AvgMS, agg.P50MS, agg.P95MS, agg.P99MS
+
+	sum.Statz = getJSON(client, *addr+"/statz")
+	sum.FinalTier = waitTierNormal(client, *addr, 20*time.Second)
+
+	if *check {
+		sum.Failures = checkContract(&sum, *overload, *p95Bound)
+	}
+
+	for _, rep := range sum.PerTenant {
+		fmt.Printf("loadgen: %-4s qps %7.1f  ok %5d  shed %5d (%.0f%%)  p50 %6.1fms  p95 %6.1fms  p99 %6.1fms  miss %d\n",
+			rep.Tenant, rep.QPS, rep.OK, rep.Shed, rep.ShedRate*100, rep.P50MS, rep.P95MS, rep.P99MS, rep.DeadlineMiss)
+	}
+	fmt.Printf("loadgen: total qps %.1f  shed rate %.1f%%  5xx %d  final tier %d\n",
+		sum.Total.QPS, sum.Total.ShedRate*100, sum.Total.Errors5xx, sum.FinalTier)
+
+	if *outPath != "" {
+		data, _ := json.MarshalIndent(sum, "", "  ")
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *outPath, err)
+		}
+		fmt.Printf("loadgen: summary written to %s\n", *outPath)
+	}
+	if len(sum.Failures) > 0 {
+		for _, f := range sum.Failures {
+			fmt.Fprintln(os.Stderr, "loadgen: CHECK FAILED:", f)
+		}
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Println("loadgen: all checks passed")
+	}
+}
+
+func reduce(tenant string, ss []sample, durSec float64) tenantReport {
+	rep := tenantReport{Tenant: tenant, Requests: len(ss)}
+	var lat []float64
+	for _, sm := range ss {
+		switch {
+		case sm.transportErr:
+			rep.OtherErrors++
+		case sm.status == http.StatusOK:
+			rep.OK++
+			lat = append(lat, sm.wallMS)
+			if sm.deadlineMiss {
+				rep.DeadlineMiss++
+			}
+		case sm.status == http.StatusTooManyRequests:
+			rep.Shed++
+			if !sm.retryAfter {
+				rep.NoRetryAfter++
+			}
+		case sm.status >= 500:
+			rep.Errors5xx++
+		default:
+			rep.OtherErrors++
+		}
+	}
+	if durSec > 0 {
+		rep.QPS = float64(rep.OK) / durSec
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	if rep.OK > 0 {
+		rep.DeadlineRate = float64(rep.DeadlineMiss) / float64(rep.OK)
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		var s float64
+		for _, v := range lat {
+			s += v
+		}
+		rep.AvgMS = s / float64(len(lat))
+		rep.P50MS = pct(lat, 0.50)
+		rep.P95MS = pct(lat, 0.95)
+		rep.P99MS = pct(lat, 0.99)
+	}
+	return rep
+}
+
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func getJSON(client *http.Client, url string) map[string]any {
+	resp, err := client.Get(url)
+	if err != nil {
+		return map[string]any{"error": err.Error()}
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return map[string]any{"error": err.Error()}
+	}
+	return m
+}
+
+func tenantQueries(client *http.Client, addr, tenant string) int64 {
+	m := getJSON(client, addr+"/tenants/"+tenant+"/stats")
+	if v, ok := m["queries"].(float64); ok {
+		return int64(v)
+	}
+	return 0
+}
+
+// waitTierNormal polls /healthz until the degradation tier returns to
+// normal (or the timeout passes) and returns the final tier.
+func waitTierNormal(client *http.Client, addr string, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	tier := -1
+	for {
+		m := getJSON(client, addr+"/healthz")
+		if v, ok := m["tier"].(float64); ok {
+			tier = int(v)
+		}
+		if tier == 0 || time.Now().After(deadline) {
+			return tier
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func checkContract(sum *summary, overload, p95Bound float64) []string {
+	var fails []string
+	if sum.Total.Errors5xx > 0 {
+		fails = append(fails, fmt.Sprintf("%d responses were 5xx; overload must shed with 429, never crash", sum.Total.Errors5xx))
+	}
+	if sum.Total.OtherErrors > 0 {
+		fails = append(fails, fmt.Sprintf("%d transport/unexpected errors", sum.Total.OtherErrors))
+	}
+	if sum.Total.NoRetryAfter > 0 {
+		fails = append(fails, fmt.Sprintf("%d sheds arrived without a Retry-After header", sum.Total.NoRetryAfter))
+	}
+	if sum.Total.OK == 0 {
+		fails = append(fails, "no request was admitted at all")
+	}
+	if sum.Total.P95MS > p95Bound {
+		fails = append(fails, fmt.Sprintf("admitted p95 %.1fms exceeds bound %.0fms", sum.Total.P95MS, p95Bound))
+	}
+	if overload > 1 {
+		if sum.Total.Shed == 0 {
+			fails = append(fails, "overload run shed nothing; admission control is not engaging")
+		}
+		paused, _ := sum.Statz["advise_paused_cycles"].(float64)
+		esc, _ := sum.Statz["tier_escalations"].(float64)
+		if paused == 0 && esc == 0 {
+			fails = append(fails, "overload never paused background advising (no escalations, no paused cycles)")
+		}
+		if sum.FinalTier != 0 {
+			fails = append(fails, fmt.Sprintf("tier still %d after cooldown; degradation must recover", sum.FinalTier))
+		}
+	}
+	return fails
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

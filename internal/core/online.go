@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -133,6 +134,15 @@ type OnlineCost struct {
 	// stops burning simulated time on layouts that keep failing even across
 	// partition heals and node rejoins. 0 disables the breaker.
 	CircuitBreakAfter int
+
+	// Ctx, when non-nil, bounds every measurement: batch execution stops at
+	// cancellation through the frozen-cursor abort (the charged prefix keeps
+	// exact accounting), the retry/backoff loop gives up before its next
+	// attempt, and a cancelled pass is charged the finite breaker penalty
+	// without caching anything. Long-running callers (the advisord tenant
+	// loop) set it so a shutdown or deadline cuts a measurement mid-batch
+	// instead of waiting out the pass.
+	Ctx context.Context
 
 	// Guard, when non-nil, arms the safety envelope of DESIGN.md §8 around
 	// every measurement: design validation before deploy, canary
@@ -375,11 +385,23 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 				}
 			}
 		}
-		rep := oc.Engine.RunBatchQueriesAbort(qs, workers, abort, onResult)
+		rep := oc.Engine.RunBatchQueriesAbortCtx(oc.ctx(), qs, workers, abort, onResult)
 		oc.Stats.QueriesExecuted += rep.Completed
 		oc.Stats.ExecSeconds += rep.Seconds
 		oc.Stats.NaiveExecSeconds += rep.Seconds
 		oc.Stats.DegradedSeconds += rep.DegradedSeconds
+		if rep.Completed < len(qs) && oc.ctx().Err() != nil {
+			// Cancelled mid-pass: the charged prefix is already booked above
+			// with exact accounting; nothing is cached, the pass neither
+			// counts as a canary abort nor triggers a rollback (the caller is
+			// shutting down, not observing a regression), and the budget
+			// window still records whatever the pass moved.
+			if oc.Guard != nil {
+				_, _, postBytes := oc.Engine.Counters()
+				oc.Guard.RecordPass(postBytes-preBytes, oc.Stats.DegradedSeconds-preDegraded)
+			}
+			return oc.breakerPenalty(freq)
+		}
 		if rep.Completed < len(qs) {
 			// Canary regression: the full pass is skipped, only the canary
 			// prefix was charged, and the design stays canary-subject (it
@@ -411,10 +433,15 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 				// Retry budget exhausted: the design loses this query under
 				// the current fault regime. Charge a penalty so the agent
 				// steers away from it, remember the failure for CachedCost,
-				// and never cache the (meaningless) partial runtime.
+				// and never cache the (meaningless) partial runtime. A
+				// failure observed only because the context was cancelled is
+				// a shutdown artifact, not a verdict: it is penalized this
+				// pass but not remembered against the design.
 				passFailed = true
-				oc.Stats.FailedQueries++
-				oc.failedQ[failKey(i, sig)] = true
+				if oc.ctx().Err() == nil {
+					oc.Stats.FailedQueries++
+					oc.failedQ[failKey(i, sig)] = true
+				}
 				if !math.IsInf(oc.bestForFreq, 1) && weight > 0 {
 					rt = 2 * oc.bestForFreq / weight
 				} else {
@@ -480,6 +507,14 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 	return total
 }
 
+// ctx returns the measurement-bounding context (Background when unset).
+func (oc *OnlineCost) ctx() context.Context {
+	if oc.Ctx != nil {
+		return oc.Ctx
+	}
+	return context.Background()
+}
+
 // rollbackIfNeeded consults the guard about the just-measured design and,
 // when it regressed past RollbackFactor × best (or failed), redeploys the
 // best-known design, charging the deploy seconds into RepartitionSeconds
@@ -532,6 +567,13 @@ func (oc *OnlineCost) retry(g *sqlparse.Graph, limit float64, batchErr error) (r
 	err = batchErr
 	backoff := oc.RetryBackoffSec
 	for attempt := 1; attempt <= oc.MaxRetries; attempt++ {
+		if oc.ctx().Err() != nil {
+			// Cancelled: give up the remaining retry budget immediately. The
+			// last attempt's error stands and the measurement is treated as
+			// degraded (never cached), exactly like a budget-exhausted
+			// failure.
+			return rt, false, true, err
+		}
 		oc.Stats.Retries++
 		wait := backoff
 		if errors.Is(err, exec.ErrNodeDown) || errors.Is(err, exec.ErrShardLost) ||

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -61,11 +62,18 @@ type BatchReport struct {
 // uniform time limit (0 = none), fanning them across a worker pool. See
 // RunBatchQueries for the execution and determinism contract.
 func (e *Engine) RunBatch(gs []*sqlparse.Graph, limit float64) BatchReport {
+	return e.RunBatchCtx(context.Background(), gs, limit)
+}
+
+// RunBatchCtx is RunBatch under a context: cancellation (or an expired
+// deadline) stops the batch through the frozen-cursor abort, so the report
+// charges exactly the delivered prefix — see RunBatchQueriesAbortCtx.
+func (e *Engine) RunBatchCtx(ctx context.Context, gs []*sqlparse.Graph, limit float64) BatchReport {
 	qs := make([]BatchQuery, len(gs))
 	for i, g := range gs {
 		qs[i] = BatchQuery{Graph: g, Limit: limit}
 	}
-	return e.RunBatchQueries(qs, 0)
+	return e.RunBatchQueriesAbortCtx(ctx, qs, 0, nil, nil)
 }
 
 // RunBatchQueries executes a batch of queries concurrently (workers <= 0
@@ -113,6 +121,40 @@ func (e *Engine) RunBatchQueries(qs []BatchQuery, workers int) BatchReport {
 // function of (deployment, schedule, clock, batch number, positions) —
 // identical across runs and across any workers/GOMAXPROCS values.
 func (e *Engine) RunBatchQueriesAbort(qs []BatchQuery, workers int, abort *BatchAbort, onResult func(pos int, rep RunReport, err error)) BatchReport {
+	return e.runBatchQueriesAbort(qs, workers, abort, onResult)
+}
+
+// RunBatchQueriesAbortCtx is RunBatchQueriesAbort with context
+// cancellation wired into the abort signal: when ctx is cancelled (or its
+// deadline passes) — before the batch starts or at any point during it —
+// the batch stops dispatching via the same frozen-cursor abort the guard's
+// canary uses, so the charged prefix keeps bit-identical accounting (the
+// report's totals are the position-ordered sums of exactly the positions
+// delivered before the cut; later positions are zeroed with
+// ErrBatchAborted and the simulated clock advances only by the charged
+// prefix). A ctx that is already done yields Completed == 0 and leaves the
+// clock untouched. Cancellation is an external abort: the cut position
+// depends on timing, but the accounting of whatever prefix was charged is
+// exact.
+func (e *Engine) RunBatchQueriesAbortCtx(ctx context.Context, qs []BatchQuery, workers int, abort *BatchAbort, onResult func(pos int, rep RunReport, err error)) BatchReport {
+	if ctx != nil && ctx.Done() != nil {
+		if abort == nil {
+			abort = &BatchAbort{}
+		}
+		if ctx.Err() != nil {
+			// Already done: abort synchronously so nothing is dispatched
+			// (AfterFunc alone fires in its own goroutine and could race the
+			// first dispatches).
+			abort.Set()
+		} else {
+			stop := context.AfterFunc(ctx, abort.Set)
+			defer stop()
+		}
+	}
+	return e.runBatchQueriesAbort(qs, workers, abort, onResult)
+}
+
+func (e *Engine) runBatchQueriesAbort(qs []BatchQuery, workers int, abort *BatchAbort, onResult func(pos int, rep RunReport, err error)) BatchReport {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	defer e.publishLocked()

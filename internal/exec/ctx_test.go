@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/sqlparse"
+)
+
+// bigBatch repeats the mixed query bag until the batch's full sequential
+// runtime is far above any deadline the tests use.
+func bigBatch(t *testing.T, copies int) []*sqlparse.Graph {
+	t.Helper()
+	base := batchGraphs(t)
+	gs := make([]*sqlparse.Graph, 0, copies*len(base))
+	for i := 0; i < copies; i++ {
+		gs = append(gs, base...)
+	}
+	return gs
+}
+
+// checkChargedPrefix asserts the frozen-cursor accounting invariants of a
+// cut batch: totals are the position-ordered sums of exactly the charged
+// prefix, discarded positions are zeroed with ErrBatchAborted, and the
+// engine clock and query counter advanced only by the prefix.
+func checkChargedPrefix(t *testing.T, e *Engine, rep BatchReport, n int, clockBefore float64) {
+	t.Helper()
+	var sec, deg float64
+	for i := 0; i < rep.Completed; i++ {
+		if errors.Is(rep.Errs[i], ErrBatchAborted) {
+			t.Fatalf("charged position %d marked ErrBatchAborted", i)
+		}
+		sec += rep.Reports[i].Seconds
+		deg += rep.Reports[i].DegradedSeconds
+	}
+	if rep.Seconds != sec || rep.DegradedSeconds != deg {
+		t.Fatalf("totals (%v, %v) != position-ordered prefix sums (%v, %v)",
+			rep.Seconds, rep.DegradedSeconds, sec, deg)
+	}
+	for i := rep.Completed; i < n; i++ {
+		if !errors.Is(rep.Errs[i], ErrBatchAborted) {
+			t.Fatalf("discarded position %d: err = %v, want ErrBatchAborted", i, rep.Errs[i])
+		}
+		if rep.Reports[i] != (RunReport{}) {
+			t.Fatalf("discarded position %d has non-zero report %+v", i, rep.Reports[i])
+		}
+	}
+	if got := e.SimNow(); got != clockBefore+rep.Seconds {
+		t.Fatalf("clock advanced to %v, want start %v + charged %v", got, clockBefore, rep.Seconds)
+	}
+	if q, _, _ := e.Counters(); q != rep.Completed {
+		t.Fatalf("QueriesExecuted = %d, want charged prefix %d", q, rep.Completed)
+	}
+}
+
+// TestRunBatchCtxDeadlineCutsBatch pins the deadline-propagation contract:
+// a batch whose full runtime vastly exceeds the context deadline is cut
+// early, and the report stays internally consistent (charged prefix sums,
+// clock, counters) at every worker count.
+func TestRunBatchCtxDeadlineCutsBatch(t *testing.T) {
+	data := engData(50, 400, 1200, 1)
+	gs := bigBatch(t, 200) // thousands of queries; wall-clock runtime >> deadline
+	for _, workers := range []int{1, 4, 0} {
+		e := New(engSchema(), data, hardware.PostgresXLDisk(), Disk)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		rep := e.RunBatchQueriesAbortCtx(ctx, toBatch(gs, 0), workers, nil, nil)
+		cancel()
+		if rep.Completed >= len(gs) {
+			t.Fatalf("workers=%d: batch of %d completed in full despite the deadline", workers, len(gs))
+		}
+		checkChargedPrefix(t, e, rep, len(gs), 0)
+	}
+}
+
+// TestRunBatchCtxAlreadyCancelled: a context that is done before the batch
+// starts charges nothing and leaves the engine untouched.
+func TestRunBatchCtxAlreadyCancelled(t *testing.T) {
+	data := engData(50, 400, 1200, 1)
+	gs := batchGraphs(t)
+	e := New(engSchema(), data, hardware.PostgresXLDisk(), Disk)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := e.RunBatchCtx(ctx, gs, 0)
+	if rep.Completed != 0 || rep.Seconds != 0 {
+		t.Fatalf("cancelled-before-start batch charged %d positions, %v s", rep.Completed, rep.Seconds)
+	}
+	checkChargedPrefix(t, e, rep, len(gs), 0)
+}
+
+// TestRunBatchCtxCancelMidBatch cancels from the in-order result callback
+// (the first delivered position) and checks the batch stops promptly with
+// consistent accounting — the pattern a request handler's disconnect takes.
+func TestRunBatchCtxCancelMidBatch(t *testing.T) {
+	data := engData(50, 400, 1200, 1)
+	gs := bigBatch(t, 50)
+	for _, workers := range []int{1, 4} {
+		e := New(engSchema(), data, hardware.PostgresXLDisk(), Disk)
+		ctx, cancel := context.WithCancel(context.Background())
+		rep := e.RunBatchQueriesAbortCtx(ctx, toBatch(gs, 0), workers, nil,
+			func(pos int, r RunReport, err error) {
+				if pos == 0 {
+					cancel()
+				}
+			})
+		cancel()
+		if rep.Completed == 0 {
+			t.Fatalf("workers=%d: cancel fired before any delivery (want >= 1 charged)", workers)
+		}
+		if rep.Completed >= len(gs) {
+			t.Fatalf("workers=%d: batch of %d completed in full despite cancel at position 0", workers, len(gs))
+		}
+		checkChargedPrefix(t, e, rep, len(gs), 0)
+	}
+}
+
+// TestRunBatchCtxNoDeadlinePassthrough: a plain Background context changes
+// nothing — totals stay bit-identical to the uncontexted path.
+func TestRunBatchCtxNoDeadlinePassthrough(t *testing.T) {
+	data := engData(50, 400, 1200, 1)
+	gs := batchGraphs(t)
+	a := New(engSchema(), data, hardware.PostgresXLDisk(), Disk)
+	b := New(engSchema(), data, hardware.PostgresXLDisk(), Disk)
+	plain := a.RunBatch(gs, 0)
+	ctxed := b.RunBatchCtx(context.Background(), gs, 0)
+	if plain.Seconds != ctxed.Seconds || plain.Completed != ctxed.Completed {
+		t.Fatalf("Background-context batch (%v s, %d) differs from plain (%v s, %d)",
+			ctxed.Seconds, ctxed.Completed, plain.Seconds, plain.Completed)
+	}
+}

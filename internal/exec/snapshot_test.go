@@ -164,11 +164,17 @@ func TestScratchRecycledAcrossBatches(t *testing.T) {
 		after += s.ar.Footprint()
 	}
 	// The work-stealing dispatch may hand a different query mix to each
-	// worker per round, so individual arenas can still warm up — but the
-	// pool as a whole must stay bounded by a small constant factor of the
-	// first batch's footprint rather than growing per round.
-	if after > 2*warm+int64(workers)*1024 {
-		t.Fatalf("arena footprint grew %d -> %d across identical batches", warm, after)
+	// worker per round, so every arena can warm up to the heaviest query's
+	// demand — the footprint of a single arena that served the whole batch
+	// alone. The pool must stay under workers x that high-water mark
+	// (round-count-independent); anything past it is a cross-round leak.
+	solo := New(engSchema(), engData(50, 400, 1200, 1), hardware.PostgresXLDisk(), Disk)
+	solo.RunBatchQueries(toBatch(gs, 0), 1)
+	solo.mu.Lock()
+	soloFootprint := solo.scratches[0].ar.Footprint()
+	solo.mu.Unlock()
+	if bound := int64(workers)*soloFootprint + int64(workers)*1024; after > bound {
+		t.Fatalf("arena footprint grew %d -> %d across identical batches (bound %d)", warm, after, bound)
 	}
 }
 

@@ -1,0 +1,166 @@
+// Package serve turns the batch advisor engine into a long-running
+// multi-tenant service that degrades gracefully under overload — the
+// "advisor-as-a-service" layer of DESIGN.md §9.
+//
+// Each tenant is an independent database: schema + materialized data +
+// exec.Engine + workload monitor + a guarded online advisor refining the
+// tenant's partitioning in a background goroutine. The robustness core
+// wraps every request path:
+//
+//  1. Admission control. Work is admitted through bounded per-tenant
+//     queues, a bounded global queue, and a fixed worker pool (a global
+//     semaphore) with a per-tenant in-flight cap. When a bound is hit the
+//     request is shed immediately with ErrTenantQueueFull /
+//     ErrGlobalQueueFull — the HTTP layer maps every shed to
+//     429 + Retry-After — instead of piling up goroutines.
+//
+//  2. Weighted-fair scheduling. Queued batches are dispatched by
+//     start-time-lifted virtual-time fair queueing: each tenant accrues
+//     virtual time cost/weight per dispatched batch, and the scheduler
+//     always serves the backlogged tenant with the smallest virtual time.
+//     A hot tenant saturating its queue cannot starve the others; it can
+//     only consume its weight share of the worker pool.
+//
+//  3. Request deadlines. A batch's context deadline propagates through
+//     exec.Engine.RunBatchQueriesAbortCtx into the frozen-cursor abort:
+//     a batch cut at its deadline charges exactly the delivered prefix
+//     with bit-identical accounting. Deadlines that expire while the
+//     request is still queued cancel it without occupying a worker.
+//
+//  4. Graceful degradation tiers. A tick loop watches global queue
+//     occupancy with hysteresis. Sustained load past Tier1Occupancy
+//     pauses every tenant's background advising (the service sheds its
+//     own optional work first); past Tier2Occupancy it also sheds
+//     lowest-priority batch traffic at admission. Health and stats
+//     endpoints never queue and are never shed — they read the engines'
+//     lock-free published views. When the load drops the tiers step back
+//     down and advising resumes.
+//
+// Shutdown is drain-then-stop: admission closes first (new work is
+// rejected with ErrClosed → 503), admitted work drains through the worker
+// pool, tenant advisor goroutines stop at an episode boundary via the
+// core.Advisor.Stop contract, and every tenant writes a final atomic
+// checkpoint (the PR 2 temp-file + fsync + rename path).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Shed/admission sentinel errors. The HTTP layer maps the two queue-full
+// errors and ErrShedPriority to 429 with a Retry-After header, and
+// ErrClosed to 503.
+var (
+	// ErrTenantQueueFull sheds a request because its tenant's bounded
+	// queue is at capacity.
+	ErrTenantQueueFull = errors.New("serve: tenant queue full")
+	// ErrGlobalQueueFull sheds a request because the server-wide queue
+	// bound is reached.
+	ErrGlobalQueueFull = errors.New("serve: global queue full")
+	// ErrShedPriority sheds a low-priority request while the overload
+	// controller is at the shedding tier.
+	ErrShedPriority = errors.New("serve: low-priority traffic shed under overload")
+	// ErrClosed rejects work because the server is draining for shutdown.
+	ErrClosed = errors.New("serve: server is draining")
+	// ErrUnknownTenant rejects work for a tenant that does not exist.
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+)
+
+// IsShed reports whether an admission error is a load-shed (mapped to 429)
+// as opposed to a hard rejection.
+func IsShed(err error) bool {
+	return errors.Is(err, ErrTenantQueueFull) || errors.Is(err, ErrGlobalQueueFull) ||
+		errors.Is(err, ErrShedPriority)
+}
+
+// Config holds the service knobs. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// MaxConcurrent is the worker-pool size — the global execution
+	// semaphore. At most this many batches execute at once.
+	MaxConcurrent int
+	// MaxTenantInflight caps how many workers one tenant may occupy
+	// simultaneously (engine batches serialize on the tenant's engine
+	// mutex anyway, so values past ~2 only buy queue overlap).
+	MaxTenantInflight int
+	// MaxTenantQueue bounds each tenant's wait queue; submissions past it
+	// are shed with ErrTenantQueueFull.
+	MaxTenantQueue int
+	// MaxGlobalQueue bounds the sum of all queued requests; submissions
+	// past it are shed with ErrGlobalQueueFull.
+	MaxGlobalQueue int
+	// BatchWorkers is the per-batch engine worker count handed to
+	// exec.Engine (0 = GOMAXPROCS, 1 = inline). Service deployments keep
+	// it small: cross-tenant parallelism comes from the worker pool.
+	BatchWorkers int
+
+	// Tier1Occupancy and Tier2Occupancy are global queue occupancy
+	// fractions ([0,1]) that arm degradation tier 1 (pause background
+	// advising) and tier 2 (also shed priority-0 traffic).
+	Tier1Occupancy float64
+	Tier2Occupancy float64
+	// TierUpTicks is how many consecutive over-threshold ticks escalate a
+	// tier; TierDownTicks how many under-threshold ticks step one back
+	// down. Hysteresis keeps the controller from flapping.
+	TierUpTicks   int
+	TierDownTicks int
+	// TickEvery is the overload-controller sampling period.
+	TickEvery time.Duration
+
+	// AdviseEvery is the default per-tenant background advising period.
+	AdviseEvery time.Duration
+	// CheckpointDir, when non-empty, receives one atomic checkpoint per
+	// tenant (<dir>/<tenant>.ckpt) at shutdown.
+	CheckpointDir string
+}
+
+// DefaultConfig returns a service envelope sized for the test benchmarks:
+// a CPU-bound worker pool, short queues (shed early, retry cheap), and a
+// half/nine-tenths occupancy tier ladder.
+func DefaultConfig() Config {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	return Config{
+		MaxConcurrent:     workers,
+		MaxTenantInflight: 2,
+		MaxTenantQueue:    16,
+		MaxGlobalQueue:    64,
+		BatchWorkers:      1,
+		Tier1Occupancy:    0.5,
+		Tier2Occupancy:    0.9,
+		TierUpTicks:       3,
+		TierDownTicks:     8,
+		TickEvery:         100 * time.Millisecond,
+		AdviseEvery:       500 * time.Millisecond,
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxConcurrent < 1:
+		return fmt.Errorf("serve: MaxConcurrent %d < 1", c.MaxConcurrent)
+	case c.MaxTenantInflight < 1:
+		return fmt.Errorf("serve: MaxTenantInflight %d < 1", c.MaxTenantInflight)
+	case c.MaxTenantQueue < 1:
+		return fmt.Errorf("serve: MaxTenantQueue %d < 1", c.MaxTenantQueue)
+	case c.MaxGlobalQueue < 1:
+		return fmt.Errorf("serve: MaxGlobalQueue %d < 1", c.MaxGlobalQueue)
+	case c.Tier1Occupancy <= 0 || c.Tier1Occupancy > 1:
+		return fmt.Errorf("serve: Tier1Occupancy %g outside (0,1]", c.Tier1Occupancy)
+	case c.Tier2Occupancy < c.Tier1Occupancy || c.Tier2Occupancy > 1:
+		return fmt.Errorf("serve: Tier2Occupancy %g outside [Tier1 %g, 1]", c.Tier2Occupancy, c.Tier1Occupancy)
+	case c.TierUpTicks < 1 || c.TierDownTicks < 1:
+		return fmt.Errorf("serve: tier hysteresis ticks must be >= 1 (up %d, down %d)", c.TierUpTicks, c.TierDownTicks)
+	case c.TickEvery <= 0:
+		return fmt.Errorf("serve: TickEvery %v <= 0", c.TickEvery)
+	case c.AdviseEvery <= 0:
+		return fmt.Errorf("serve: AdviseEvery %v <= 0", c.AdviseEvery)
+	}
+	return nil
+}

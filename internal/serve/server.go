@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server hosts the tenants, the admission-controlled scheduler and the
+// overload controller. Build with NewServer, then Start, then serve
+// Handler() over HTTP; shut down with BeginDrain + Shutdown.
+type Server struct {
+	cfg   Config
+	sched *scheduler
+	ov    *overload
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+
+	draining atomic.Bool
+	start    time.Time
+
+	tickCancel context.CancelFunc
+	tickDone   chan struct{}
+
+	// Global request-path counters for /statz.
+	served         atomic.Int64
+	shedQueue      atomic.Int64
+	shedPriority   atomic.Int64
+	rejectedClosed atomic.Int64
+	deadlineMisses atomic.Int64
+}
+
+// NewServer validates the config and builds an idle server.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		sched:   newScheduler(cfg),
+		ov:      newOverload(cfg),
+		tenants: make(map[string]*Tenant),
+		start:   time.Now(),
+	}, nil
+}
+
+// Start launches the worker pool and the overload tick loop.
+func (s *Server) Start() {
+	s.sched.start()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.tickCancel = cancel
+	s.tickDone = make(chan struct{})
+	go func() {
+		defer close(s.tickDone)
+		tick := time.NewTicker(s.cfg.TickEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				s.ov.Observe(s.sched.occupancy())
+			}
+		}
+	}()
+}
+
+// Tier returns the current degradation tier.
+func (s *Server) Tier() Tier { return s.ov.Tier() }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CreateTenant builds, registers and starts a tenant. Creation is
+// synchronous (data generation + offline bootstrap) and does not pass
+// through admission control — it is an administrative operation.
+func (s *Server) CreateTenant(spec TenantSpec) (*Tenant, error) {
+	if s.draining.Load() {
+		return nil, ErrClosed
+	}
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	_, exists := s.tenants[spec.ID]
+	s.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("serve: tenant %q already exists", spec.ID)
+	}
+	t, err := newTenant(spec, s.cfg.AdviseEvery)
+	if err != nil {
+		return nil, err
+	}
+	t.paused = func() bool { return s.ov.Tier() >= TierPauseAdvising || s.draining.Load() }
+	s.mu.Lock()
+	if _, raced := s.tenants[spec.ID]; raced {
+		s.mu.Unlock()
+		t.advCancel()
+		close(t.advDone) // loop never started
+		return nil, fmt.Errorf("serve: tenant %q already exists", spec.ID)
+	}
+	t.tq = s.sched.addTenant(spec.ID, spec.Weight)
+	s.tenants[spec.ID] = t
+	s.mu.Unlock()
+	t.startAdvising()
+	return t, nil
+}
+
+// DeleteTenant stops a tenant's advising loop, cancels its queued work
+// and removes it. In-flight batches finish on their own.
+func (s *Server) DeleteTenant(id string) error {
+	s.mu.Lock()
+	t := s.tenants[id]
+	delete(s.tenants, id)
+	s.mu.Unlock()
+	if t == nil {
+		return ErrUnknownTenant
+	}
+	s.sched.removeTenant(id)
+	t.stopAdvising()
+	return nil
+}
+
+// Tenant looks a tenant up.
+func (s *Server) Tenant(id string) (*Tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[id]
+	return t, ok
+}
+
+// TenantList returns the tenants sorted by id.
+func (s *Server) TenantList() []*Tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// SubmitBatch admits a batch for a tenant and returns a wait function
+// that blocks for the result. Admission errors come back immediately:
+// shed errors (IsShed) carry a Retry-After hint via RetryAfter.
+func (s *Server) SubmitBatch(ctx context.Context, t *Tenant, names []string, repeat int, limit float64, priority, workers int) (func() (BatchResult, error), error) {
+	if s.draining.Load() {
+		s.rejectedClosed.Add(1)
+		return nil, ErrClosed
+	}
+	if s.ov.Tier() >= TierShedLowPriority && priority <= 0 {
+		t.shed.Add(1)
+		s.shedPriority.Add(1)
+		return nil, ErrShedPriority
+	}
+	qs, labels, err := t.resolveQueries(names, repeat, limit)
+	if err != nil {
+		return nil, err
+	}
+	if workers == 0 {
+		workers = s.cfg.BatchWorkers
+	}
+	done := make(chan BatchResult, 1)
+	tk := &task{cost: float64(len(qs))}
+	tk.run = func() {
+		done <- t.execBatch(ctx, qs, labels, workers)
+	}
+	if err := s.sched.submit(t.tq, tk); err != nil {
+		if IsShed(err) {
+			t.shed.Add(1)
+			s.shedQueue.Add(1)
+		} else {
+			s.rejectedClosed.Add(1)
+		}
+		return nil, err
+	}
+	wait := func() (BatchResult, error) {
+		select {
+		case res := <-done:
+			s.served.Add(1)
+			if res.DeadlineMiss {
+				s.deadlineMisses.Add(1)
+			}
+			return res, nil
+		case <-ctx.Done():
+			if tk.CancelQueued() {
+				// Never started: the deadline (or the client) expired while
+				// queued. Nothing was charged.
+				t.batches.Add(1)
+				t.deadlineMisses.Add(1)
+				s.deadlineMisses.Add(1)
+				s.served.Add(1)
+				return BatchResult{Requested: len(qs), DeadlineMiss: true}, nil
+			}
+			// Already running: the propagated context aborts the batch at
+			// the frozen cursor; wait for its (prompt) result.
+			res := <-done
+			s.served.Add(1)
+			if res.DeadlineMiss {
+				s.deadlineMisses.Add(1)
+			}
+			return res, nil
+		}
+	}
+	return wait, nil
+}
+
+// RetryAfter returns the current honest Retry-After hint in seconds.
+func (s *Server) RetryAfter() int { return s.sched.retryAfter() }
+
+// GlobalStats is the /statz payload.
+type GlobalStats struct {
+	UptimeSec      float64 `json:"uptime_sec"`
+	Tier           int     `json:"tier"`
+	TierName       string  `json:"tier_name"`
+	Draining       bool    `json:"draining"`
+	Tenants        int     `json:"tenants"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCap       int     `json:"queue_cap"`
+	Inflight       int     `json:"inflight"`
+	Workers        int     `json:"workers"`
+	Served         int64   `json:"served"`
+	ShedQueue      int64   `json:"shed_queue"`
+	ShedPriority   int64   `json:"shed_priority"`
+	RejectedClosed int64   `json:"rejected_closed"`
+	DeadlineMisses int64   `json:"deadline_misses"`
+	Dispatched     int64   `json:"dispatched"`
+	Completed      int64   `json:"completed"`
+	Cancelled      int64   `json:"cancelled"`
+	Escalations    int64   `json:"tier_escalations"`
+	Recoveries     int64   `json:"tier_recoveries"`
+	PausedCycles   int64   `json:"advise_paused_cycles"`
+	AdviseCycles   int64   `json:"advise_cycles"`
+	RatePerSec     float64 `json:"completion_rate_per_sec"`
+}
+
+// Stats assembles the global statistics snapshot.
+func (s *Server) Stats() GlobalStats {
+	g := GlobalStats{
+		UptimeSec:      time.Since(s.start).Seconds(),
+		Tier:           int(s.ov.Tier()),
+		TierName:       s.ov.Tier().String(),
+		Draining:       s.draining.Load(),
+		QueueDepth:     s.sched.depth(),
+		QueueCap:       s.cfg.MaxGlobalQueue,
+		Inflight:       s.sched.inflightTotal(),
+		Workers:        s.cfg.MaxConcurrent,
+		Served:         s.served.Load(),
+		ShedQueue:      s.shedQueue.Load(),
+		ShedPriority:   s.shedPriority.Load(),
+		RejectedClosed: s.rejectedClosed.Load(),
+		DeadlineMisses: s.deadlineMisses.Load(),
+		Dispatched:     s.sched.dispatched.Load(),
+		Completed:      s.sched.completed.Load(),
+		Cancelled:      s.sched.cancelled.Load(),
+		Escalations:    s.ov.escalations.Load(),
+		Recoveries:     s.ov.recoveries.Load(),
+		RatePerSec:     s.sched.completionRate(),
+	}
+	for _, t := range s.TenantList() {
+		g.Tenants++
+		g.PausedCycles += t.pausedCycles.Load()
+		g.AdviseCycles += t.adviseCycles.Load()
+	}
+	return g
+}
+
+// BeginDrain closes admission: new batch submissions (and tenant
+// creations) are rejected from now on, while queued and running work
+// keeps draining. Health and stats stay available. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.sched.close()
+	}
+}
+
+// ShutdownReport summarizes a graceful shutdown.
+type ShutdownReport struct {
+	Drained     bool
+	Checkpoints []string
+}
+
+// Shutdown drains the scheduler (bounded by ctx), stops the overload
+// loop and every tenant's advising goroutine at an episode boundary, and
+// writes one atomic checkpoint per tenant when CheckpointDir is set.
+// Call BeginDrain (and drain the HTTP listener) first.
+func (s *Server) Shutdown(ctx context.Context) (ShutdownReport, error) {
+	s.BeginDrain()
+	rep := ShutdownReport{Drained: true}
+	if err := s.sched.drain(ctx); err != nil {
+		rep.Drained = false
+	}
+	if s.tickCancel != nil {
+		s.tickCancel()
+		<-s.tickDone
+	}
+	var firstErr error
+	for _, t := range s.TenantList() {
+		t.stopAdvising()
+		if s.cfg.CheckpointDir != "" {
+			path, err := t.checkpoint(s.cfg.CheckpointDir)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			rep.Checkpoints = append(rep.Checkpoints, path)
+		}
+	}
+	return rep, firstErr
+}

@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"partadvisor/internal/core"
+)
+
+// fastSpec is a tenant sized for -race tests: the smallest benchmark at a
+// tiny scale with a 2-episode offline bootstrap.
+func fastSpec(id string) TenantSpec {
+	return TenantSpec{
+		ID:              id,
+		Bench:           "micro",
+		Scale:           0.05,
+		Seed:            1,
+		OfflineEpisodes: 2,
+		OnlineEpisodes:  1,
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 2
+	cfg.MaxTenantInflight = 2
+	cfg.MaxTenantQueue = 2
+	cfg.MaxGlobalQueue = 4
+	cfg.TickEvery = 10 * time.Millisecond
+	cfg.AdviseEvery = 25 * time.Millisecond
+	return cfg
+}
+
+func mustShutdown(t *testing.T, s *Server) ShutdownReport {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	return rep
+}
+
+// TestServerConcurrentTenants drives two tenants from concurrent clients
+// over real HTTP under -race: every answer is 200 or 429 (sheds carry
+// Retry-After), stats endpoints answer throughout, and shutdown leaves no
+// goroutines behind.
+func TestServerConcurrentTenants(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+
+	for _, id := range []string{"t1", "t2"} {
+		spec := fastSpec(id)
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(hs.URL+"/tenants", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: status %d", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Duplicate creation must be rejected, not clobber the tenant.
+	body, _ := json.Marshal(fastSpec("t1"))
+	if resp, err := http.Post(hs.URL+"/tenants", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("duplicate tenant: status %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	var firstBad string
+	record := func(code int, detail string) {
+		mu.Lock()
+		defer mu.Unlock()
+		statuses[code]++
+		if detail != "" && firstBad == "" {
+			firstBad = detail
+		}
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		tenant := fmt.Sprintf("t%d", g%2+1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				resp, err := http.Post(hs.URL+"/tenants/"+tenant+"/batch",
+					"application/json", bytes.NewReader([]byte(`{"repeat":2}`)))
+				if err != nil {
+					record(-1, err.Error())
+					return
+				}
+				detail := ""
+				switch resp.StatusCode {
+				case http.StatusOK:
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						detail = "429 without Retry-After"
+					}
+				default:
+					detail = fmt.Sprintf("unexpected status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+				record(resp.StatusCode, detail)
+			}
+		}()
+	}
+	// Health and stats must answer while the pool is saturated.
+	for i := 0; i < 10; i++ {
+		for _, path := range []string{"/healthz", "/statz", "/tenants/t1/stats", "/tenants"} {
+			resp, err := http.Get(hs.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s under load: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s under load: status %d", path, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+
+	if firstBad != "" {
+		t.Fatalf("bad response under load: %s (statuses: %v)", firstBad, statuses)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatalf("no batch succeeded: %v", statuses)
+	}
+
+	// Explain serves a real plan for a workload query.
+	qname := func() string {
+		tn, _ := s.Tenant("t1")
+		return tn.wl.Queries[0].Name
+	}()
+	resp, err := http.Get(hs.URL + "/tenants/t1/explain?query=" + qname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Deleting a tenant makes its endpoints 404.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/tenants/t2", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delete: status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(hs.URL + "/tenants/t2/stats"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("stats after delete: status %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	mustShutdown(t, s)
+	hs.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// No goroutine leaks: workers, tick loop, advisors and HTTP plumbing
+	// are all gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHTTPShedDeterministic guarantees the 429 path: with no workers
+// started, queued requests time out as deadline misses (200) and the
+// request past the global bound is shed with Retry-After.
+func TestHTTPShedDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxGlobalQueue = 2
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Start(): nothing drains, so the queue fills exactly.
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	if _, err := s.CreateTenant(fastSpec("t1")); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/tenants/t1/batch", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		resp := post(`{"deadline_ms":150}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("queued request %d: status %d, want 200 deadline-miss", i, resp.StatusCode)
+		}
+		var br BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !br.DeadlineMiss || br.Completed != 0 {
+			t.Fatalf("queued request %d: %+v, want deadline miss with 0 completed", i, br)
+		}
+	}
+	resp := post(`{"deadline_ms":150}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var er struct {
+		RetryAfterSec int `json:"retry_after_sec"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if er.RetryAfterSec < 1 || er.RetryAfterSec > 30 {
+		t.Fatalf("retry_after_sec = %d, want within [1,30]", er.RetryAfterSec)
+	}
+
+	// The cancelled tasks never ran and no worker will sweep them; the
+	// drain deadline force-clears the queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestQueuedDeadlineCancel covers both deadline paths at the server API:
+// a request whose context dies while queued answers immediately without a
+// worker, and the running batch it was queued behind is cut promptly at
+// the frozen cursor when its own context dies.
+func TestQueuedDeadlineCancel(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	cfg.MaxTenantInflight = 1
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer mustShutdown(t, s)
+
+	tn, err := s.CreateTenant(fastSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A huge batch occupies the only worker...
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	wait1, err := s.SubmitBatch(ctx1, tn, nil, 100000, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sched.inflightTotal() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("big batch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...so the second request queues; its already-dead context must
+	// answer instantly via the queued-cancel path.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	wait2, err := s.SubmitBatch(ctx2, tn, nil, 3, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res2, err := wait2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.DeadlineMiss || res2.Completed != 0 {
+		t.Fatalf("queued cancel: %+v, want deadline miss with nothing charged", res2)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("queued cancel took %v; must not wait for the running batch", el)
+	}
+
+	// Cutting the running batch charges only the delivered prefix and
+	// returns promptly through the propagated abort.
+	cancel1()
+	res1, err := wait1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.DeadlineMiss {
+		t.Fatal("cancelled running batch not flagged as deadline miss")
+	}
+	if res1.Completed >= res1.Requested {
+		t.Fatalf("cancelled running batch completed %d of %d; expected a cut", res1.Completed, res1.Requested)
+	}
+	if got := tn.Stats().DeadlineMisses; got != 2 {
+		t.Fatalf("tenant deadline misses = %d, want 2", got)
+	}
+}
+
+// TestPrioritySheddingAndPauseResume drives the overload controller
+// directly: tier 2 sheds priority-0 work at admission while priority-1
+// work still runs, advising is paused, and recovery resumes it.
+func TestPrioritySheddingAndPauseResume(t *testing.T) {
+	cfg := testConfig()
+	cfg.TickEvery = time.Hour // keep the tick loop off Observe; the test drives it
+	cfg.TierUpTicks = 2
+	cfg.TierDownTicks = 2
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer mustShutdown(t, s)
+	tn, err := s.CreateTenant(fastSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < cfg.TierUpTicks; i++ {
+		s.ov.Observe(1.0)
+	}
+	if got := s.Tier(); got != TierShedLowPriority {
+		t.Fatalf("tier = %v after sustained overload, want shed-low-priority", got)
+	}
+	if !tn.paused() {
+		t.Fatal("advising not paused at tier 2")
+	}
+
+	if _, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 0, 1); !errors.Is(err, ErrShedPriority) {
+		t.Fatalf("priority-0 under tier 2: %v, want ErrShedPriority", err)
+	}
+	if !IsShed(ErrShedPriority) {
+		t.Fatal("ErrShedPriority must map to a 429 shed")
+	}
+	wait, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1)
+	if err != nil {
+		t.Fatalf("priority-1 under tier 2: %v, want admitted", err)
+	}
+	if res, err := wait(); err != nil || res.Completed != res.Requested {
+		t.Fatalf("priority-1 batch: res %+v err %v", res, err)
+	}
+
+	// Recovery: tier steps down 2 → 1 → 0 and advising unpauses.
+	for i := 0; i < 2*cfg.TierDownTicks; i++ {
+		s.ov.Observe(0.0)
+	}
+	if got := s.Tier(); got != TierNormal {
+		t.Fatalf("tier = %v after cooldown, want normal", got)
+	}
+	if tn.paused() {
+		t.Fatal("advising still paused after recovery")
+	}
+}
+
+// TestShutdownCheckpointsTenants: shutdown writes one loadable checkpoint
+// per tenant, and a fresh advisor resumes from it.
+func TestShutdownCheckpointsTenants(t *testing.T) {
+	cfg := testConfig()
+	cfg.CheckpointDir = t.TempDir()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	specs := []TenantSpec{fastSpec("alpha"), fastSpec("beta")}
+	for _, spec := range specs {
+		if _, err := s.CreateTenant(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn, _ := s.Tenant("alpha")
+	wait, err := s.SubmitBatch(context.Background(), tn, nil, 2, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := mustShutdown(t, s)
+	trained := tn.adv.EpisodesTrained // advising stopped: single-owner state is readable
+	if !rep.Drained {
+		t.Fatal("shutdown did not drain")
+	}
+	if len(rep.Checkpoints) != len(specs) {
+		t.Fatalf("checkpoints = %v, want one per tenant", rep.Checkpoints)
+	}
+	for _, path := range rep.Checkpoints {
+		if _, err := core.LoadCheckpoint(path); err != nil {
+			t.Fatalf("checkpoint %s does not load: %v", path, err)
+		}
+	}
+
+	// A fresh advisor built like the tenant's resumes from the file.
+	spec := specs[0]
+	b := pickBenchmark(spec.Bench)
+	hp := core.Test()
+	hp.Episodes = spec.OfflineEpisodes
+	hp.OnlineEpisodes = spec.OnlineEpisodes
+	hp.OnlineEpsilonFromEpisode = spec.OfflineEpisodes / 2
+	fresh, err := core.New(b.Space(), b.Workload, hp, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Resume(cfg.CheckpointDir + "/alpha.ckpt"); err != nil {
+		t.Fatalf("resume from shutdown checkpoint: %v", err)
+	}
+	if fresh.EpisodesTrained < trained {
+		t.Fatalf("resumed advisor has %d episodes, want >= %d", fresh.EpisodesTrained, trained)
+	}
+
+	// After shutdown the server is durably draining: everything new is
+	// rejected with ErrClosed.
+	if _, err := s.CreateTenant(fastSpec("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create after shutdown: %v, want ErrClosed", err)
+	}
+	if _, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after shutdown: %v, want ErrClosed", err)
+	}
+}
+
+// TestConfigValidate spot-checks the envelope validation.
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.MaxConcurrent = 0
+	if bad.Validate() == nil {
+		t.Fatal("MaxConcurrent 0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.Tier2Occupancy = 0.3 // below tier 1
+	if bad.Validate() == nil {
+		t.Fatal("tier-2 below tier-1 accepted")
+	}
+}

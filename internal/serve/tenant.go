@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partadvisor/internal/benchmarks"
+	"partadvisor/internal/core"
+	"partadvisor/internal/costmodel"
+	"partadvisor/internal/exec"
+	"partadvisor/internal/guard"
+	"partadvisor/internal/hardware"
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// TenantSpec configures one tenant database at creation time.
+type TenantSpec struct {
+	// ID names the tenant; it must be unique and non-empty.
+	ID string `json:"id"`
+	// Bench picks the benchmark database: ssb, tpcds, tpcch, tpch or
+	// micro (default micro — the smallest, sized for many tenants per
+	// process).
+	Bench string `json:"bench"`
+	// Engine picks disk (Postgres-XL-like, default) or memory (System-X).
+	Engine string `json:"engine"`
+	// Scale is the data scale (default 0.3).
+	Scale float64 `json:"scale"`
+	// Seed seeds data generation and the advisor (default 1).
+	Seed int64 `json:"seed"`
+	// Weight is the tenant's fair-share weight (default 1).
+	Weight float64 `json:"weight"`
+	// OfflineEpisodes bootstraps the advisor against the cost model at
+	// creation (default 30; 0 keeps the default).
+	OfflineEpisodes int `json:"offline_episodes"`
+	// OnlineEpisodes is the per-advise-cycle online refinement episode
+	// budget (default 2).
+	OnlineEpisodes int `json:"online_episodes"`
+	// NoGuard disables the DESIGN.md §8 safety envelope around the
+	// tenant's online advising (on by default).
+	NoGuard bool `json:"no_guard"`
+	// AdviseEveryMS overrides the server's default advising period.
+	AdviseEveryMS int64 `json:"advise_every_ms"`
+}
+
+// normalize applies spec defaults.
+func (sp *TenantSpec) normalize() error {
+	if sp.ID == "" {
+		return fmt.Errorf("serve: tenant spec has no id")
+	}
+	if sp.Bench == "" {
+		sp.Bench = "micro"
+	}
+	if sp.Engine == "" {
+		sp.Engine = "disk"
+	}
+	if sp.Scale <= 0 {
+		sp.Scale = 0.3
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Weight <= 0 {
+		sp.Weight = 1
+	}
+	if sp.OfflineEpisodes <= 0 {
+		sp.OfflineEpisodes = 30
+	}
+	if sp.OnlineEpisodes <= 0 {
+		sp.OnlineEpisodes = 2
+	}
+	return nil
+}
+
+func pickBenchmark(name string) *benchmarks.Benchmark {
+	switch name {
+	case "ssb":
+		return benchmarks.SSB()
+	case "tpcds":
+		return benchmarks.TPCDS()
+	case "tpcch":
+		return benchmarks.TPCCH()
+	case "tpch":
+		return benchmarks.TPCH()
+	case "micro":
+		return benchmarks.Micro()
+	}
+	return nil
+}
+
+// TenantStats is the published per-tenant statistics snapshot. The batch
+// and shed counters are live atomics re-read at serialization time; the
+// advisor fields are refreshed by the advising goroutine after every
+// cycle, so reading stats never blocks behind a running measurement.
+type TenantStats struct {
+	ID     string  `json:"id"`
+	Bench  string  `json:"bench"`
+	Weight float64 `json:"weight"`
+
+	// Request-path counters.
+	Batches        int64 `json:"batches"`
+	Queries        int64 `json:"queries"`
+	Shed           int64 `json:"shed"`
+	DeadlineMisses int64 `json:"deadline_misses"`
+
+	// Advising-loop counters.
+	AdviseCycles   int64 `json:"advise_cycles"`
+	PausedCycles   int64 `json:"paused_cycles"`
+	PauseInterrupt int64 `json:"pause_interrupts"`
+	Deploys        int64 `json:"advise_deploys"`
+
+	// Engine accounting (lock-free published view).
+	QueriesExecuted int     `json:"engine_queries"`
+	Repartitions    int     `json:"repartitions"`
+	BytesMoved      int64   `json:"bytes_moved"`
+	SimSeconds      float64 `json:"sim_seconds"`
+
+	// Advisor state as of the last completed cycle.
+	EpisodesTrained int               `json:"episodes_trained"`
+	BestCost        float64           `json:"best_cost"`
+	Design          map[string]string `json:"design"`
+	Online          core.OnlineStats  `json:"online"`
+}
+
+// advisorSnap is the advising goroutine's published view of the mutable
+// advisor state (everything in TenantStats that isn't an atomic counter
+// or a lock-free engine accessor).
+type advisorSnap struct {
+	episodes int
+	bestCost float64
+	online   core.OnlineStats
+}
+
+// Tenant is one hosted database: engine + workload + monitor + guarded
+// online advisor. The advisor and online cost are owned exclusively by
+// the advising goroutine; the request path touches only the engine (which
+// has its own serialization), the monitor (under monMu) and atomics.
+type Tenant struct {
+	Spec TenantSpec
+
+	bench *benchmarks.Benchmark
+	eng   *exec.Engine
+	wl    *workload.Workload
+	space *partition.Space
+	adv   *core.Advisor
+	oc    *core.OnlineCost
+	tq    *tenantQueue
+
+	mon   *workload.Monitor
+	monMu sync.Mutex
+
+	// paused is supplied by the server: it reports whether the overload
+	// controller demands advising be paused.
+	paused func() bool
+
+	advCtx    context.Context
+	advCancel context.CancelFunc
+	advDone   chan struct{}
+
+	batches        atomic.Int64
+	queries        atomic.Int64
+	shed           atomic.Int64
+	deadlineMisses atomic.Int64
+	adviseCycles   atomic.Int64
+	pausedCycles   atomic.Int64
+	pauseInterrupt atomic.Int64
+	deploys        atomic.Int64
+
+	snap atomic.Pointer[advisorSnap]
+}
+
+// newTenant builds the tenant: generates data, bootstraps the advisor
+// offline against the cost model, deploys the bootstrap suggestion, and
+// arms the guarded online cost. It does not start the advising loop.
+func newTenant(spec TenantSpec, adviseDefault time.Duration) (*Tenant, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	b := pickBenchmark(spec.Bench)
+	if b == nil {
+		return nil, fmt.Errorf("serve: unknown benchmark %q", spec.Bench)
+	}
+	var hw hardware.Profile
+	var flavor exec.Flavor
+	switch spec.Engine {
+	case "disk":
+		hw, flavor = hardware.PostgresXLDisk(), exec.Disk
+	case "memory":
+		hw, flavor = hardware.SystemXMemory(), exec.Memory
+	default:
+		return nil, fmt.Errorf("serve: unknown engine flavor %q", spec.Engine)
+	}
+
+	data := b.Generate(spec.Scale, spec.Seed)
+	eng := exec.New(b.Schema, data, hw, flavor)
+	sp := b.Space()
+
+	hp := core.Test()
+	hp.Episodes = spec.OfflineEpisodes
+	hp.OnlineEpisodes = spec.OnlineEpisodes
+	hp.OnlineEpsilonFromEpisode = spec.OfflineEpisodes / 2
+	adv, err := core.New(sp, b.Workload, hp, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %s: %w", spec.ID, err)
+	}
+	cm := costmodel.New(eng.TrueCatalog(), hw)
+	offCost := func(st *partition.State, freq workload.FreqVector) float64 {
+		return cm.WorkloadCost(st, b.Workload, freq)
+	}
+	if err := adv.TrainOffline(offCost, nil); err != nil {
+		return nil, fmt.Errorf("serve: tenant %s offline bootstrap: %w", spec.ID, err)
+	}
+	st, _, err := adv.Suggest(b.Workload.UniformFreq())
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %s bootstrap suggestion: %w", spec.ID, err)
+	}
+	eng.Deploy(st, nil)
+
+	oc := core.NewOnlineCost(eng, b.Workload, nil)
+	if !spec.NoGuard {
+		g, err := guard.New(eng, b.Workload, guard.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s guard: %w", spec.ID, err)
+		}
+		oc.Guard = g
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Tenant{
+		Spec:      spec,
+		bench:     b,
+		eng:       eng,
+		wl:        b.Workload,
+		space:     sp,
+		adv:       adv,
+		oc:        oc,
+		mon:       workload.NewMonitor(b.Workload),
+		advCtx:    ctx,
+		advCancel: cancel,
+		advDone:   make(chan struct{}),
+	}
+	// Measurements and the per-episode Stop poll are bounded by the
+	// tenant's lifetime and the overload controller's pause demand.
+	oc.Ctx = ctx
+	adv.Stop = func() bool {
+		return ctx.Err() != nil || (t.paused != nil && t.paused())
+	}
+	t.snap.Store(&advisorSnap{episodes: adv.EpisodesTrained})
+	if spec.AdviseEveryMS <= 0 {
+		spec.AdviseEveryMS = adviseDefault.Milliseconds()
+		t.Spec.AdviseEveryMS = spec.AdviseEveryMS
+	}
+	return t, nil
+}
+
+// startAdvising launches the background advising loop.
+func (t *Tenant) startAdvising() {
+	go t.adviseLoop(time.Duration(t.Spec.AdviseEveryMS) * time.Millisecond)
+}
+
+// stopAdvising cancels the loop and waits for it to exit. Safe to call
+// more than once.
+func (t *Tenant) stopAdvising() {
+	t.advCancel()
+	<-t.advDone
+}
+
+// adviseLoop periodically rotates the observed workload window, refines
+// the advisor online against the live engine (inside the guard envelope),
+// and deploys the best-known design for the observed mix. Under overload
+// tier >= 1 the loop idles: cycles are skipped before they start, and the
+// Stop poll cuts an in-flight cycle at its next episode boundary.
+func (t *Tenant) adviseLoop(every time.Duration) {
+	defer close(t.advDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.advCtx.Done():
+			return
+		case <-tick.C:
+		}
+		if t.paused != nil && t.paused() {
+			t.pausedCycles.Add(1)
+			continue
+		}
+		t.adviseOnce()
+	}
+}
+
+// adviseOnce runs one advising cycle against the current observed mix.
+func (t *Tenant) adviseOnce() {
+	t.monMu.Lock()
+	observed := t.mon.Observed()
+	mix := t.mon.Rotate()
+	t.monMu.Unlock()
+	if observed == 0 {
+		// Nothing seen this window: nothing to adapt to.
+		return
+	}
+	sampler := func(*rand.Rand) workload.FreqVector { return mix }
+	err := t.adv.TrainOnline(t.oc, sampler)
+	interrupted := errors.Is(err, core.ErrStopped)
+	if interrupted {
+		t.pauseInterrupt.Add(1)
+	} else if err != nil {
+		// Configuration errors cannot heal by retrying; record the cycle
+		// and keep serving traffic with the current design.
+		t.adviseCycles.Add(1)
+		t.publishSnap(mix)
+		return
+	}
+	if !interrupted && t.advCtx.Err() == nil {
+		// Deploy the best-known design for the observed mix (the runtime
+		// cache makes ranking visited designs nearly free, and Deploy
+		// no-ops per table when the design is already in place).
+		if st, _, err := t.adv.SuggestBest(mix, t.oc); err == nil && st != nil {
+			_, before, _ := t.eng.Counters()
+			t.eng.Deploy(st, nil)
+			if _, after, _ := t.eng.Counters(); after != before {
+				t.deploys.Add(1)
+			}
+		}
+	}
+	t.adviseCycles.Add(1)
+	t.publishSnap(mix)
+}
+
+// publishSnap refreshes the lock-free advisor snapshot after a cycle.
+func (t *Tenant) publishSnap(mix workload.FreqVector) {
+	ns := &advisorSnap{
+		episodes: t.adv.EpisodesTrained,
+		online:   t.oc.Stats,
+	}
+	if c, ok := bestCachedCost(t.oc, mix); ok {
+		ns.bestCost = c
+	}
+	t.snap.Store(ns)
+}
+
+// bestCachedCost returns the cheapest fully-cached cost over the visited
+// designs for the mix.
+func bestCachedCost(oc *core.OnlineCost, mix workload.FreqVector) (float64, bool) {
+	best, ok := 0.0, false
+	for _, st := range oc.Visited() {
+		if c, hit := oc.CachedCost(st, mix); hit && (!ok || c < best) {
+			best, ok = c, true
+		}
+	}
+	return best, ok
+}
+
+// Stats assembles the tenant's published statistics.
+func (t *Tenant) Stats() TenantStats {
+	qx, reps, moved := t.eng.Counters()
+	s := TenantStats{
+		ID:              t.Spec.ID,
+		Bench:           t.Spec.Bench,
+		Weight:          t.Spec.Weight,
+		Batches:         t.batches.Load(),
+		Queries:         t.queries.Load(),
+		Shed:            t.shed.Load(),
+		DeadlineMisses:  t.deadlineMisses.Load(),
+		AdviseCycles:    t.adviseCycles.Load(),
+		PausedCycles:    t.pausedCycles.Load(),
+		PauseInterrupt:  t.pauseInterrupt.Load(),
+		Deploys:         t.deploys.Load(),
+		QueriesExecuted: qx,
+		Repartitions:    reps,
+		BytesMoved:      moved,
+		SimSeconds:      t.eng.SimNow(),
+		Design:          make(map[string]string),
+	}
+	if snap := t.snap.Load(); snap != nil {
+		s.EpisodesTrained = snap.episodes
+		s.BestCost = snap.bestCost
+		s.Online = snap.online
+	}
+	for _, tbl := range t.eng.Schema.TableNames() {
+		s.Design[tbl] = t.eng.CurrentDesign(tbl).String()
+	}
+	return s
+}
+
+// BatchResult is the outcome of one admitted batch execution.
+type BatchResult struct {
+	Requested    int
+	Completed    int
+	SimSeconds   float64
+	Aborts       int
+	DeadlineMiss bool
+}
+
+// execBatch runs an admitted batch on the tenant's engine under ctx and
+// feeds the charged prefix into the workload monitor. names[i] labels
+// qs[i] for monitor accounting.
+func (t *Tenant) execBatch(ctx context.Context, qs []exec.BatchQuery, names []string, workers int) BatchResult {
+	rep := t.eng.RunBatchQueriesAbortCtx(ctx, qs, workers, nil, nil)
+	res := BatchResult{
+		Requested:    len(qs),
+		Completed:    rep.Completed,
+		SimSeconds:   rep.Seconds,
+		Aborts:       rep.Aborts,
+		DeadlineMiss: ctx.Err() != nil,
+	}
+	t.batches.Add(1)
+	t.queries.Add(int64(rep.Completed))
+	if res.DeadlineMiss {
+		t.deadlineMisses.Add(1)
+	}
+	t.monMu.Lock()
+	for i := 0; i < rep.Completed; i++ {
+		// Only charged executions feed the observed mix.
+		_ = t.mon.Record(names[i], 1)
+	}
+	t.monMu.Unlock()
+	return res
+}
+
+// resolveQueries maps query names (empty = the whole workload, repeated
+// `repeat` times) to batch entries.
+func (t *Tenant) resolveQueries(names []string, repeat int, limit float64) ([]exec.BatchQuery, []string, error) {
+	if repeat <= 0 {
+		repeat = 1
+	}
+	if len(names) == 0 {
+		names = make([]string, len(t.wl.Queries))
+		for i, q := range t.wl.Queries {
+			names[i] = q.Name
+		}
+	}
+	qs := make([]exec.BatchQuery, 0, len(names)*repeat)
+	labels := make([]string, 0, len(names)*repeat)
+	for r := 0; r < repeat; r++ {
+		for _, n := range names {
+			q := t.wl.Query(n)
+			if q == nil {
+				return nil, nil, fmt.Errorf("serve: tenant %s has no query %q", t.Spec.ID, n)
+			}
+			qs = append(qs, exec.BatchQuery{Graph: q.Graph, Limit: limit})
+			labels = append(labels, n)
+		}
+	}
+	return qs, labels, nil
+}
+
+// Explain returns the tenant engine's plan for a named query (lock-free:
+// it never waits behind running batches).
+func (t *Tenant) Explain(name string) ([]string, float64, error) {
+	q := t.wl.Query(name)
+	if q == nil {
+		return nil, 0, fmt.Errorf("serve: tenant %s has no query %q", t.Spec.ID, name)
+	}
+	plan, sec := t.eng.Explain(q.Graph)
+	return plan, sec, nil
+}
+
+// checkpoint writes the tenant's advisor state atomically into dir.
+// Must only be called after stopAdvising (the advisor is single-owner).
+func (t *Tenant) checkpoint(dir string) (string, error) {
+	path := filepath.Join(dir, t.Spec.ID+".ckpt")
+	if err := t.adv.SaveCheckpoint(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -4,15 +4,16 @@
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #
-# The output path is the first argument (default BENCH.json at the repo
-# root) — pass e.g. BENCH_pr6.json to snapshot a PR's numbers without
-# clobbering earlier artifacts. benchtime defaults to 0.5s per bench
+# The output path is the first argument (default BENCH_local.json at the
+# repo root, which is a scratch name: committed artifacts are snapshotted
+# explicitly, e.g. `scripts/bench.sh BENCH_pr7.json`, so a casual local
+# run never clobbers them). benchtime defaults to 0.5s per bench
 # (raise it for more stable numbers). The raw `go test` output is echoed
 # as the benches run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH.json}"
+out="${1:-BENCH_local.json}"
 benchtime="${2:-0.5s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
