@@ -390,7 +390,13 @@ func (oc *OnlineCost) WorkloadCost(st *partition.State, freq workload.FreqVector
 		oc.Stats.ExecSeconds += rep.Seconds
 		oc.Stats.NaiveExecSeconds += rep.Seconds
 		oc.Stats.DegradedSeconds += rep.DegradedSeconds
-		if rep.Completed < len(qs) && oc.ctx().Err() != nil {
+		// Classification when the batch was cut: a canary-triggered abort
+		// wins over a racing context cancellation — abort.Set is only ever
+		// called by the canary callback, so a set flag means a genuine
+		// regression was observed and must feed CanaryAborts and the
+		// rollback check even if the caller happens to be shutting down.
+		canaryAborted := abort != nil && abort.Aborted()
+		if rep.Completed < len(qs) && !canaryAborted && oc.ctx().Err() != nil {
 			// Cancelled mid-pass: the charged prefix is already booked above
 			// with exact accounting; nothing is cached, the pass neither
 			// counts as a canary abort nor triggers a rollback (the caller is

@@ -38,6 +38,7 @@ type BatchResponse struct {
 	SimSeconds   float64 `json:"sim_seconds"`
 	Aborts       int     `json:"aborts"`
 	DeadlineMiss bool    `json:"deadline_miss"`
+	Cancelled    bool    `json:"cancelled"`
 	WallMS       float64 `json:"wall_ms"`
 	Tier         int     `json:"tier"`
 }
@@ -153,12 +154,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
+	case errors.Is(err, ErrUnknownTenant):
+		// The tenant was deleted between the handler's lookup and admission.
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	res, err := wait()
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrCancelled):
+		// Admitted but withdrawn before execution (tenant deleted or server
+		// drained): the work never ran, so this is not a success.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -169,6 +181,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		SimSeconds:   res.SimSeconds,
 		Aborts:       res.Aborts,
 		DeadlineMiss: res.DeadlineMiss,
+		Cancelled:    res.Cancelled,
 		WallMS:       float64(time.Since(start).Microseconds()) / 1000,
 		Tier:         int(s.Tier()),
 	})

@@ -29,15 +29,31 @@ type task struct {
 	// run executes the work; it is invoked by exactly one worker after a
 	// successful queued→running claim and must honor ctx itself.
 	run func()
+	// cancelled is closed exactly once, by whichever side wins the
+	// queued→cancelled CAS. The scheduler cancels queued tasks itself
+	// (removeTenant, drain deadline); without this signal a submitter
+	// whose context never fires — or whose own CancelQueued loses the
+	// race to the scheduler's — would wait forever for a run() that is
+	// never going to happen.
+	cancelled chan struct{}
+}
+
+func newTask(cost float64, run func()) *task {
+	return &task{cost: cost, run: run, cancelled: make(chan struct{})}
 }
 
 // CancelQueued tries to withdraw the task before a worker claims it.
 // It reports true when the task was still queued — the work will never
-// start, so the submitter may answer immediately. False means a worker
-// already claimed it; the submitter must wait for the result (the
-// propagated context makes that prompt).
+// start, so the submitter may answer immediately. False means the task
+// is past queued: either a worker claimed it (the submitter must wait
+// for the result; the propagated context makes that prompt) or another
+// canceller won, which the t.cancelled close announces.
 func (t *task) CancelQueued() bool {
-	return t.state.CompareAndSwap(taskQueued, taskCancelled)
+	if t.state.CompareAndSwap(taskQueued, taskCancelled) {
+		close(t.cancelled)
+		return true
+	}
+	return false
 }
 
 // tenantQueue is one tenant's scheduling state inside the scheduler.
@@ -127,13 +143,20 @@ func (s *scheduler) removeTenant(id string) {
 }
 
 // submit admits a task into the tenant's queue or sheds it. The returned
-// error is nil (admitted), ErrClosed, ErrGlobalQueueFull or
-// ErrTenantQueueFull.
+// error is nil (admitted), ErrClosed, ErrUnknownTenant,
+// ErrGlobalQueueFull or ErrTenantQueueFull.
 func (s *scheduler) submit(tq *tenantQueue, t *task) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.tenants[tq.id] != tq {
+		// The tenant was removed (or replaced) between the caller's lookup
+		// and this submit: removeTenant drained this queue under the same
+		// lock, so admitting now would strand the task — next() only scans
+		// registered queues — and permanently inflate s.queued.
+		return ErrUnknownTenant
 	}
 	if s.queued >= s.cfg.MaxGlobalQueue {
 		return ErrGlobalQueueFull

@@ -16,7 +16,7 @@ func schedConfig() Config {
 	return cfg
 }
 
-func noopTask() *task { return &task{run: func() {}} }
+func noopTask() *task { return newTask(0, func() {}) }
 
 // TestAdmissionBounds: per-tenant and global queue caps shed with the
 // right sentinel, and a closed scheduler rejects everything.
@@ -168,7 +168,7 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	s := newScheduler(schedConfig())
 	a := s.addTenant("a", 1)
 	ran := false
-	dead := &task{run: func() { ran = true }}
+	dead := newTask(0, func() { ran = true })
 	live := noopTask()
 	if err := s.submit(a, dead); err != nil {
 		t.Fatal(err)
@@ -178,6 +178,11 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	}
 	if !dead.CancelQueued() {
 		t.Fatal("CancelQueued on a queued task returned false")
+	}
+	select {
+	case <-dead.cancelled:
+	default:
+		t.Fatal("winning CancelQueued did not close the cancelled channel")
 	}
 	got := s.next()
 	if got != live {
@@ -194,6 +199,35 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	}
 }
 
+// TestSubmitAfterRemoveTenant: a submit racing removeTenant must be
+// refused — admitting into a deregistered queue would strand the task
+// (next() only scans registered queues) and leak global-queue occupancy.
+func TestSubmitAfterRemoveTenant(t *testing.T) {
+	s := newScheduler(schedConfig())
+	a := s.addTenant("a", 1)
+	queued := noopTask()
+	if err := s.submit(a, queued); err != nil {
+		t.Fatal(err)
+	}
+	s.removeTenant("a")
+	select {
+	case <-queued.cancelled:
+	default:
+		t.Fatal("removeTenant did not cancel the queued task")
+	}
+	if err := s.submit(a, noopTask()); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("submit into removed tenant: %v, want ErrUnknownTenant", err)
+	}
+	if d := s.depth(); d != 0 {
+		t.Fatalf("depth = %d after remove + refused submit, want 0", d)
+	}
+	// Re-adding the id builds a fresh queue; a stale handle stays refused.
+	s.addTenant("a", 1)
+	if err := s.submit(a, noopTask()); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("submit via stale queue handle: %v, want ErrUnknownTenant", err)
+	}
+}
+
 // TestDrainStopsWorkers: close + drain finishes queued work, stops the
 // pool, and a second drain is a no-op.
 func TestDrainStopsWorkers(t *testing.T) {
@@ -205,10 +239,10 @@ func TestDrainStopsWorkers(t *testing.T) {
 	s.start()
 	done := make(chan struct{}, 4)
 	for i := 0; i < 4; i++ {
-		err := s.submit(a, &task{run: func() {
+		err := s.submit(a, newTask(0, func() {
 			time.Sleep(5 * time.Millisecond)
 			done <- struct{}{}
-		}})
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}

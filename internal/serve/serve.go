@@ -67,6 +67,10 @@ var (
 	ErrClosed = errors.New("serve: server is draining")
 	// ErrUnknownTenant rejects work for a tenant that does not exist.
 	ErrUnknownTenant = errors.New("serve: unknown tenant")
+	// ErrCancelled answers a waiter whose admitted batch the scheduler
+	// withdrew before execution — its tenant was deleted, or the drain
+	// deadline cleared the queue. The work never ran.
+	ErrCancelled = errors.New("serve: batch cancelled before execution")
 )
 
 // IsShed reports whether an admission error is a load-shed (mapped to 429)

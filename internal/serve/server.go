@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -166,45 +167,56 @@ func (s *Server) SubmitBatch(ctx context.Context, t *Tenant, names []string, rep
 		workers = s.cfg.BatchWorkers
 	}
 	done := make(chan BatchResult, 1)
-	tk := &task{cost: float64(len(qs))}
+	tk := newTask(float64(len(qs)), nil)
 	tk.run = func() {
 		done <- t.execBatch(ctx, qs, labels, workers)
 	}
 	if err := s.sched.submit(t.tq, tk); err != nil {
-		if IsShed(err) {
+		switch {
+		case IsShed(err):
 			t.shed.Add(1)
 			s.shedQueue.Add(1)
-		} else {
+		case errors.Is(err, ErrClosed):
 			s.rejectedClosed.Add(1)
 		}
 		return nil, err
 	}
+	serve := func(res BatchResult) (BatchResult, error) {
+		s.served.Add(1)
+		if res.DeadlineMiss {
+			s.deadlineMisses.Add(1)
+		}
+		return res, nil
+	}
 	wait := func() (BatchResult, error) {
 		select {
 		case res := <-done:
-			s.served.Add(1)
-			if res.DeadlineMiss {
-				s.deadlineMisses.Add(1)
-			}
-			return res, nil
+			return serve(res)
+		case <-tk.cancelled:
+			// The scheduler withdrew the task before a worker claimed it
+			// (tenant deleted, or the drain deadline cleared the queue):
+			// run() will never execute, so answer now instead of waiting
+			// for a result that cannot come.
+			return BatchResult{}, ErrCancelled
 		case <-ctx.Done():
 			if tk.CancelQueued() {
 				// Never started: the deadline (or the client) expired while
-				// queued. Nothing was charged.
-				t.batches.Add(1)
+				// queued. Nothing was charged and nothing executed, so the
+				// batch counter is not advanced — only the miss is recorded.
 				t.deadlineMisses.Add(1)
 				s.deadlineMisses.Add(1)
 				s.served.Add(1)
-				return BatchResult{Requested: len(qs), DeadlineMiss: true}, nil
+				return BatchResult{Requested: len(qs), DeadlineMiss: true, Cancelled: true}, nil
 			}
-			// Already running: the propagated context aborts the batch at
-			// the frozen cursor; wait for its (prompt) result.
-			res := <-done
-			s.served.Add(1)
-			if res.DeadlineMiss {
-				s.deadlineMisses.Add(1)
+			// Past queued: either a worker claimed it — the propagated
+			// context aborts the batch at the frozen cursor, so its result
+			// arrives promptly — or the scheduler's cancel won the race.
+			select {
+			case res := <-done:
+				return serve(res)
+			case <-tk.cancelled:
+				return BatchResult{}, ErrCancelled
 			}
-			return res, nil
 		}
 	}
 	return wait, nil

@@ -344,6 +344,100 @@ func TestQueuedDeadlineCancel(t *testing.T) {
 	}
 }
 
+// TestDeleteTenantUnblocksQueuedWaiters: deleting a tenant with queued
+// batches must answer every waiter with ErrCancelled — even waiters whose
+// context has no deadline — instead of leaving their handler goroutines
+// blocked forever, and a stale tenant handle must be refused at submit.
+func TestDeleteTenantUnblocksQueuedWaiters(t *testing.T) {
+	s, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Start(): nothing dispatches, so the scheduler-side
+	// cancel in DeleteTenant is the only thing that can answer the waiters.
+	tn, err := s.CreateTenant(fastSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waits []func() (BatchResult, error)
+	for i := 0; i < 2; i++ {
+		wait, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, wait)
+	}
+	if err := s.DeleteTenant("t1"); err != nil {
+		t.Fatal(err)
+	}
+	for i, wait := range waits {
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := wait()
+			errCh <- err
+		}()
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, ErrCancelled) {
+				t.Fatalf("waiter %d: %v, want ErrCancelled", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still blocked after tenant delete", i)
+		}
+	}
+	// The deleted tenant's queue is deregistered: submitting through the
+	// stale handle is refused instead of stranding a task.
+	if _, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("submit via deleted tenant: %v, want ErrUnknownTenant", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDrainDeadlineAnswersQueuedWaiters: when the drain deadline clears
+// the queue at shutdown, still-blocked waiters (no request deadline of
+// their own) must be answered with ErrCancelled, not abandoned.
+func TestDrainDeadlineAnswersQueuedWaiters(t *testing.T) {
+	s, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start(): the task can never run, forcing the drain-deadline path.
+	tn, err := s.CreateTenant(fastSpec("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := wait()
+		errCh <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rep, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if rep.Drained {
+		t.Fatal("shutdown claims a clean drain despite the cancelled queue")
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("waiter: %v, want ErrCancelled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after drain deadline")
+	}
+}
+
 // TestPrioritySheddingAndPauseResume drives the overload controller
 // directly: tier 2 sheds priority-0 work at admission while priority-1
 // work still runs, advising is paused, and recovery resumes it.

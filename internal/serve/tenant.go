@@ -395,6 +395,10 @@ type BatchResult struct {
 	SimSeconds   float64
 	Aborts       int
 	DeadlineMiss bool
+	// Cancelled marks a request whose deadline expired while it was still
+	// queued: nothing executed, nothing was charged, and the tenant's
+	// batch counter was not advanced.
+	Cancelled bool
 }
 
 // execBatch runs an admitted batch on the tenant's engine under ctx and
