@@ -190,26 +190,12 @@ func main() {
 		rep := reduce(tenant, samplesByTenant[tenant], duration.Seconds())
 		rep.QueriesServed = tenantQueries(client, *addr, tenant)
 		sum.PerTenant = append(sum.PerTenant, rep)
-		sum.Total.Requests += rep.Requests
-		sum.Total.OK += rep.OK
-		sum.Total.Shed += rep.Shed
-		sum.Total.Errors5xx += rep.Errors5xx
-		sum.Total.OtherErrors += rep.OtherErrors
-		sum.Total.NoRetryAfter += rep.NoRetryAfter
-		sum.Total.DeadlineMiss += rep.DeadlineMiss
-		sum.Total.QPS += rep.QPS
-	}
-	sum.Total.Tenant = "all"
-	if sum.Total.Requests > 0 {
-		sum.Total.ShedRate = float64(sum.Total.Shed) / float64(sum.Total.Requests)
 	}
 	var all []sample
 	for _, ss := range samplesByTenant {
 		all = append(all, ss...)
 	}
-	agg := reduce("all", all, duration.Seconds())
-	sum.Total.AvgMS, sum.Total.P50MS, sum.Total.P95MS, sum.Total.P99MS =
-		agg.AvgMS, agg.P50MS, agg.P95MS, agg.P99MS
+	sum.Total = aggregateTotals(sum.PerTenant, all, duration.Seconds())
 
 	sum.Statz = getJSON(client, *addr+"/statz")
 	sum.FinalTier = waitTierNormal(client, *addr, 20*time.Second)
@@ -241,6 +227,36 @@ func main() {
 	if *check {
 		fmt.Println("loadgen: all checks passed")
 	}
+}
+
+// aggregateTotals folds the per-tenant reports into the fleet-wide "all"
+// row: additive counters — Requests, OK, Shed, error classes, deadline
+// misses, QPS and QueriesServed — sum across tenants, rates are recomputed
+// over the summed counters, and latency stats come from the pooled sample
+// set (percentiles do not sum).
+func aggregateTotals(reps []tenantReport, all []sample, durSec float64) tenantReport {
+	total := tenantReport{Tenant: "all"}
+	for _, rep := range reps {
+		total.Requests += rep.Requests
+		total.OK += rep.OK
+		total.Shed += rep.Shed
+		total.Errors5xx += rep.Errors5xx
+		total.OtherErrors += rep.OtherErrors
+		total.NoRetryAfter += rep.NoRetryAfter
+		total.DeadlineMiss += rep.DeadlineMiss
+		total.QPS += rep.QPS
+		total.QueriesServed += rep.QueriesServed
+	}
+	if total.Requests > 0 {
+		total.ShedRate = float64(total.Shed) / float64(total.Requests)
+	}
+	if total.OK > 0 {
+		total.DeadlineRate = float64(total.DeadlineMiss) / float64(total.OK)
+	}
+	agg := reduce("all", all, durSec)
+	total.AvgMS, total.P50MS, total.P95MS, total.P99MS =
+		agg.AvgMS, agg.P50MS, agg.P95MS, agg.P99MS
+	return total
 }
 
 func reduce(tenant string, ss []sample, durSec float64) tenantReport {

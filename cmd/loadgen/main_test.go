@@ -1,0 +1,62 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestAggregateTotalsSumsQueriesServed is the regression test for the "all"
+// row silently reporting 0 served queries: every additive per-tenant counter
+// — QueriesServed included — must sum into the total.
+func TestAggregateTotalsSumsQueriesServed(t *testing.T) {
+	reps := []tenantReport{
+		{Tenant: "t1", Requests: 10, OK: 8, Shed: 2, QPS: 4, DeadlineMiss: 1, QueriesServed: 123},
+		{Tenant: "t2", Requests: 6, OK: 6, QPS: 3, QueriesServed: 77},
+		{Tenant: "t3", Requests: 4, OK: 2, Shed: 1, Errors5xx: 1, NoRetryAfter: 1, QueriesServed: 50},
+	}
+	total := aggregateTotals(reps, nil, 2)
+
+	if total.Tenant != "all" {
+		t.Fatalf("total tenant = %q", total.Tenant)
+	}
+	if total.QueriesServed != 250 {
+		t.Fatalf("QueriesServed = %d, want 250 (per-tenant counts not summed)", total.QueriesServed)
+	}
+	if total.Requests != 20 || total.OK != 16 || total.Shed != 3 {
+		t.Fatalf("counters = (%d req, %d ok, %d shed), want (20, 16, 3)", total.Requests, total.OK, total.Shed)
+	}
+	if total.Errors5xx != 1 || total.NoRetryAfter != 1 || total.DeadlineMiss != 1 {
+		t.Fatalf("error counters not summed: %+v", total)
+	}
+	if total.QPS != 7 {
+		t.Fatalf("QPS = %v, want 7", total.QPS)
+	}
+	if got, want := total.ShedRate, 3.0/20; got != want {
+		t.Fatalf("ShedRate = %v, want %v", got, want)
+	}
+	if got, want := total.DeadlineRate, 1.0/16; got != want {
+		t.Fatalf("DeadlineRate = %v, want %v", got, want)
+	}
+}
+
+// TestAggregateTotalsLatencyFromPooledSamples: the total row's latency
+// stats must come from the pooled sample set, not any per-tenant report.
+func TestAggregateTotalsLatencyFromPooledSamples(t *testing.T) {
+	all := []sample{
+		{status: http.StatusOK, wallMS: 10},
+		{status: http.StatusOK, wallMS: 20},
+		{status: http.StatusOK, wallMS: 30},
+		{status: http.StatusOK, wallMS: 40},
+		{status: http.StatusTooManyRequests}, // shed: excluded from latency
+	}
+	total := aggregateTotals([]tenantReport{{Tenant: "t1", Requests: 5, OK: 4, Shed: 1}}, all, 1)
+	if total.AvgMS != 25 {
+		t.Fatalf("AvgMS = %v, want 25", total.AvgMS)
+	}
+	if total.P50MS != 20 || total.P99MS != 40 {
+		t.Fatalf("percentiles = (p50 %v, p99 %v), want (20, 40)", total.P50MS, total.P99MS)
+	}
+	if total.QueriesServed != 0 {
+		t.Fatalf("QueriesServed = %d from empty counters", total.QueriesServed)
+	}
+}

@@ -372,6 +372,40 @@ func (c *Cluster) materialize(name string, t *table, d Design) {
 	c.cachePut(name, key, t.shards)
 }
 
+// MaterializeDesign returns the shard set (or replica) a table would have
+// under design d WITHOUT deploying it: the deployed design, shards, replica
+// and layout revision are untouched, and no bytes-moved accounting runs.
+// Results come from the same LRU shard cache Deploy uses — a design the
+// training loop later commits to is a pointer swap — and freshly built
+// shard sets are registered there, so speculative (what-if) evaluation and
+// deployment share one materialization per (table, design).
+//
+// Replicated designs return (nil, base); partitioned designs return
+// (shards, nil). The returned relations are shared immutable snapshots and
+// must not be mutated.
+func (c *Cluster) MaterializeDesign(name string, d Design) (shards []*relation.Relation, replica *relation.Relation) {
+	t := c.mustTable(name)
+	if d.Replicated {
+		return nil, t.base // replicas alias base
+	}
+	if t.design.Equal(d) {
+		return t.shards, nil
+	}
+	key := d.canonical()
+	if shards := c.cacheGet(name, key); shards != nil {
+		c.hits++
+		return shards, nil
+	}
+	c.misses++
+	if len(d.Key) == 0 {
+		shards = t.base.SplitRoundRobin(c.n)
+	} else {
+		shards = t.base.SplitByHash(d.Key, c.n)
+	}
+	c.cachePut(name, key, shards)
+	return shards, nil
+}
+
 // movedBytes counts the bytes of rows whose new placement differs from their
 // current node.
 func (c *Cluster) movedBytes(t *table, moves func(r *relation.Relation, row, node int) bool) int64 {

@@ -1,0 +1,61 @@
+package cluster
+
+import "testing"
+
+// TestMaterializeDesignDoesNotDeploy: a what-if materialization must build
+// exactly the shard set Deploy would install while leaving the deployed
+// design, shards, replica and revision untouched — and it must share the
+// shard cache with Deploy so a later commit to the same design is a
+// pointer swap.
+func TestMaterializeDesignDoesNotDeploy(t *testing.T) {
+	c := loadCluster(t)
+	hash := Design{Key: []string{"o_c"}}
+
+	rev := c.Revision()
+	deployed, _, _ := c.Shards("orders")
+
+	shards, replica := c.MaterializeDesign("orders", hash)
+	if replica != nil {
+		t.Fatal("partitioned what-if returned a replica")
+	}
+	if c.Revision() != rev {
+		t.Fatalf("revision moved %d -> %d on a what-if", rev, c.Revision())
+	}
+	if !c.Design("orders").Equal(Design{}) {
+		t.Fatalf("deployed design changed to %v", c.Design("orders"))
+	}
+	if now, _, _ := c.Shards("orders"); !sameShards(now, deployed) {
+		t.Fatal("deployed shard set changed on a what-if")
+	}
+
+	// Committing to the materialized design serves the identical objects.
+	c.Deploy("orders", hash)
+	after, _, _ := c.Shards("orders")
+	if !sameShards(after, shards) {
+		t.Fatal("deploy after what-if rebuilt instead of reusing the cached materialization")
+	}
+
+	// Content parity with a from-scratch deploy on a fresh cluster.
+	c2 := loadCluster(t)
+	c2.Deploy("orders", hash)
+	fresh, _, _ := c2.Shards("orders")
+	equalShards(t, shards, fresh)
+}
+
+// TestMaterializeDesignReplicatedAndCurrent: the replicated what-if aliases
+// the base (like Deploy's replica), and asking for the currently deployed
+// design returns the deployed shard set itself.
+func TestMaterializeDesignReplicatedAndCurrent(t *testing.T) {
+	c := loadCluster(t)
+
+	_, replica := c.MaterializeDesign("orders", Design{Replicated: true})
+	if replica != c.Base("orders") {
+		t.Fatal("replicated what-if does not alias the base relation")
+	}
+
+	deployed, _, _ := c.Shards("orders")
+	shards, _ := c.MaterializeDesign("orders", Design{})
+	if !sameShards(shards, deployed) {
+		t.Fatal("what-if of the deployed design did not return the deployed shards")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"partadvisor/internal/dqn"
@@ -14,6 +15,32 @@ import (
 // trains over the whole workload space (uniform sampling); subspace experts
 // restrict the sampler to their subspace.
 type FreqSampler func(*rand.Rand) workload.FreqVector
+
+// DefaultPrefetchTopK is how many speculative candidate designs are
+// enqueued per decision step when PrefetchConfig.TopK is unset.
+const DefaultPrefetchTopK = 4
+
+// PrefetchConfig enables the speculative cost prefetcher during training:
+// worker goroutines warm Cache with the costs of likely next designs while
+// the decision loop runs the network update. The cost function passed to
+// training must be Cache.Cost (the prefetcher warms exactly the cache the
+// loop reads), and the cache's base must be safe for concurrent calls when
+// Workers > 1 (see env.CostCache.SetConcurrentBase).
+//
+// Prefetching is invisible to the trajectory: candidate ranking uses pure
+// Q-network forwards that consume no randomness, and a warmed cache entry
+// holds the same bits an inline evaluation would produce. Training with 0,
+// 1 or N workers yields bit-identical designs, rewards, replay contents,
+// losses and final weights.
+type PrefetchConfig struct {
+	// Cache is the cost cache shared with the training cost function.
+	Cache *env.CostCache
+	// Workers is the number of prefetch goroutines (<= 0 disables).
+	Workers int
+	// TopK bounds the speculative candidates enqueued per step
+	// (DefaultPrefetchTopK when <= 0).
+	TopK int
+}
 
 // Advisor is one learned partitioning advisor: a DQN agent over the
 // partitioning design space of a schema + workload.
@@ -53,6 +80,18 @@ type Advisor struct {
 	// trainEpisodes), and returns ErrStopped. The commands' SIGINT/SIGTERM
 	// handlers set the flag this polls.
 	Stop func() bool
+
+	// Prefetch, when non-nil with positive Workers, pipelines training:
+	// speculative candidate designs are cost-evaluated on worker goroutines
+	// while the decision loop trains the network (see PrefetchConfig; the
+	// trajectory stays bit-identical to serial training).
+	Prefetch *PrefetchConfig
+
+	// TraceRewards makes trainEpisodes append each episode's summed reward
+	// to RewardTrace — the determinism digest tests hash this trajectory.
+	TraceRewards bool
+	// RewardTrace holds per-episode reward sums when TraceRewards is set.
+	RewardTrace []float64
 
 	seed int64
 	src  *countingSource
@@ -151,13 +190,72 @@ func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes
 	if err != nil {
 		return err
 	}
+	// Speculative prefetch: after the agent commits to an action, the
+	// resulting design plus the top-K Q-ranked follow-up designs are handed
+	// to worker goroutines, which warm the cost cache while this loop runs
+	// Observe/TrainStep. The ranking forward passes are pure (no RNG), and
+	// prefetched entries are bit-identical to inline evaluations, so the
+	// trajectory does not depend on the worker count.
+	var pf *env.Prefetcher
+	topK := 0
+	if a.Prefetch != nil && a.Prefetch.Workers > 0 && a.Prefetch.Cache != nil {
+		pf = env.NewPrefetcher(a.Prefetch.Cache, a.Prefetch.Workers)
+		defer pf.Close()
+		topK = a.Prefetch.TopK
+		if topK <= 0 {
+			topK = DefaultPrefetchTopK
+		}
+	}
+	var specObs []float64
+	var specValid []int
+	var specPicked []bool
+	speculate := func(next *partition.State) {
+		// The design the imminent Step prices goes first, so its fill
+		// starts immediately and Step's lookup joins it.
+		pf.Enqueue(next, e.Freq())
+		if e.StepsLeft() <= 1 {
+			return // the episode ends at next — no follow-up step to warm
+		}
+		specObs = e.EncodedFor(next, specObs)
+		specValid = e.ValidActionsFor(next, specValid)
+		qs := a.Agent.Q.Values(specObs, specValid)
+		k := topK
+		if k > len(specValid) {
+			k = len(specValid)
+		}
+		specPicked = specPicked[:0]
+		for range specValid {
+			specPicked = append(specPicked, false)
+		}
+		for n := 0; n < k; n++ {
+			bi, bv := -1, math.Inf(-1)
+			for i, v := range qs {
+				if !specPicked[i] && v > bv {
+					bv = v
+					bi = i
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			specPicked[bi] = true
+			cand := a.Space.Apply(next, a.Space.Actions()[specValid[bi]])
+			if !pf.Enqueue(cand, e.Freq()) {
+				break // queue full: the workers are behind, stop speculating
+			}
+		}
+	}
 	for ep := start; ep < episodes; ep++ {
 		freq := sampler(a.rng)
 		e.Reset(freq)
 		obs := e.EncodedCopy()
+		epReward := 0.0
 		for {
 			valid := e.ValidActions()
 			act := a.Agent.SelectAction(obs, valid)
+			if pf != nil {
+				speculate(e.Peek(act))
+			}
 			_, reward, done := e.Step(act)
 			next := e.EncodedCopy()
 			nextValid := append([]int(nil), e.ValidActions()...)
@@ -172,10 +270,14 @@ func (a *Advisor) trainEpisodes(cost env.CostFunc, sampler FreqSampler, episodes
 				a.TrainUpdates++
 			}
 			a.StepsTrained++
+			epReward += reward
 			obs = next
 			if done {
 				break
 			}
+		}
+		if a.TraceRewards {
+			a.RewardTrace = append(a.RewardTrace, epReward)
 		}
 		a.Agent.DecayEpsilon()
 		a.EpisodesTrained++
@@ -241,6 +343,59 @@ func (a *Advisor) Suggest(freq workload.FreqVector) (*partition.State, float64, 
 		}
 	}
 	return best, bestReward, nil
+}
+
+// SuggestBatch runs the §6 greedy rollout for many mixes in lockstep: all
+// rollouts advance one step per round, and each round's greedy argmax
+// forwards are fused into one batched network pass (when the Q head
+// implements dqn.BatchValuer). Results are identical to calling Suggest per
+// mix — batched forward rows are bitwise identical to single-row ones and
+// each rollout performs the same cost evaluations — but the evaluation
+// order interleaves across rollouts, so callers should pass pure (simulated
+// or cached) cost functions. Committee reference discovery is the intended
+// caller: it fuses |workload| rollouts' worth of network passes.
+func (a *Advisor) SuggestBatch(freqs []workload.FreqVector) ([]*partition.State, []float64, error) {
+	if a.InferCost == nil {
+		return nil, nil, fmt.Errorf("core: advisor has no inference cost function (train offline first)")
+	}
+	n := len(freqs)
+	states := make([]*partition.State, n)
+	rewards := make([]float64, n)
+	if n == 0 {
+		return states, rewards, nil
+	}
+	tmax := a.HP.TmaxFor(len(a.Space.Tables))
+	envs := make([]*env.Env, n)
+	obs := make([][]float64, n)
+	valids := make([][]int, n)
+	for i, f := range freqs {
+		e, err := env.New(a.Space, a.WL, a.InferCost, tmax)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.Reset(f)
+		envs[i] = e
+		obs[i] = e.EncodedCopy()
+		states[i] = e.State()
+		rewards[i] = e.Reward(states[i])
+	}
+	for step := 0; step < tmax; step++ {
+		for i, e := range envs {
+			// Each env owns its valid-action buffer, reused until its next
+			// ValidActions call — safe to hold across the batched argmax.
+			valids[i] = e.ValidActions()
+		}
+		acts := a.Agent.GreedyBatch(obs, valids)
+		for i, e := range envs {
+			_, reward, _ := e.Step(acts[i])
+			if reward > rewards[i] {
+				rewards[i] = reward
+				states[i] = e.State()
+			}
+			obs[i] = e.EncodedCopy()
+		}
+	}
+	return states, rewards, nil
 }
 
 // SaveModel serializes the agent's Q-network.

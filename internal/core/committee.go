@@ -77,13 +77,19 @@ func BuildCommittee(naive *Advisor, cost env.CostFunc, cfg CommitteeConfig) (*Co
 	c := &Committee{Naive: naive, cost: cost}
 
 	// Reference partitionings from extreme mixes, deduplicated by layout.
-	seen := make(map[string]bool)
+	// The |workload| greedy rollouts run in lockstep so each step's argmax
+	// forwards fuse into one batched network pass — the same partitionings
+	// one Suggest per mix would find, in a fraction of the passes.
+	freqs := make([]workload.FreqVector, len(naive.WL.Queries))
 	for i := range naive.WL.Queries {
-		freq := naive.WL.ExtremeFreq(i, cfg.Low, cfg.High)
-		st, _, err := naive.Suggest(freq)
-		if err != nil {
-			return nil, err
-		}
+		freqs[i] = naive.WL.ExtremeFreq(i, cfg.Low, cfg.High)
+	}
+	refs, _, err := naive.SuggestBatch(freqs)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, st := range refs {
 		if sig := st.Signature(); !seen[sig] {
 			seen[sig] = true
 			c.Refs = append(c.Refs, st)

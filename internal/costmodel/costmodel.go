@@ -15,6 +15,7 @@ package costmodel
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"partadvisor/internal/hardware"
 	"partadvisor/internal/partition"
@@ -23,7 +24,13 @@ import (
 	"partadvisor/internal/workload"
 )
 
-// Model estimates query and workload costs for partitioning states.
+// Model estimates query and workload costs for partitioning states. It is
+// safe for concurrent use: planCost is a pure function of the (immutable)
+// catalog and hardware profile, and the memo map below is guarded by a
+// read-write mutex, so the training loop's speculative prefetch workers can
+// evaluate candidate designs in parallel with the main loop. Two goroutines
+// racing on the same uncached (state, query) both compute the identical
+// plan cost, so which one's store wins is unobservable.
 type Model struct {
 	Cat *stats.Catalog
 	HW  hardware.Profile
@@ -31,6 +38,7 @@ type Model struct {
 	// cache memoizes per-query costs by the signature of the designs of
 	// exactly the tables the query touches (the same idea as the paper's
 	// Query Runtime Cache, applied to estimates).
+	mu    sync.RWMutex
 	cache map[*sqlparse.Graph]map[string]float64
 }
 
@@ -41,21 +49,33 @@ func New(cat *stats.Catalog, hw hardware.Profile) *Model {
 
 // ResetCache drops memoized costs. Call after the catalog changes.
 func (m *Model) ResetCache() {
+	m.mu.Lock()
 	m.cache = make(map[*sqlparse.Graph]map[string]float64)
+	m.mu.Unlock()
 }
 
 // QueryCost estimates the runtime of one query under the partitioning state.
 func (m *Model) QueryCost(st *partition.State, g *sqlparse.Graph) float64 {
 	sig := st.TableSignature(g.BaseTables())
+	m.mu.RLock()
 	if per := m.cache[g]; per != nil {
 		if c, ok := per[sig]; ok {
+			m.mu.RUnlock()
 			return c
 		}
-	} else {
-		m.cache[g] = make(map[string]float64)
 	}
+	m.mu.RUnlock()
+	// Plan outside the lock: planCost is pure, so concurrent duplicate
+	// computation yields bitwise-identical values.
 	c := m.planCost(st, g)
-	m.cache[g][sig] = c
+	m.mu.Lock()
+	per := m.cache[g]
+	if per == nil {
+		per = make(map[string]float64)
+		m.cache[g] = per
+	}
+	per[sig] = c
+	m.mu.Unlock()
 	return c
 }
 

@@ -117,6 +117,39 @@ func (a *Agent) Greedy(state []float64, valid []int) int {
 	return best
 }
 
+// GreedyBatch picks the greedy action for many states at once, fusing all
+// the forward passes into one batched pass when the head implements
+// BatchValuer (falling back to per-state Greedy calls otherwise). Each
+// result is identical to Greedy(states[i], valids[i]): batched forward rows
+// are bitwise identical to single-state forwards, and the tie-break (first
+// maximum wins) is the same.
+func (a *Agent) GreedyBatch(states [][]float64, valids [][]int) []int {
+	out := make([]int, len(states))
+	bv, ok := a.Q.(BatchValuer)
+	if !ok {
+		for i := range states {
+			out[i] = a.Greedy(states[i], valids[i])
+		}
+		return out
+	}
+	qsAll := bv.ValuesBatch(states, valids)
+	for i, qs := range qsAll {
+		valid := valids[i]
+		if len(valid) == 0 {
+			panic("dqn: no valid actions")
+		}
+		best, bestQ := valid[0], math.Inf(-1)
+		for j, v := range qs {
+			if v > bestQ {
+				bestQ = v
+				best = valid[j]
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
 // Observe stores a transition in the replay buffer.
 func (a *Agent) Observe(t Transition) { a.Buffer.Add(t) }
 

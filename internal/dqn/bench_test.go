@@ -1,0 +1,94 @@
+package dqn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchAgent builds an agent over the given head with a replay buffer full
+// of synthetic transitions, ready to TrainStep.
+func benchAgent(b *testing.B, scalar bool) *Agent {
+	b.Helper()
+	const stateDim, numActions = 48, 12
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	cfg.Hidden = []int{128, 64}
+	var q QFunc
+	if scalar {
+		feats := make([][]float64, numActions)
+		for i := range feats {
+			feats[i] = make([]float64, 8)
+			for j := range feats[i] {
+				feats[i][j] = rng.NormFloat64()
+			}
+		}
+		q = NewScalarQ(stateDim, cfg.Hidden, feats, cfg.LearningRate, rng)
+	} else {
+		q = NewMultiHeadQ(stateDim, cfg.Hidden, numActions, cfg.LearningRate, rng)
+	}
+	a, err := NewAgent(q, cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkState := func() []float64 {
+		s := make([]float64, stateDim)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	}
+	for i := 0; i < 4*cfg.BatchSize; i++ {
+		tr := Transition{
+			State:  mkState(),
+			Action: rng.Intn(numActions),
+			Reward: rng.NormFloat64(),
+		}
+		if i%5 != 0 { // every fifth transition is terminal (Next == nil)
+			tr.Next = mkState()
+			tr.NextValid = []int{0, 2, 5, 7, 11}
+		}
+		a.Observe(tr)
+	}
+	return a
+}
+
+// benchTrainStep: one replay-sampled gradient update. bytes/op is the PR's
+// pooled-scratch acceptance number — the forward/backward/target matrices
+// and the batch staging buffers must all come from per-head pools.
+func benchTrainStep(b *testing.B, scalar bool) {
+	b.Helper()
+	a := benchAgent(b, scalar)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trained := a.TrainStep(); !trained {
+			b.Fatal("TrainStep found no batch")
+		}
+	}
+}
+
+func BenchmarkTrainStepMultiHead(b *testing.B) { benchTrainStep(b, false) }
+func BenchmarkTrainStepScalar(b *testing.B)    { benchTrainStep(b, true) }
+
+// BenchmarkValuesBatch: the fused batched Q evaluation behind GreedyBatch
+// and committee reference discovery, vs the per-state loop it replaces.
+func BenchmarkValuesBatch(b *testing.B) {
+	a := benchAgent(b, false)
+	bv := a.Q.(BatchValuer)
+	rng := rand.New(rand.NewSource(2))
+	const n = 16
+	states := make([][]float64, n)
+	valids := make([][]int, n)
+	for i := range states {
+		states[i] = make([]float64, 48)
+		for j := range states[i] {
+			states[i][j] = rng.NormFloat64()
+		}
+		valids[i] = []int{0, 1, 3, 6, 9, 11}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bv.ValuesBatch(states, valids)
+	}
+}

@@ -8,6 +8,17 @@ import (
 	"partadvisor/internal/nn"
 )
 
+// BatchValuer is an optional QFunc extension: Q-values for many states in a
+// single fused forward pass. Each output row is bitwise identical to a
+// separate Values call for that state (row computations in the nn package
+// are independent of batch size and worker split), so callers — e.g. the
+// committee's lockstep reference-discovery rollouts — can batch freely
+// without changing any result. The returned rows are freshly allocated and
+// safe to retain.
+type BatchValuer interface {
+	ValuesBatch(states [][]float64, actions [][]int) [][]float64
+}
+
 // QFunc abstracts a learned Q-function over a fixed global action list.
 type QFunc interface {
 	// Values returns Q(state, a) for each action index in actions, using
@@ -35,6 +46,7 @@ type MultiHeadQ struct {
 	Double bool
 
 	batchIn, batchTarget, batchMask, nextIn *nn.Matrix
+	nextTargetBuf, nextOnlineBuf            []float64
 	scratch                                 []Transition
 }
 
@@ -57,6 +69,32 @@ func (q *MultiHeadQ) Values(state []float64, actions []int) []float64 {
 	out := make([]float64, len(actions))
 	for i, a := range actions {
 		out[i] = all[a]
+	}
+	return out
+}
+
+// ValuesBatch implements BatchValuer: all states go through one forward
+// pass, then each row is gathered down to its own valid-action set.
+func (q *MultiHeadQ) ValuesBatch(states [][]float64, actions [][]int) [][]float64 {
+	if len(states) != len(actions) {
+		panic(fmt.Sprintf("dqn: ValuesBatch got %d states but %d action sets", len(states), len(actions)))
+	}
+	if len(states) == 0 {
+		return nil
+	}
+	all := q.online.PredictBatch(states)
+	total := 0
+	for _, as := range actions {
+		total += len(as)
+	}
+	flat := make([]float64, 0, total)
+	out := make([][]float64, len(states))
+	for i, as := range actions {
+		lo := len(flat)
+		for _, a := range as {
+			flat = append(flat, all[i][a])
+		}
+		out[i] = flat[lo:len(flat):len(flat)]
 	}
 	return out
 }
@@ -85,12 +123,20 @@ func (q *MultiHeadQ) Train(batch []Transition, gamma float64) float64 {
 	// the online network must happen before TrainBatch reuses its scratch
 	// buffers, so copy the needed values first when Double is on.
 	nextQ := q.target.Forward(q.nextIn)
-	nextTarget := append([]float64(nil), nextQ.Data...)
+	if cap(q.nextTargetBuf) < len(nextQ.Data) {
+		q.nextTargetBuf = make([]float64, len(nextQ.Data))
+	}
+	nextTarget := q.nextTargetBuf[:len(nextQ.Data)]
+	copy(nextTarget, nextQ.Data)
 	cols := nextQ.Cols
 	var nextOnline []float64
 	if q.Double {
 		on := q.online.Forward(q.nextIn)
-		nextOnline = append([]float64(nil), on.Data...)
+		if cap(q.nextOnlineBuf) < len(on.Data) {
+			q.nextOnlineBuf = make([]float64, len(on.Data))
+		}
+		nextOnline = q.nextOnlineBuf[:len(on.Data)]
+		copy(nextOnline, on.Data)
 	}
 	for i, tr := range batch {
 		y := tr.Reward
@@ -157,7 +203,12 @@ type ScalarQ struct {
 	opt    nn.Optimizer
 	feats  [][]float64
 
-	inferIn *nn.Matrix // reused Values input batch
+	inferIn      *nn.Matrix // reused Values input batch
+	batchInferIn *nn.Matrix // reused ValuesBatch input batch
+	trainIn      *nn.Matrix // reused Train (state ⊕ action) batch
+	trainTarget  *nn.Matrix
+	trainNextIn  *nn.Matrix // reused Train (next ⊕ next-action) batch
+	trainOffsets []int
 }
 
 // NewScalarQ builds the scalar head over the given per-action feature rows.
@@ -170,12 +221,10 @@ func NewScalarQ(stateDim int, hidden []int, actionFeats [][]float64, lr float64,
 	return &ScalarQ{online: online, target: online.Clone(), opt: nn.NewAdam(lr), feats: actionFeats}
 }
 
-func (q *ScalarQ) input(state []float64, action int) []float64 {
-	f := q.feats[action]
-	row := make([]float64, len(state)+len(f))
+// fillInput writes state ⊕ feat(action) into row.
+func (q *ScalarQ) fillInput(row, state []float64, action int) {
 	copy(row, state)
-	copy(row[len(state):], f)
-	return row
+	copy(row[len(state):], q.feats[action])
 }
 
 // Values implements QFunc by batching all requested actions through one
@@ -187,9 +236,7 @@ func (q *ScalarQ) Values(state []float64, actions []int) []float64 {
 		q.inferIn = nn.NewMatrix(len(actions), inDim)
 	}
 	for i, a := range actions {
-		row := q.inferIn.Row(i)
-		copy(row, state)
-		copy(row[len(state):], q.feats[a])
+		q.fillInput(q.inferIn.Row(i), state, a)
 	}
 	out := q.online.Forward(q.inferIn)
 	res := make([]float64, len(actions))
@@ -199,31 +246,90 @@ func (q *ScalarQ) Values(state []float64, actions []int) []float64 {
 	return res
 }
 
+// ValuesBatch implements BatchValuer: every (state, action) pair across all
+// requested states is packed into one fused forward pass.
+func (q *ScalarQ) ValuesBatch(states [][]float64, actions [][]int) [][]float64 {
+	if len(states) != len(actions) {
+		panic(fmt.Sprintf("dqn: ValuesBatch got %d states but %d action sets", len(states), len(actions)))
+	}
+	total := 0
+	for _, as := range actions {
+		total += len(as)
+	}
+	res := make([][]float64, len(states))
+	if total == 0 {
+		return res
+	}
+	if q.batchInferIn == nil || q.batchInferIn.Rows != total {
+		q.batchInferIn = nn.NewMatrix(total, q.online.InDim())
+	}
+	r := 0
+	for i, as := range actions {
+		for _, a := range as {
+			q.fillInput(q.batchInferIn.Row(r), states[i], a)
+			r++
+		}
+	}
+	out := q.online.Forward(q.batchInferIn)
+	flat := make([]float64, total)
+	r = 0
+	for i, as := range actions {
+		lo := r
+		for range as {
+			flat[r] = out.At(r, 0)
+			r++
+		}
+		res[i] = flat[lo:r:r]
+	}
+	return res
+}
+
 // Train implements QFunc. Targets require a max over next-state actions per
 // sample; all (sample, next-action) pairs are batched into one target-net
-// forward pass.
+// forward pass. Input, target and next-state matrices are pooled on the
+// head, so a steady-state training step performs no per-call allocations.
 func (q *ScalarQ) Train(batch []Transition, gamma float64) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
-	var nextRows [][]float64
-	offsets := make([]int, len(batch)+1)
-	for i, tr := range batch {
+	nNext := 0
+	for _, tr := range batch {
 		if !tr.Terminal {
-			for _, a := range tr.NextValid {
-				nextRows = append(nextRows, q.input(tr.Next, a))
+			nNext += len(tr.NextValid)
+		}
+	}
+	if cap(q.trainOffsets) < len(batch)+1 {
+		q.trainOffsets = make([]int, len(batch)+1)
+	}
+	offsets := q.trainOffsets[:len(batch)+1]
+	var nextQ *nn.Matrix
+	if nNext > 0 {
+		if q.trainNextIn == nil || q.trainNextIn.Rows != nNext {
+			q.trainNextIn = nn.NewMatrix(nNext, q.online.InDim())
+		}
+		r := 0
+		for i, tr := range batch {
+			offsets[i] = r
+			if !tr.Terminal {
+				for _, a := range tr.NextValid {
+					q.fillInput(q.trainNextIn.Row(r), tr.Next, a)
+					r++
+				}
 			}
 		}
-		offsets[i+1] = len(nextRows)
+		offsets[len(batch)] = r
+		nextQ = q.target.Forward(q.trainNextIn)
+	} else {
+		for i := range offsets {
+			offsets[i] = 0
+		}
 	}
-	var nextQ *nn.Matrix
-	if len(nextRows) > 0 {
-		nextQ = q.target.Forward(nn.FromRows(nextRows))
+	if q.trainIn == nil || q.trainIn.Rows != len(batch) {
+		q.trainIn = nn.NewMatrix(len(batch), q.online.InDim())
+		q.trainTarget = nn.NewMatrix(len(batch), 1)
 	}
-	inRows := make([][]float64, len(batch))
-	target := nn.NewMatrix(len(batch), 1)
 	for i, tr := range batch {
-		inRows[i] = q.input(tr.State, tr.Action)
+		q.fillInput(q.trainIn.Row(i), tr.State, tr.Action)
 		y := tr.Reward
 		if lo, hi := offsets[i], offsets[i+1]; hi > lo {
 			best := math.Inf(-1)
@@ -234,9 +340,9 @@ func (q *ScalarQ) Train(batch []Transition, gamma float64) float64 {
 			}
 			y += gamma * best
 		}
-		target.Set(i, 0, y)
+		q.trainTarget.Set(i, 0, y)
 	}
-	return q.online.TrainBatch(q.opt, nn.FromRows(inRows), target, nil)
+	return q.online.TrainBatch(q.opt, q.trainIn, q.trainTarget, nil)
 }
 
 // SoftUpdate implements QFunc.

@@ -1,0 +1,92 @@
+package env
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// Prefetcher speculatively warms a CostCache from worker goroutines. The
+// training loop enqueues candidate next designs right after the agent picks
+// an action; workers evaluate them through the cache's single-flight fill
+// while the main loop runs the network update, so by the time the loop
+// prices its next design the entry is usually cached (or mid-fill, in which
+// case the lookup joins the fill instead of recomputing).
+//
+// The prefetcher is invisible to the training trajectory: it consumes no
+// randomness, evaluates only pure cached cost functions, and a cache entry
+// holds the same float64 bits whether it was computed inline, by a worker,
+// or shared through a single-flight join. Training with 0, 1 or N workers
+// therefore produces bit-identical designs, rewards, replay contents and
+// network weights — only wall-clock changes.
+//
+// Enqueue never blocks: when the queue is full the job is dropped (the main
+// loop will simply evaluate that cost inline, as it would without a
+// prefetcher). Close drains the queue and joins the workers.
+type Prefetcher struct {
+	cache *CostCache
+	jobs  chan prefetchJob
+	wg    sync.WaitGroup
+
+	enqueued atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+type prefetchJob struct {
+	st   *partition.State
+	freq workload.FreqVector
+}
+
+// NewPrefetcher starts workers goroutines warming cache. workers must be
+// positive; the queue holds a few jobs per worker so a burst of candidates
+// from one decision step never blocks the loop.
+func NewPrefetcher(cache *CostCache, workers int) *Prefetcher {
+	if workers < 1 {
+		panic("env: prefetcher needs at least one worker")
+	}
+	queue := 4 * workers
+	if queue < 16 {
+		queue = 16
+	}
+	p := &Prefetcher{cache: cache, jobs: make(chan prefetchJob, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				p.cache.Cost(j.st, j.freq)
+			}
+		}()
+	}
+	return p
+}
+
+// Enqueue submits a candidate (design, mix) for speculative evaluation.
+// It never blocks: when the queue is full the job is dropped and false is
+// returned. States and frequency vectors are retained until evaluated and
+// must not be mutated (partition.State is immutable; episode mixes are
+// fresh vectors per episode).
+func (p *Prefetcher) Enqueue(st *partition.State, freq workload.FreqVector) bool {
+	select {
+	case p.jobs <- prefetchJob{st: st, freq: freq}:
+		p.enqueued.Add(1)
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops accepting jobs, drains the queue and joins the workers.
+func (p *Prefetcher) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Stats returns how many jobs were accepted and how many were dropped on a
+// full queue.
+func (p *Prefetcher) Stats() (enqueued, dropped uint64) {
+	return p.enqueued.Load(), p.dropped.Load()
+}

@@ -1,0 +1,225 @@
+package env
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partadvisor/internal/partition"
+	"partadvisor/internal/workload"
+)
+
+// TestCostCacheSingleFlightCoalesces pins the coalescing contract under
+// contention: goroutines missing a key whose fill is already in flight must
+// block on that fill and share its result — exactly one base call, every
+// joiner counted as a hit. Run with -race.
+func TestCostCacheSingleFlightCoalesces(t *testing.T) {
+	sp := cacheSpace(t)
+	st := sp.InitialState()
+	f := workload.FreqVector{1}
+
+	var calls atomic.Int32
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	base := func(*partition.State, workload.FreqVector) float64 {
+		calls.Add(1)
+		close(entered)
+		<-gate
+		return 42
+	}
+	cc := NewCostCache(base, 16)
+
+	const joiners = 8
+	results := make([]float64, joiners+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0] = cc.Cost(st, f) }()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("base call never started")
+	}
+	for i := 1; i <= joiners; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); results[i] = cc.Cost(st, f) }(i)
+	}
+	// Give the joiners time to reach the in-flight join before releasing
+	// the fill; a joiner that instead started its own base call would bump
+	// the counter regardless of timing.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("base called %d times for one key under contention", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %v, want 42", i, v)
+		}
+	}
+	hits, misses := cc.Stats()
+	if misses != 1 || hits != joiners {
+		t.Fatalf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, joiners)
+	}
+}
+
+// TestCostCacheConcurrentBaseParallelFills proves SetConcurrentBase lets
+// distinct keys fill genuinely in parallel: every base call blocks until
+// all K calls are simultaneously in flight, which can only resolve if the
+// fills are not serialized.
+func TestCostCacheConcurrentBaseParallelFills(t *testing.T) {
+	sp := cacheSpace(t)
+	st := sp.InitialState()
+
+	const K = 4
+	var inFlight atomic.Int32
+	allIn := make(chan struct{})
+	base := func(_ *partition.State, freq workload.FreqVector) float64 {
+		if inFlight.Add(1) == K {
+			close(allIn)
+		}
+		select {
+		case <-allIn:
+		case <-time.After(5 * time.Second):
+			t.Error("fills serialized: never saw all base calls in flight at once")
+		}
+		return freq[0]
+	}
+	cc := NewCostCache(base, 16)
+	cc.SetConcurrentBase(true)
+
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := workload.FreqVector{float64(i)}
+			if got := cc.Cost(st, f); got != f[0] {
+				t.Errorf("Cost(%v) = %v", f, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestCostCacheInvalidateRacingFill pins the stale-publication guard: a
+// fill in flight when Invalidate runs still delivers its value to waiters
+// already joined on it, but must NOT install that value — the next lookup
+// re-evaluates against the changed world. Run with -race.
+func TestCostCacheInvalidateRacingFill(t *testing.T) {
+	sp := cacheSpace(t)
+	st := sp.InitialState()
+	f := workload.FreqVector{1}
+
+	var val atomic.Int64
+	val.Store(1)
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	first := true
+	base := func(*partition.State, workload.FreqVector) float64 {
+		if first {
+			first = false
+			v := float64(val.Load()) // the world as of fill start
+			close(entered)
+			<-gate
+			return v
+		}
+		return float64(val.Load())
+	}
+	cc := NewCostCache(base, 16)
+
+	var joined float64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); cc.Cost(st, f) }()
+	go func() {
+		defer wg.Done()
+		<-entered
+		joined = cc.Cost(st, f) // joins the in-flight fill
+	}()
+
+	<-entered
+	time.Sleep(10 * time.Millisecond) // let the joiner block on the fill
+	cc.Invalidate()
+	val.Store(2) // the world changed; a stale publish would now be visible
+	close(gate)
+	wg.Wait()
+
+	if joined != 1 {
+		t.Fatalf("joiner got %v, want the in-flight fill's value 1", joined)
+	}
+	if got := cc.Cost(st, f); got != 2 {
+		t.Fatalf("post-invalidate Cost = %v, want a fresh evaluation (2) — stale entry was published", got)
+	}
+}
+
+// TestCostCacheBoundUnderContention hammers the cache with distinct keys
+// from many goroutines and checks the two-generation bound holds
+// throughout. Run with -race.
+func TestCostCacheBoundUnderContention(t *testing.T) {
+	sp := cacheSpace(t)
+	st := sp.InitialState()
+	base := func(_ *partition.State, freq workload.FreqVector) float64 { return freq[0] }
+	const bound = 8
+	cc := NewCostCache(base, bound)
+	cc.SetConcurrentBase(true)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cc.Cost(st, workload.FreqVector{float64(g*1000 + i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := cc.Len(); n > 2*bound {
+		t.Fatalf("cache holds %d entries, bound is two generations of %d", n, bound)
+	}
+}
+
+// TestPrefetcherWarmsCache: jobs enqueued to the prefetcher must land in
+// the cache as ordinary entries — a later synchronous lookup is a hit with
+// the exact value an inline evaluation would produce — and Close must
+// drain the queue.
+func TestPrefetcherWarmsCache(t *testing.T) {
+	sp := cacheSpace(t)
+	var calls atomic.Int32
+	base := func(st *partition.State, freq workload.FreqVector) float64 {
+		calls.Add(1)
+		return freq[0] * 3
+	}
+	cc := NewCostCache(base, 64)
+	cc.SetConcurrentBase(true)
+	pf := NewPrefetcher(cc, 2)
+
+	st := sp.InitialState()
+	alt := sp.Apply(st, partition.Action{Kind: partition.ActReplicate, Table: 0})
+	f := workload.FreqVector{2}
+	pf.Enqueue(st, f)
+	pf.Enqueue(alt, f)
+	pf.Close() // drains: both evaluations completed
+
+	if got := cc.Cost(st, f); got != 6 {
+		t.Fatalf("Cost = %v", got)
+	}
+	if got := cc.Cost(alt, f); got != 6 {
+		t.Fatalf("Cost(alt) = %v", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("base called %d times; prefetched entries were not reused", got)
+	}
+	hits, _ := cc.Stats()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want both synchronous lookups served from warmed entries", hits)
+	}
+	enq, dropped := pf.Stats()
+	if enq != 2 || dropped != 0 {
+		t.Fatalf("prefetcher stats = (%d, %d), want (2, 0)", enq, dropped)
+	}
+}

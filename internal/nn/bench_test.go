@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchMatMul measures the k-tiled kernel at the shapes the training loop
+// actually hits: (batch × in) · (in × out) with the paper's 128/64 hidden
+// widths.
+func benchMatMul(b *testing.B, m, k, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(m, k)
+	w := NewMatrix(k, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	dst := NewMatrix(m, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, w)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range []struct{ m, k, n int }{
+		{1, 128, 128},  // single-row inference
+		{32, 128, 128}, // minibatch hidden layer
+		{32, 128, 64},
+		{64, 256, 256},
+	} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			benchMatMul(b, s.m, s.k, s.n)
+		})
+	}
+}
+
+func benchNet(dims []int) (*Network, *rand.Rand) {
+	rng := rand.New(rand.NewSource(1))
+	return NewNetwork(dims, rng), rng
+}
+
+// BenchmarkForward: the fused bias+activation forward pass at minibatch
+// shape — the inner loop of every Q evaluation.
+func BenchmarkForward(b *testing.B) {
+	net, rng := benchNet([]int{64, 128, 64, 16})
+	in := NewMatrix(32, 64)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in)
+	}
+}
+
+// BenchmarkPredictBatch: pooled batched inference — steady-state bytes/op
+// is the cost of the row copies plus the flat result views, not fresh
+// matrices.
+func BenchmarkPredictBatch(b *testing.B) {
+	net, rng := benchNet([]int{64, 128, 64, 16})
+	rows := make([][]float64, 32)
+	for i := range rows {
+		rows[i] = make([]float64, 64)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.PredictBatch(rows)
+	}
+}
+
+// BenchmarkNetworkTrainBatch: one full forward+backward+Adam step on a
+// minibatch with the pooled gradient scratch — the kernel under every
+// dqn TrainStep.
+func BenchmarkNetworkTrainBatch(b *testing.B) {
+	net, rng := benchNet([]int{64, 128, 64, 16})
+	opt := NewAdam(5e-4)
+	in := NewMatrix(32, 64)
+	target := NewMatrix(32, 16)
+	mask := NewMatrix(32, 16)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	for r := 0; r < 32; r++ {
+		c := rng.Intn(16)
+		target.Set(r, c, rng.NormFloat64())
+		mask.Set(r, c, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(opt, in, target, mask)
+	}
+}

@@ -32,9 +32,12 @@ type Dense struct {
 	gradW, gradB *Matrix
 }
 
-// denseScratch is the cached forward state for one batch size.
+// denseScratch is the cached forward/backward state for one batch size.
+// delta and gradIn are allocated lazily on the first Backward of that size,
+// so inference-only sizes (batch 1 greedy passes) never pay for them.
 type denseScratch struct {
-	preAct, out *Matrix
+	preAct, out   *Matrix
+	delta, gradIn *Matrix
 }
 
 // NewDense builds a layer with Xavier-initialized weights.
@@ -64,25 +67,33 @@ func (d *Dense) Forward(in *Matrix) *Matrix {
 	}
 	d.in, d.preAct, d.out = in, sc.preAct, sc.out
 	cols := d.W.Cols
+	bias := d.B.Data
+	relu := d.Act == ReLU
 	parallelFor(in.Rows, in.Rows*in.Cols*cols, func(lo, hi int) {
 		matMulRows(d.preAct, in, d.W, lo, hi)
+		// Fused bias + activation: one pass over each row adds the bias
+		// (after the matmul accumulation, preserving the summation order)
+		// and writes the activated output, instead of separate bias and
+		// activation sweeps re-reading the row.
 		for i := lo; i < hi; i++ {
 			row := d.preAct.Data[i*cols : (i+1)*cols]
 			outRow := d.out.Data[i*cols : (i+1)*cols]
-			for j := range row {
-				row[j] += d.B.Data[j]
-			}
-			switch d.Act {
-			case ReLU:
+			if relu {
 				for j, v := range row {
+					v += bias[j]
+					row[j] = v
 					if v > 0 {
 						outRow[j] = v
 					} else {
 						outRow[j] = 0
 					}
 				}
-			case Linear:
-				copy(outRow, row)
+			} else {
+				for j, v := range row {
+					v += bias[j]
+					row[j] = v
+					outRow[j] = v
+				}
 			}
 		}
 	})
@@ -90,12 +101,24 @@ func (d *Dense) Forward(in *Matrix) *Matrix {
 }
 
 // Backward takes dL/d(out) and returns dL/d(in), accumulating weight and
-// bias gradients (overwriting previous ones).
+// bias gradients (overwriting previous ones). The delta and grad-in
+// matrices live in the per-batch-size scratch (like the forward buffers),
+// so steady-state training performs no per-step allocations; the returned
+// matrix is valid until the next Backward of the same batch size.
 func (d *Dense) Backward(gradOut *Matrix) *Matrix {
+	sc := d.scratch[gradOut.Rows]
+	if sc == nil { // Backward without a matching Forward: tests only
+		sc = &denseScratch{preAct: NewMatrix(gradOut.Rows, d.W.Cols), out: NewMatrix(gradOut.Rows, d.W.Cols)}
+		d.scratch[gradOut.Rows] = sc
+	}
+	if sc.delta == nil {
+		sc.delta = NewMatrix(gradOut.Rows, gradOut.Cols)
+		sc.gradIn = NewMatrix(gradOut.Rows, d.W.Rows)
+	}
 	// Apply activation derivative on a copy; rows are independent, so the
 	// copy+mask and the delta backpropagation split across the pool.
-	delta := NewMatrix(gradOut.Rows, gradOut.Cols)
-	gradIn := NewMatrix(delta.Rows, d.W.Rows)
+	delta := sc.delta
+	gradIn := sc.gradIn
 	parallelFor(delta.Rows, delta.Rows*delta.Cols*(d.W.Rows+1), func(lo, hi int) {
 		copy(delta.Data[lo*delta.Cols:hi*delta.Cols], gradOut.Data[lo*delta.Cols:hi*delta.Cols])
 		if d.Act == ReLU {
@@ -125,7 +148,11 @@ func (d *Dense) Backward(gradOut *Matrix) *Matrix {
 type Network struct {
 	Layers []*Dense
 
-	predictIn *Matrix // reused 1-row input of Predict
+	predictIn *Matrix   // reused 1-row input of Predict
+	batchIn   *Matrix   // reused input matrix of PredictBatch
+	batchFlat []float64 // reused output storage of PredictBatch
+	batchRes  [][]float64
+	trainGrad *Matrix // reused dL/d(out) of TrainBatch
 }
 
 // NewNetwork builds a net with the given layer widths, ReLU on hidden layers
@@ -171,18 +198,36 @@ func (n *Network) Predict(in []float64) []float64 {
 }
 
 // PredictBatch runs many input vectors through one forward pass and returns
-// one copied output row per input. Each output row is bitwise identical to
-// what Predict would return for that input alone, so callers can batch
+// one output row per input. Each output row is bitwise identical to what
+// Predict would return for that input alone, so callers can batch
 // greedy/argmin scans over candidate inputs (all valid actions, all
-// neighbor designs) without changing results.
+// neighbor designs) without changing results. The returned rows share a
+// pooled buffer that is valid only until the next PredictBatch call on this
+// network; copy rows that must outlive it.
 func (n *Network) PredictBatch(rows [][]float64) [][]float64 {
 	if len(rows) == 0 {
 		return nil
 	}
-	out := n.Forward(FromRows(rows))
-	res := make([][]float64, out.Rows)
-	flat := make([]float64, len(out.Data))
+	cols := len(rows[0])
+	if n.batchIn == nil || n.batchIn.Rows != len(rows) || n.batchIn.Cols != cols {
+		n.batchIn = NewMatrix(len(rows), cols)
+	}
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(n.batchIn.Data[i*cols:], r)
+	}
+	out := n.Forward(n.batchIn)
+	if cap(n.batchFlat) < len(out.Data) {
+		n.batchFlat = make([]float64, len(out.Data))
+	}
+	flat := n.batchFlat[:len(out.Data)]
 	copy(flat, out.Data)
+	if cap(n.batchRes) < out.Rows {
+		n.batchRes = make([][]float64, out.Rows)
+	}
+	res := n.batchRes[:out.Rows]
 	for i := range res {
 		res[i] = flat[i*out.Cols : (i+1)*out.Cols]
 	}
@@ -207,7 +252,11 @@ func (n *Network) TrainBatch(opt Optimizer, in, target, mask *Matrix) float64 {
 	if out.Rows != target.Rows || out.Cols != target.Cols {
 		panic(fmt.Sprintf("nn: target shape (%dx%d) != output (%dx%d)", target.Rows, target.Cols, out.Rows, out.Cols))
 	}
-	grad := NewMatrix(out.Rows, out.Cols)
+	if n.trainGrad == nil || n.trainGrad.Rows != out.Rows || n.trainGrad.Cols != out.Cols {
+		n.trainGrad = NewMatrix(out.Rows, out.Cols)
+	}
+	grad := n.trainGrad
+	grad.Zero()
 	loss := 0.0
 	count := 0.0
 	for i := range out.Data {

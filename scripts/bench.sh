@@ -6,10 +6,15 @@
 #
 # The output path is the first argument (default BENCH_local.json at the
 # repo root, which is a scratch name: committed artifacts are snapshotted
-# explicitly, e.g. `scripts/bench.sh BENCH_pr7.json`, so a casual local
+# explicitly, e.g. `scripts/bench.sh BENCH_pr8.json`, so a casual local
 # run never clobbers them). benchtime defaults to 0.5s per bench
 # (raise it for more stable numbers). The raw `go test` output is echoed
 # as the benches run.
+#
+# Every summary carries a `_meta` block (git revision, CPU count,
+# GOMAXPROCS) so a committed BENCH_*.json is interpretable later: a
+# parallel ≈ sequential result means nothing without knowing whether the
+# host had the cores.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +23,11 @@ benchtime="${2:-0.5s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then rev="${rev}-dirty"; fi
+ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+gomaxprocs="${GOMAXPROCS:-$ncpu}"
+
 # Root-package benches: design-deployment memoization and batch execution
 # (RunBatchWorkers emits the 1..NumCPU worker saturation curve).
 go test -run '^$' -bench 'DeployRevisit|RunBatch|EngineDeploy|EngineRunQuery' \
@@ -25,8 +35,18 @@ go test -run '^$' -bench 'DeployRevisit|RunBatch|EngineDeploy|EngineRunQuery' \
 # Relation substrate: hashing, scattering, column lookup.
 go test -run '^$' -bench 'HashAssign|SplitByHash|SplitRoundRobin|ColLookup' \
   -benchmem -benchtime "$benchtime" ./internal/relation/ | tee -a "$tmp"
+# NN kernels: tiled matmul, fused forward, pooled train/predict batches.
+go test -run '^$' -bench 'MatMul|Forward|PredictBatch|NetworkTrainBatch' \
+  -benchmem -benchtime "$benchtime" ./internal/nn/ | tee -a "$tmp"
+# DQN step: TrainStep B/op is the pooled-scratch acceptance number.
+go test -run '^$' -bench 'TrainStep|ValuesBatch' \
+  -benchmem -benchtime "$benchtime" ./internal/dqn/ | tee -a "$tmp"
+# Offline training: serial vs prefetched wall-clock and the prefetch-worker
+# saturation curve (workers=N sub-benches).
+go test -run '^$' -bench 'TrainOffline' \
+  -benchmem -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp"
 
-awk '
+awk -v rev="$rev" -v ncpu="$ncpu" -v gomaxprocs="$gomaxprocs" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
@@ -36,10 +56,13 @@ awk '
         if ($i == "B/op")  bytes = $(i-1)
     }
     if (ns == "") next
-    if (n++) printf ",\n"
+    printf ",\n"
     printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s}", name, ns, (bytes == "" ? "null" : bytes)
 }
-BEGIN { printf "{\n" }
+BEGIN {
+    printf "{\n"
+    printf "  \"_meta\": {\"git_revision\": \"%s\", \"num_cpu\": %s, \"gomaxprocs\": %s}", rev, ncpu, gomaxprocs
+}
 END   { printf "\n}\n" }
 ' "$tmp" > "$out"
 
