@@ -111,6 +111,11 @@ func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoi
 // ErrHalted is returned by training when Advisor.HaltAfter is reached.
 var ErrHalted = core.ErrHalted
 
+// ErrCorruptCheckpoint marks a checkpoint file that failed integrity
+// verification (truncation, bit flip, foreign file); LoadCheckpoint never
+// decodes such a file.
+var ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
+
 // NewForecaster builds a workload-mix forecaster over vectors of the given
 // size (Holt's linear trend when trend is true).
 func NewForecaster(size int, alpha float64, trend bool) (*Forecaster, error) {

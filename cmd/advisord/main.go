@@ -9,6 +9,7 @@
 //	         [-tenant-queue N] [-global-queue N] [-batch-workers N]
 //	         [-tier1 F] [-tier2 F] [-tick-ms N] [-advise-ms N]
 //	         [-checkpoint-dir DIR]
+//	         [-state-dir DIR] [-checkpoint-every-ms N] [-checkpoint-keep K]
 //	         [-preload N] [-bench micro] [-scale F] [-offline-episodes N]
 //
 // API (see internal/serve):
@@ -20,10 +21,19 @@
 //	GET    /tenants/{id}/stats   per-tenant stats (never shed)
 //	GET    /tenants/{id}/explain?query=q1
 //	GET    /healthz              liveness + degradation tier (never shed)
+//	GET    /readyz               readiness (503 until recovery completes)
 //	GET    /statz                global service stats
 //
 // -preload N creates N tenants named t1..tN at startup so a load driver
 // can start immediately.
+//
+// -state-dir DIR makes the service crash-safe: tenant specs persist in
+// an fsync'd manifest, advisor state is checkpointed in the background
+// into verified generation files, and a restart recovers every tenant
+// from the newest generation that passes integrity verification before
+// /readyz flips to 200. The listener comes up immediately (healthz
+// answers during recovery); request paths answer 503 + Retry-After
+// until recovery completes.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting, the
 // admission gate closes (new work answers 503), queued and running batches
@@ -52,6 +62,9 @@ func main() {
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		drainSec  = flag.Float64("drain-sec", 30, "max seconds to drain admitted work at shutdown")
 		ckptDir   = flag.String("checkpoint-dir", "", "write per-tenant checkpoints here at shutdown")
+		stateDir  = flag.String("state-dir", "", "durable state directory (crash-safe manifest + generational checkpoints)")
+		ckptMS    = flag.Int64("checkpoint-every-ms", 5000, "background checkpoint interval (ms, with -state-dir)")
+		ckptKeep  = flag.Int("checkpoint-keep", 3, "checkpoint generations to retain per tenant (with -state-dir)")
 		preload   = flag.Int("preload", 0, "create this many tenants (t1..tN) at startup")
 		bench     = flag.String("bench", "micro", "benchmark for preloaded tenants")
 		scale     = flag.Float64("scale", 0.1, "data scale for preloaded tenants")
@@ -71,6 +84,9 @@ func main() {
 	flag.Parse()
 
 	cfg.CheckpointDir = *ckptDir
+	cfg.StateDir = *stateDir
+	cfg.CheckpointEvery = time.Duration(*ckptMS) * time.Millisecond
+	cfg.CheckpointKeep = *ckptKeep
 	cfg.TickEvery = time.Duration(*tickMS) * time.Millisecond
 	cfg.AdviseEvery = time.Duration(*adviseMS) * time.Millisecond
 	cfg.Tier1Occupancy, cfg.Tier2Occupancy = *tier1, *tier2
@@ -83,21 +99,32 @@ func main() {
 	}
 	srv.Start()
 
-	for i := 1; i <= *preload; i++ {
-		spec := serve.TenantSpec{
-			ID:              fmt.Sprintf("t%d", i),
-			Bench:           *bench,
-			Scale:           *scale,
-			Seed:            int64(i),
-			OfflineEpisodes: *episodes,
+	preloadTenants := func() {
+		for i := 1; i <= *preload; i++ {
+			id := fmt.Sprintf("t%d", i)
+			if _, exists := srv.Tenant(id); exists {
+				continue // recovered from the manifest
+			}
+			spec := serve.TenantSpec{
+				ID:              id,
+				Bench:           *bench,
+				Scale:           *scale,
+				Seed:            int64(i),
+				OfflineEpisodes: *episodes,
+			}
+			start := time.Now()
+			if _, err := srv.CreateTenant(spec); err != nil {
+				fmt.Fprintln(os.Stderr, "advisord: preload:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("advisord: tenant %s ready (%s %g, bootstrap %.0fms)\n",
+				spec.ID, spec.Bench, spec.Scale, time.Since(start).Seconds()*1000)
 		}
-		start := time.Now()
-		if _, err := srv.CreateTenant(spec); err != nil {
-			fmt.Fprintln(os.Stderr, "advisord: preload:", err)
-			os.Exit(2)
-		}
-		fmt.Printf("advisord: tenant %s ready (%s %g, bootstrap %.0fms)\n",
-			spec.ID, spec.Bench, spec.Scale, time.Since(start).Seconds()*1000)
+	}
+	if *stateDir == "" {
+		// No durable state: the server is born ready, so preload before the
+		// listener comes up and every request path works from the first byte.
+		preloadTenants()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -105,6 +132,34 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("advisord: listening on %s (%d workers, queue %d, tiers %.2f/%.2f)\n",
 		*addr, cfg.MaxConcurrent, cfg.MaxGlobalQueue, cfg.Tier1Occupancy, cfg.Tier2Occupancy)
+
+	if *stateDir != "" {
+		// Crash-safe mode: the listener is already up (healthz live,
+		// request paths 503 + Retry-After), so recovery time is visible to
+		// probes instead of looking like a dead host. Recover the fleet,
+		// top up with preload, then open the gates.
+		rep, err := srv.Recover()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "advisord: recover:", err)
+			os.Exit(2)
+		}
+		for _, tr := range rep.Tenants {
+			switch {
+			case tr.Err != "":
+				fmt.Fprintf(os.Stderr, "advisord: recovery: tenant %s FAILED: %s\n", tr.ID, tr.Err)
+			case tr.FreshBootstrap:
+				fmt.Printf("advisord: recovery: tenant %s fresh bootstrap — no verified checkpoint (found %d, corrupt %d)\n",
+					tr.ID, tr.Generations, tr.CorruptSkipped)
+			default:
+				fmt.Printf("advisord: recovery: tenant %s restored generation %d (found %d, corrupt %d)\n",
+					tr.ID, tr.RestoredGen, tr.Generations, tr.CorruptSkipped)
+			}
+		}
+		preloadTenants()
+		srv.MarkReady()
+		fmt.Printf("advisord: ready (%d tenants, recovery %.0fms)\n",
+			len(srv.TenantList()), rep.DurationSec*1000)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -9,11 +9,20 @@
 //	loadgen [-addr http://localhost:8080] [-tenants 4] [-concurrency 2]
 //	        [-overload 1] [-duration 20s] [-deadline-ms 0] [-repeat 1]
 //	        [-low-priority-frac 0] [-create] [-scale F]
-//	        [-offline-episodes N] [-out BENCH.json] [-check]
-//	        [-check-p95-ms 5000]
+//	        [-offline-episodes N] [-max-retries N] [-out BENCH.json]
+//	        [-check] [-check-p95-ms 5000]
 //
 // With -create, the tenants (t1..tN) are created first; otherwise they
 // must already exist (e.g. advisord -preload).
+//
+// With -max-retries > 0, shed (429), not-ready (503 + Retry-After) and
+// connection-level failures are retried with jittered exponential
+// backoff that honors the server's Retry-After hint, up to N attempts
+// per request. 429s still count as shed samples on every attempt (so
+// overload contract checks see them); retried 503/transport attempts
+// are absorbed into the `retries` column instead of terminal errors —
+// this is what makes availability across a crash-restart window
+// measurable rather than just fatal.
 //
 // With -check, the run becomes an assertion harness for the graceful-
 // degradation contract and exits non-zero unless:
@@ -32,9 +41,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -48,6 +59,7 @@ type tenantReport struct {
 	OtherErrors   int     `json:"other_errors"`
 	NoRetryAfter  int     `json:"shed_without_retry_after"`
 	DeadlineMiss  int     `json:"deadline_misses"`
+	Retries       int     `json:"retries"`
 	QPS           float64 `json:"qps"`
 	AvgMS         float64 `json:"avg_ms"`
 	P50MS         float64 `json:"p50_ms"`
@@ -96,6 +108,7 @@ func main() {
 		outPath  = flag.String("out", "", "write the JSON summary to this file")
 		check    = flag.Bool("check", false, "assert the graceful-degradation contract; exit 1 on violation")
 		p95Bound = flag.Float64("check-p95-ms", 5000, "admitted-request p95 bound for -check")
+		retries  = flag.Int("max-retries", 0, "retry 429/503/transport failures up to N times with jittered backoff (0 = fail fast)")
 	)
 	flag.Parse()
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -128,6 +141,7 @@ func main() {
 
 	var mu sync.Mutex
 	samplesByTenant := make(map[string][]sample)
+	retriesByTenant := make(map[string]int)
 	var wg sync.WaitGroup
 	stop := time.Now().Add(*duration)
 	for ti := 1; ti <= *tenants; ti++ {
@@ -135,6 +149,7 @@ func main() {
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			lowPriority := *lowFrac > 0 && float64(w) < *lowFrac*float64(workers)
+			rng := rand.New(rand.NewSource(int64(ti*1000 + w)))
 			go func() {
 				defer wg.Done()
 				req := map[string]any{"repeat": *repeat}
@@ -147,15 +162,18 @@ func main() {
 				}
 				body, _ := json.Marshal(req)
 				url := *addr + "/tenants/" + tenant + "/batch"
+				attempt := 0
 				for time.Now().Before(stop) {
 					start := time.Now()
 					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 					sm := sample{wallMS: float64(time.Since(start).Microseconds()) / 1000}
+					retryAfterSec := 0
 					if err != nil {
 						sm.transportErr = true
 					} else {
 						sm.status = resp.StatusCode
 						sm.retryAfter = resp.Header.Get("Retry-After") != ""
+						retryAfterSec, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
 						if resp.StatusCode == http.StatusOK {
 							var br struct {
 								DeadlineMiss bool `json:"deadline_miss"`
@@ -167,10 +185,33 @@ func main() {
 						}
 						resp.Body.Close()
 					}
-					mu.Lock()
-					samplesByTenant[tenant] = append(samplesByTenant[tenant], sm)
-					mu.Unlock()
-					if sm.status == http.StatusTooManyRequests {
+
+					// Retry classification. A 429 is always recorded — the
+					// overload contract counts sheds — but with retry budget
+					// left the worker backs off and tries again instead of
+					// moving on. A transport failure or a 503 carrying
+					// Retry-After (the server restarting or recovering) is
+					// absorbed into the retries column while budget lasts;
+					// only exhaustion records it as a terminal error.
+					shed := sm.status == http.StatusTooManyRequests
+					transient := sm.transportErr ||
+						(sm.status == http.StatusServiceUnavailable && sm.retryAfter)
+					retrying := (shed || transient) && attempt < *retries
+					if shed || !retrying {
+						mu.Lock()
+						samplesByTenant[tenant] = append(samplesByTenant[tenant], sm)
+						mu.Unlock()
+					}
+					if retrying {
+						mu.Lock()
+						retriesByTenant[tenant]++
+						mu.Unlock()
+						attempt++
+						sleepUntil(stop, backoffDelay(rng, attempt, retryAfterSec))
+						continue
+					}
+					attempt = 0
+					if shed {
 						// Closed-loop backoff on shed: keep offering load but
 						// don't melt the local CPU spinning on 429s.
 						time.Sleep(10 * time.Millisecond)
@@ -189,6 +230,7 @@ func main() {
 		tenant := fmt.Sprintf("t%d", ti)
 		rep := reduce(tenant, samplesByTenant[tenant], duration.Seconds())
 		rep.QueriesServed = tenantQueries(client, *addr, tenant)
+		rep.Retries = retriesByTenant[tenant]
 		sum.PerTenant = append(sum.PerTenant, rep)
 	}
 	var all []sample
@@ -205,11 +247,11 @@ func main() {
 	}
 
 	for _, rep := range sum.PerTenant {
-		fmt.Printf("loadgen: %-4s qps %7.1f  ok %5d  shed %5d (%.0f%%)  p50 %6.1fms  p95 %6.1fms  p99 %6.1fms  miss %d\n",
-			rep.Tenant, rep.QPS, rep.OK, rep.Shed, rep.ShedRate*100, rep.P50MS, rep.P95MS, rep.P99MS, rep.DeadlineMiss)
+		fmt.Printf("loadgen: %-4s qps %7.1f  ok %5d  shed %5d (%.0f%%)  retries %4d  p50 %6.1fms  p95 %6.1fms  p99 %6.1fms  miss %d\n",
+			rep.Tenant, rep.QPS, rep.OK, rep.Shed, rep.ShedRate*100, rep.Retries, rep.P50MS, rep.P95MS, rep.P99MS, rep.DeadlineMiss)
 	}
-	fmt.Printf("loadgen: total qps %.1f  shed rate %.1f%%  5xx %d  final tier %d\n",
-		sum.Total.QPS, sum.Total.ShedRate*100, sum.Total.Errors5xx, sum.FinalTier)
+	fmt.Printf("loadgen: total qps %.1f  shed rate %.1f%%  retries %d  5xx %d  final tier %d\n",
+		sum.Total.QPS, sum.Total.ShedRate*100, sum.Total.Retries, sum.Total.Errors5xx, sum.FinalTier)
 
 	if *outPath != "" {
 		data, _ := json.MarshalIndent(sum, "", "  ")
@@ -244,6 +286,7 @@ func aggregateTotals(reps []tenantReport, all []sample, durSec float64) tenantRe
 		total.OtherErrors += rep.OtherErrors
 		total.NoRetryAfter += rep.NoRetryAfter
 		total.DeadlineMiss += rep.DeadlineMiss
+		total.Retries += rep.Retries
 		total.QPS += rep.QPS
 		total.QueriesServed += rep.QueriesServed
 	}
@@ -389,6 +432,39 @@ func checkContract(sum *summary, overload, p95Bound float64) []string {
 		}
 	}
 	return fails
+}
+
+// backoffDelay computes the wait before retry number attempt (1-based):
+// full-jittered exponential backoff (base 50ms, doubling, capped at 2s),
+// raised to the server's Retry-After hint when one was given (capped at
+// 5s so a stale hint cannot stall the driver).
+func backoffDelay(rng *rand.Rand, attempt, retryAfterSec int) time.Duration {
+	shift := attempt
+	if shift > 5 {
+		shift = 5
+	}
+	d := 50 * time.Millisecond << shift
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)))
+	if ra := time.Duration(retryAfterSec) * time.Second; ra > d {
+		if ra > 5*time.Second {
+			ra = 5 * time.Second
+		}
+		d = ra
+	}
+	return d
+}
+
+// sleepUntil sleeps for d but never past the run's stop time.
+func sleepUntil(stop time.Time, d time.Duration) {
+	if rem := time.Until(stop); d > rem {
+		d = rem
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"math/rand"
 	"net/http"
 	"testing"
+	"time"
 )
 
 // TestAggregateTotalsSumsQueriesServed is the regression test for the "all"
@@ -58,5 +60,39 @@ func TestAggregateTotalsLatencyFromPooledSamples(t *testing.T) {
 	}
 	if total.QueriesServed != 0 {
 		t.Fatalf("QueriesServed = %d from empty counters", total.QueriesServed)
+	}
+}
+
+// TestAggregateTotalsSumsRetries: the retries column is additive like
+// every other counter — a crash-window availability measure must not
+// vanish from the fleet-wide row.
+func TestAggregateTotalsSumsRetries(t *testing.T) {
+	reps := []tenantReport{
+		{Tenant: "t1", Requests: 5, OK: 5, Retries: 7},
+		{Tenant: "t2", Requests: 5, OK: 5, Retries: 3},
+	}
+	if total := aggregateTotals(reps, nil, 1); total.Retries != 10 {
+		t.Fatalf("Retries = %d, want 10", total.Retries)
+	}
+}
+
+// TestBackoffDelayBounds: jittered exponential backoff stays inside
+// [base/2, cap], never sleeps zero or negative, and a Retry-After hint
+// raises — but never lowers past its 5s cap — the delay.
+func TestBackoffDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 1; attempt <= 10; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := backoffDelay(rng, attempt, 0)
+			if d <= 0 || d > 2*time.Second {
+				t.Fatalf("attempt %d: delay %v outside (0, 2s]", attempt, d)
+			}
+		}
+	}
+	if d := backoffDelay(rng, 1, 3); d < 3*time.Second {
+		t.Fatalf("Retry-After 3s not honored: %v", d)
+	}
+	if d := backoffDelay(rng, 1, 60); d != 5*time.Second {
+		t.Fatalf("stale Retry-After must cap at 5s, got %v", d)
 	}
 }

@@ -1,0 +1,543 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Process-level crash-restart soak for advisord (DESIGN.md §11).
+//
+// Unlike the in-process fault soak in this package — which injects
+// faults inside one advisor — this harness exercises the durability
+// subsystem the only way it can honestly be exercised: it runs the real
+// advisord binary with -state-dir, SIGKILLs it at seeded random points
+// under live batch traffic (including mid-checkpoint-write), restarts
+// it, and asserts the recovery invariants end to end:
+//
+//   - every tenant recorded in the manifest comes back after each kill,
+//   - recovered checkpoints always verify or fall back a generation —
+//     a deliberately truncated newest generation must be skipped for the
+//     previous one, never decoded,
+//   - checkpoint generation numbers are monotonic across restarts,
+//   - after /readyz reports 200 the service answers traffic without a
+//     single 5xx, and the readiness gap itself is bounded.
+
+// CrashConfig parameterizes a crash-restart soak.
+type CrashConfig struct {
+	// Seed drives kill timing. Identical seeds replay identical schedules.
+	Seed int64
+	// Cycles is the number of SIGKILL/restart cycles (default 3). The
+	// soak runs Cycles+1 process instances: each of the first Cycles is
+	// killed, the final instance only verifies recovery.
+	Cycles int
+	// Tenants is the -preload tenant count (default 2).
+	Tenants int
+	// AdvisordBin is the advisord binary path (required).
+	AdvisordBin string
+	// LoadgenBin, when set, bridges a loadgen run with -max-retries
+	// across the first kill/restart window and asserts its availability
+	// counters (0 terminal 5xx/transport errors, >0 ok, >0 retries).
+	LoadgenBin string
+	// Addr is the host:port advisord listens on (default 127.0.0.1:18201).
+	Addr string
+	// StateDir is the durable state directory (required; reused across
+	// all cycles — that is the point).
+	StateDir string
+	// MinUp/MaxUp bound the seeded uptime before each kill (default 2s/4s).
+	MinUp, MaxUp time.Duration
+	// ReadyTimeout bounds how long a restart may take to answer /readyz
+	// 200 (default 60s). Exceeding it is a violation, not a hang.
+	ReadyTimeout time.Duration
+	// MidWriteCycle picks the kill that tries to land mid-checkpoint-write
+	// by watching for checkpoint temp files (default 1; -1 disables). If
+	// no write is caught in the watch window the kill proceeds and the
+	// mid-write state is synthesized with a stray temp file, reported as
+	// such.
+	MidWriteCycle int
+	// CorruptCycle picks the kill after which the newest checkpoint
+	// generation of t1 is truncated, forcing the next recovery onto the
+	// fallback ladder (default 1; -1 disables).
+	CorruptCycle int
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c CrashConfig) withDefaults() (CrashConfig, error) {
+	if c.AdvisordBin == "" || c.StateDir == "" {
+		return c, fmt.Errorf("chaos: crash soak needs AdvisordBin and StateDir")
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 3
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 2
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:18201"
+	}
+	if c.MinUp <= 0 {
+		c.MinUp = 2 * time.Second
+	}
+	if c.MaxUp < c.MinUp {
+		c.MaxUp = c.MinUp + 2*time.Second
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 60 * time.Second
+	}
+	if c.MidWriteCycle == 0 {
+		c.MidWriteCycle = 1
+	}
+	if c.CorruptCycle == 0 {
+		c.CorruptCycle = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// CrashCycleReport records one process instance's lifecycle.
+type CrashCycleReport struct {
+	Cycle       int     `json:"cycle"`
+	RecoverySec float64 `json:"recovery_sec"`
+	UptimeSec   float64 `json:"uptime_sec"`
+	// Restored maps tenant → restored generation (-1 = fresh bootstrap);
+	// empty on the first instance (nothing to recover).
+	Restored       map[string]int64 `json:"restored,omitempty"`
+	CorruptSkipped int              `json:"corrupt_skipped"`
+	FreshBootstrap int              `json:"fresh_bootstraps"`
+	// MidWriteKill is set when the SIGKILL landed while a checkpoint
+	// temp file existed — a genuine mid-write kill. MidWriteSynthesized
+	// marks the fallback where the torn-write debris was planted after a
+	// timed kill instead.
+	MidWriteKill        bool `json:"mid_write_kill"`
+	MidWriteSynthesized bool `json:"mid_write_synthesized"`
+	CorruptInjected     bool `json:"corrupt_injected"`
+	Killed              bool `json:"killed"`
+}
+
+// CrashReport is the soak outcome. Violations empty = all invariants held.
+type CrashReport struct {
+	Cycles     []CrashCycleReport `json:"cycles"`
+	Violations []string           `json:"violations,omitempty"`
+	Loadgen    map[string]any     `json:"loadgen,omitempty"`
+}
+
+// readyPayload mirrors /readyz's 200 body.
+type readyPayload struct {
+	Status   string `json:"status"`
+	Recovery *struct {
+		Tenants []struct {
+			ID             string `json:"id"`
+			Generations    int    `json:"generations_found"`
+			CorruptSkipped int    `json:"corrupt_skipped"`
+			RestoredGen    int64  `json:"restored_generation"`
+			FreshBootstrap bool   `json:"fresh_bootstrap"`
+			Err            string `json:"error"`
+		} `json:"tenants"`
+		DurationSec float64 `json:"duration_sec"`
+	} `json:"recovery"`
+}
+
+// crashGen is one generation file found on disk.
+type crashGen struct {
+	gen  uint64
+	path string
+}
+
+// tenantGens lists a tenant's checkpoint generations newest-first.
+func tenantGens(stateDir, tenant string) []crashGen {
+	dir := filepath.Join(stateDir, "ckpt", tenant)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []crashGen
+	for _, e := range entries {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), "gen-%d.ckpt", &g); err == nil &&
+			strings.HasSuffix(e.Name(), ".ckpt") && !strings.Contains(e.Name(), ".tmp") {
+			out = append(out, crashGen{gen: g, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gen > out[j].gen })
+	return out
+}
+
+// anyCkptTempFile reports whether any tenant checkpoint directory holds
+// a temp file right now — i.e. a checkpoint write is in flight.
+func anyCkptTempFile(stateDir string) bool {
+	root := filepath.Join(stateDir, "ckpt")
+	tenants, err := os.ReadDir(root)
+	if err != nil {
+		return false
+	}
+	for _, td := range tenants {
+		if !td.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(root, td.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".ckpt.tmp") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunCrashSoak executes the seeded kill/restart soak and returns the
+// report. A non-nil error means the harness itself failed (binary
+// missing, process refused to start); invariant failures land in
+// Report.Violations instead.
+func RunCrashSoak(cfg CrashConfig) (*CrashReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &CrashReport{}
+	violate := func(format string, args ...any) {
+		v := fmt.Sprintf(format, args...)
+		rep.Violations = append(rep.Violations, v)
+		cfg.Logf("VIOLATION: %s", v)
+	}
+	base := "http://" + cfg.Addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	logDir := filepath.Join(cfg.StateDir, "logs")
+	if err := os.MkdirAll(logDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	prevRestored := map[string]int64{}
+	prevNewest := map[string]uint64{}
+	var corruptExpect int64 = -1 // fallback generation the next recovery must land on
+	var loadgenCmd *osexec.Cmd
+	loadgenOut := filepath.Join(logDir, "loadgen.json")
+
+	for cycle := 0; cycle <= cfg.Cycles; cycle++ {
+		cr := CrashCycleReport{Cycle: cycle}
+
+		logPath := filepath.Join(logDir, fmt.Sprintf("advisord-%d.log", cycle))
+		logFile, err := os.Create(logPath)
+		if err != nil {
+			return rep, err
+		}
+		cmd := osexec.Command(cfg.AdvisordBin,
+			"-addr", cfg.Addr,
+			"-state-dir", cfg.StateDir,
+			"-preload", fmt.Sprint(cfg.Tenants),
+			"-bench", "micro",
+			"-scale", "0.05",
+			"-offline-episodes", "2",
+			"-advise-ms", "50",
+			"-checkpoint-every-ms", "100",
+			"-checkpoint-keep", "3",
+			"-tick-ms", "20",
+		)
+		cmd.Stdout, cmd.Stderr = logFile, logFile
+		if err := cmd.Start(); err != nil {
+			logFile.Close()
+			return rep, fmt.Errorf("chaos: start advisord (cycle %d): %w", cycle, err)
+		}
+		kill := func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			logFile.Close()
+		}
+
+		// Wait for /readyz 200 — the bounded availability gap.
+		began := time.Now()
+		var ready readyPayload
+		for {
+			if time.Since(began) > cfg.ReadyTimeout {
+				violate("cycle %d: not ready after %v (see %s)", cycle, cfg.ReadyTimeout, logPath)
+				kill()
+				rep.Cycles = append(rep.Cycles, cr)
+				return rep, nil
+			}
+			resp, err := client.Get(base + "/readyz")
+			if err == nil {
+				code := resp.StatusCode
+				if code == http.StatusOK {
+					err = json.NewDecoder(resp.Body).Decode(&ready)
+					resp.Body.Close()
+					if err == nil {
+						break
+					}
+					violate("cycle %d: readyz body: %v", cycle, err)
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		cr.RecoverySec = time.Since(began).Seconds()
+		cfg.Logf("cycle %d: ready in %.2fs", cycle, cr.RecoverySec)
+
+		// Invariant: every expected tenant exists.
+		ids := listTenantIDs(client, base)
+		for i := 1; i <= cfg.Tenants; i++ {
+			id := fmt.Sprintf("t%d", i)
+			if !ids[id] {
+				violate("cycle %d: tenant %s missing after recovery (have %v)", cycle, id, ids)
+			}
+		}
+
+		// Invariants on the recovery report (every instance after the first).
+		if cycle > 0 {
+			if ready.Recovery == nil {
+				violate("cycle %d: readyz carried no recovery report", cycle)
+			} else {
+				cr.Restored = map[string]int64{}
+				for _, tr := range ready.Recovery.Tenants {
+					cr.Restored[tr.ID] = tr.RestoredGen
+					cr.CorruptSkipped += tr.CorruptSkipped
+					if tr.FreshBootstrap {
+						cr.FreshBootstrap++
+					}
+					if tr.Err != "" {
+						violate("cycle %d: tenant %s recovery error: %s", cycle, tr.ID, tr.Err)
+					}
+					if prev, ok := prevRestored[tr.ID]; ok && tr.RestoredGen < prev {
+						violate("cycle %d: tenant %s restored generation went backwards: %d < %d",
+							cycle, tr.ID, tr.RestoredGen, prev)
+					}
+					prevRestored[tr.ID] = tr.RestoredGen
+				}
+				if len(ready.Recovery.Tenants) != cfg.Tenants {
+					violate("cycle %d: recovery report covers %d tenants, want %d",
+						cycle, len(ready.Recovery.Tenants), cfg.Tenants)
+				}
+				if corruptExpect >= 0 {
+					got, ok := cr.Restored["t1"]
+					switch {
+					case !ok:
+						violate("cycle %d: corruption injected but t1 absent from recovery report", cycle)
+					case cr.CorruptSkipped < 1:
+						violate("cycle %d: truncated newest generation was not reported corrupt", cycle)
+					case got != corruptExpect:
+						violate("cycle %d: corrupt newest generation: restored %d, want fallback %d",
+							cycle, got, corruptExpect)
+					default:
+						cfg.Logf("cycle %d: corrupt newest generation fell back to %d as required", cycle, got)
+					}
+					corruptExpect = -1
+				}
+			}
+		}
+
+		// Invariant: 5xx-free traffic after readiness.
+		probeTraffic(client, base, func(format string, args ...any) {
+			violate("cycle %d: %s", cycle, fmt.Sprintf(format, args...))
+		})
+
+		// Bridge a loadgen run across the first kill window.
+		if cycle == 0 && cfg.LoadgenBin != "" {
+			dur := cfg.MaxUp + 15*time.Second
+			loadgenCmd = osexec.Command(cfg.LoadgenBin,
+				"-addr", base,
+				"-tenants", fmt.Sprint(cfg.Tenants),
+				"-concurrency", "1",
+				"-duration", dur.String(),
+				"-max-retries", "200",
+				"-out", loadgenOut,
+			)
+			lgLog, err := os.Create(filepath.Join(logDir, "loadgen.log"))
+			if err != nil {
+				kill()
+				return rep, err
+			}
+			loadgenCmd.Stdout, loadgenCmd.Stderr = lgLog, lgLog
+			if err := loadgenCmd.Start(); err != nil {
+				kill()
+				return rep, fmt.Errorf("chaos: start loadgen: %w", err)
+			}
+			cfg.Logf("cycle 0: loadgen bridging the kill window for %v", dur)
+		}
+
+		if cycle == cfg.Cycles {
+			// Final instance: verification only — clean up and stop.
+			if loadgenCmd != nil {
+				loadgenCmd.Wait()
+				checkLoadgenSummary(loadgenOut, rep, violate)
+				loadgenCmd = nil
+			}
+			kill()
+			rep.Cycles = append(rep.Cycles, cr)
+			break
+		}
+
+		// Seeded uptime, then SIGKILL — on the designated cycle, try to
+		// land the kill while a checkpoint temp file exists.
+		up := cfg.MinUp + time.Duration(rng.Int63n(int64(cfg.MaxUp-cfg.MinUp)+1))
+		time.Sleep(up)
+		cr.UptimeSec = time.Since(began).Seconds()
+		if cycle == cfg.MidWriteCycle {
+			watchUntil := time.Now().Add(3 * time.Second)
+			for time.Now().Before(watchUntil) {
+				if anyCkptTempFile(cfg.StateDir) {
+					cr.MidWriteKill = true
+					break
+				}
+			}
+		}
+		cfg.Logf("cycle %d: SIGKILL after %.2fs up (mid-write=%v)", cycle, up.Seconds(), cr.MidWriteKill)
+		cr.Killed = true
+		kill()
+
+		if cycle == cfg.MidWriteCycle && !cr.MidWriteKill {
+			// The watch missed every write window: plant the same torn-write
+			// debris a mid-write kill leaves, so the recovery path is
+			// exercised regardless, and say so in the report.
+			stray := filepath.Join(cfg.StateDir, "ckpt", "t1", "gen-99999999.ckpt.tmp999")
+			if err := os.WriteFile(stray, []byte("torn checkpoint write"), 0o644); err == nil {
+				cr.MidWriteSynthesized = true
+			}
+		}
+
+		// Invariant: on-disk generation numbers are monotonic.
+		for i := 1; i <= cfg.Tenants; i++ {
+			id := fmt.Sprintf("t%d", i)
+			gens := tenantGens(cfg.StateDir, id)
+			if len(gens) == 0 {
+				violate("cycle %d: tenant %s has no checkpoint generations after kill", cycle, id)
+				continue
+			}
+			if gens[0].gen < prevNewest[id] {
+				violate("cycle %d: tenant %s newest generation regressed: %d < %d",
+					cycle, id, gens[0].gen, prevNewest[id])
+			}
+			prevNewest[id] = gens[0].gen
+		}
+
+		if cycle == cfg.CorruptCycle {
+			gens := tenantGens(cfg.StateDir, "t1")
+			if len(gens) >= 2 {
+				fi, err := os.Stat(gens[0].path)
+				if err == nil {
+					if err := os.Truncate(gens[0].path, fi.Size()/2); err == nil {
+						cr.CorruptInjected = true
+						corruptExpect = int64(gens[1].gen)
+						cfg.Logf("cycle %d: truncated newest generation %d; next recovery must fall back to %d",
+							cycle, gens[0].gen, gens[1].gen)
+					}
+				}
+			}
+			if !cr.CorruptInjected {
+				violate("cycle %d: could not inject corruption (%d generations on disk)", cycle, len(gens))
+			}
+		}
+
+		rep.Cycles = append(rep.Cycles, cr)
+	}
+
+	if loadgenCmd != nil {
+		loadgenCmd.Process.Kill()
+		loadgenCmd.Wait()
+	}
+	return rep, nil
+}
+
+// listTenantIDs fetches GET /tenants and returns the tenant id set.
+func listTenantIDs(client *http.Client, base string) map[string]bool {
+	ids := map[string]bool{}
+	resp, err := client.Get(base + "/tenants")
+	if err != nil {
+		return ids
+	}
+	defer resp.Body.Close()
+	var stats []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return ids
+	}
+	for _, st := range stats {
+		ids[st.ID] = true
+	}
+	return ids
+}
+
+// probeTraffic issues a burst of batch posts after readiness: every
+// answer must be 200, or 429 carrying Retry-After — never a 5xx, never
+// a transport error.
+func probeTraffic(client *http.Client, base string, violate func(string, ...any)) {
+	for i := 0; i < 10; i++ {
+		resp, err := client.Post(base+"/tenants/t1/batch", "application/json",
+			strings.NewReader(`{"repeat":1}`))
+		if err != nil {
+			violate("post-ready batch probe transport error: %v", err)
+			return
+		}
+		code := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case code == http.StatusOK:
+		case code == http.StatusTooManyRequests && retryAfter != "":
+			time.Sleep(20 * time.Millisecond)
+		default:
+			violate("post-ready batch probe: status %d (Retry-After %q)", code, retryAfter)
+			return
+		}
+	}
+}
+
+// checkLoadgenSummary asserts the bridged loadgen run saw availability
+// across the kill window: some successes, some retries absorbing the
+// gap, and zero terminal 5xx/transport errors.
+func checkLoadgenSummary(path string, rep *CrashReport, violate func(string, ...any)) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		violate("loadgen summary missing: %v", err)
+		return
+	}
+	var sum struct {
+		Total map[string]any `json:"total"`
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		violate("loadgen summary unreadable: %v", err)
+		return
+	}
+	rep.Loadgen = sum.Total
+	num := func(key string) float64 {
+		v, _ := sum.Total[key].(float64)
+		return v
+	}
+	if num("ok") == 0 {
+		violate("loadgen admitted nothing across the kill window")
+	}
+	if num("retries") == 0 {
+		violate("loadgen reported zero retries across a kill window — the gap was not measured")
+	}
+	if n := num("errors_5xx"); n > 0 {
+		violate("loadgen saw %g terminal 5xx across the kill window", n)
+	}
+	if n := num("other_errors"); n > 0 {
+		violate("loadgen saw %g terminal transport errors across the kill window", n)
+	}
+}
+
+// crashErr is a tiny helper for tests that want one error out of a report.
+func (r *CrashReport) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return errors.New(strings.Join(r.Violations, "; "))
+}

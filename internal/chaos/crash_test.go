@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var (
+	crashCycles = flag.Int("crash.cycles", 3, "SIGKILL/restart cycles for the crash soak")
+	crashSeed   = flag.Int64("crash.seed", 1, "kill-schedule seed for the crash soak")
+)
+
+// TestCrashRestartSoak builds the real advisord and loadgen binaries and
+// runs the process-level kill-9 soak against them. Gated behind
+// CRASH_SOAK=1 (scripts/crash_soak.sh) because it compiles binaries and
+// runs for tens of seconds — it is a soak, not a unit test.
+func TestCrashRestartSoak(t *testing.T) {
+	if os.Getenv("CRASH_SOAK") != "1" {
+		t.Skip("set CRASH_SOAK=1 (or run scripts/crash_soak.sh) to run the kill-9 soak")
+	}
+	bins := t.TempDir()
+	build := osexec.Command("go", "build", "-o", bins+string(os.PathSeparator),
+		"./cmd/advisord", "./cmd/loadgen")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build binaries: %v\n%s", err, out)
+	}
+
+	stateDir := filepath.Join(t.TempDir(), "state")
+	cfg := CrashConfig{
+		Seed:        *crashSeed,
+		Cycles:      *crashCycles,
+		Tenants:     2,
+		AdvisordBin: filepath.Join(bins, "advisord"),
+		LoadgenBin:  filepath.Join(bins, "loadgen"),
+		Addr:        "127.0.0.1:18201",
+		StateDir:    stateDir,
+		MinUp:       2 * time.Second,
+		MaxUp:       4 * time.Second,
+		Logf:        t.Logf,
+	}
+	rep, err := RunCrashSoak(cfg)
+	if rep != nil {
+		if data, jerr := json.MarshalIndent(rep, "", "  "); jerr == nil {
+			t.Logf("crash soak report:\n%s", data)
+		}
+	}
+	if err != nil {
+		t.Fatalf("crash soak harness: %v", err)
+	}
+	if verr := rep.Err(); verr != nil {
+		t.Fatalf("crash soak invariants violated: %v", verr)
+	}
+
+	// The soak must have delivered the advertised faults, not skated by:
+	// every non-final cycle killed, corruption injected once, and the
+	// mid-write cycle either caught a live checkpoint write or planted
+	// torn-write debris for recovery to sweep.
+	kills, corrupt, midWrite := 0, 0, false
+	for _, c := range rep.Cycles {
+		if c.Killed {
+			kills++
+		}
+		if c.CorruptInjected {
+			corrupt++
+		}
+		if c.MidWriteKill || c.MidWriteSynthesized {
+			midWrite = true
+		}
+	}
+	if kills < *crashCycles {
+		t.Fatalf("only %d SIGKILLs delivered, want %d", kills, *crashCycles)
+	}
+	if *crashCycles > 1 && corrupt != 1 {
+		t.Fatalf("corruption injected %d times, want exactly 1", corrupt)
+	}
+	if *crashCycles > 1 && !midWrite {
+		t.Fatalf("no mid-checkpoint-write kill (real or synthesized) in the soak")
+	}
+}

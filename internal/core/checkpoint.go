@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -30,6 +32,15 @@ var ErrHalted = errors.New("core: training halted by HaltAfter")
 // was written, and the process may exit cleanly. Unlike ErrHalted — the
 // simulated crash — a stop is an orderly shutdown and exits with status 0.
 var ErrStopped = errors.New("core: training stopped by request")
+
+// ErrCorruptCheckpoint marks a checkpoint file that fails integrity
+// verification: wrong magic, unknown format version, truncation, a
+// SHA-256 footer mismatch, or an undecodable payload. LoadCheckpoint
+// wraps every such failure in this sentinel so callers (the recovery
+// fallback ladder in internal/serve, the CLI -resume path) can tell a
+// torn or bit-flipped file apart from an I/O error and fall back to an
+// older generation instead of decoding garbage into a live advisor.
+var ErrCorruptCheckpoint = errors.New("core: corrupt checkpoint")
 
 // CheckpointConfig enables periodic crash-safe training checkpoints.
 type CheckpointConfig struct {
@@ -177,20 +188,101 @@ func (a *Advisor) Restore(ck *Checkpoint) error {
 	return nil
 }
 
+// Checkpoint file framing. A snapshot on disk is
+//
+//	magic (8 B) | format version (4 B BE) | payload length (8 B BE)
+//	| gob payload | SHA-256 over everything before the footer (32 B)
+//
+// so LoadCheckpoint can verify a file end to end — magic, version,
+// declared length, checksum — before a single gob byte is decoded. Any
+// torn write (truncation), bit flip or foreign file fails verification
+// with ErrCorruptCheckpoint instead of gob-decoding garbage into a live
+// advisor.
+const (
+	ckptMagic       = "PADVCKPT"
+	ckptFormat      = 1
+	ckptHeaderLen   = 8 + 4 + 8
+	ckptFooterLen   = sha256.Size
+	ckptMinFileSize = ckptHeaderLen + ckptFooterLen
+)
+
+// encodeCheckpointFile serializes ck into the framed on-disk format.
+func encodeCheckpointFile(ck *Checkpoint) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return nil, fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, ckptMinFileSize+payload.Len())
+	buf = append(buf, ckptMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, ckptFormat)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+// decodeCheckpointFile verifies the framing and checksum of a snapshot
+// and decodes its payload. Every verification failure wraps
+// ErrCorruptCheckpoint.
+func decodeCheckpointFile(data []byte) (*Checkpoint, error) {
+	if len(data) < ckptMinFileSize {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrCorruptCheckpoint, len(data), ckptMinFileSize)
+	}
+	if string(data[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptCheckpoint, data[:8])
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != ckptFormat {
+		return nil, fmt.Errorf("%w: file format %d, this build reads %d", ErrCorruptCheckpoint, v, ckptFormat)
+	}
+	payloadLen := binary.BigEndian.Uint64(data[12:20])
+	if payloadLen != uint64(len(data)-ckptMinFileSize) {
+		return nil, fmt.Errorf("%w: declared payload %d bytes, file holds %d",
+			ErrCorruptCheckpoint, payloadLen, len(data)-ckptMinFileSize)
+	}
+	body := data[:len(data)-ckptFooterLen]
+	var footer [ckptFooterLen]byte
+	copy(footer[:], data[len(data)-ckptFooterLen:])
+	if sha256.Sum256(body) != footer {
+		return nil, fmt.Errorf("%w: SHA-256 mismatch", ErrCorruptCheckpoint)
+	}
+	ck, err := decodePayload(body[ckptHeaderLen:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	return ck, nil
+}
+
+// decodePayload gob-decodes a verified payload. The decode is fenced
+// with a recover: the checksum makes a malformed stream nearly
+// impossible, but a panic escaping into a recovering server would turn
+// bounded data loss into a crash loop.
+func decodePayload(payload []byte) (ck *Checkpoint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ck, err = nil, fmt.Errorf("decode panic: %v", r)
+		}
+	}()
+	ck = new(Checkpoint)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(ck); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
 // SaveCheckpoint writes the current training state to path atomically and
-// durably: the snapshot goes to a unique temp file in the target
-// directory (same filesystem, so the rename is atomic), is fsynced,
-// renamed over path, and the directory is fsynced so the rename itself
-// survives a power loss. A crash at any instant leaves either the old or
-// the new snapshot intact — never a torn file.
+// durably: the framed, checksummed snapshot goes to a unique temp file in
+// the target directory (same filesystem, so the rename is atomic), is
+// fsynced, renamed over path, and the directory is fsynced so the rename
+// itself survives a power loss. A crash at any instant leaves either the
+// old or the new snapshot intact — never a torn file.
 func (a *Advisor) SaveCheckpoint(path string) error {
 	ck, err := a.Checkpoint()
 	if err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
-		return fmt.Errorf("core: encode checkpoint: %w", err)
+	data, err := encodeCheckpointFile(ck)
+	if err != nil {
+		return err
 	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -203,7 +295,7 @@ func (a *Advisor) SaveCheckpoint(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: write checkpoint %s: %w", path, err)
 	}
-	if _, err := f.Write(buf.Bytes()); err != nil {
+	if _, err := f.Write(data); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -233,17 +325,21 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// LoadCheckpoint reads a snapshot written by SaveCheckpoint.
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint, verifying
+// the magic, format version, declared length and SHA-256 footer before
+// decoding. A file that fails any check returns an error wrapping
+// ErrCorruptCheckpoint; a missing file returns the bare I/O error so
+// callers can distinguish "never written" from "written and damaged".
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var ck Checkpoint
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
-		return nil, fmt.Errorf("core: corrupt checkpoint %s: %w", path, err)
+	ck, err := decodeCheckpointFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}
-	return &ck, nil
+	return ck, nil
 }
 
 // Resume loads the snapshot at path into the advisor.

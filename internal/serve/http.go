@@ -57,18 +57,40 @@ type errorResponse struct {
 //	GET    /tenants/{id}/stats   per-tenant stats (never queued, never shed)
 //	GET    /tenants/{id}/explain?query=q1  plan of a workload query
 //	GET    /healthz              liveness + tier (never queued, never shed)
+//	GET    /readyz               readiness (503 until recovery completes)
 //	GET    /statz                global service stats
+//
+// The mutating tenant paths (create, delete, batch) are gated on
+// readiness: until recovery completes they answer 503 + Retry-After so a
+// restarting process never serves traffic against half-rebuilt tenants.
+// healthz stays liveness-only and answers 200 throughout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /tenants", s.handleCreateTenant)
+	mux.HandleFunc("POST /tenants", s.gateReady(s.handleCreateTenant))
 	mux.HandleFunc("GET /tenants", s.handleListTenants)
-	mux.HandleFunc("DELETE /tenants/{id}", s.handleDeleteTenant)
-	mux.HandleFunc("POST /tenants/{id}/batch", s.handleBatch)
+	mux.HandleFunc("DELETE /tenants/{id}", s.gateReady(s.handleDeleteTenant))
+	mux.HandleFunc("POST /tenants/{id}/batch", s.gateReady(s.handleBatch))
 	mux.HandleFunc("GET /tenants/{id}/stats", s.handleTenantStats)
 	mux.HandleFunc("GET /tenants/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
+}
+
+// gateReady rejects request-path traffic with 503 + Retry-After until
+// the server is ready (recovery complete).
+func (s *Server) gateReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error: "serve: recovering", RetryAfterSec: 1,
+			})
+			return
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -228,6 +250,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queue_depth": s.sched.depth(),
 		"inflight":    s.sched.inflightTotal(),
 		"tenants":     len(s.TenantList()),
+	})
+}
+
+// handleReady is the readiness probe: 503 while recovery is in flight,
+// 200 with the recovery report once the server accepts traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"recovery": s.Recovery(),
 	})
 }
 

@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partadvisor/internal/core"
+)
+
+// stateConfig is testConfig plus a durable state dir with a fast
+// background checkpointer, sized so -race tests accumulate several
+// generations in tens of milliseconds.
+func stateConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.StateDir = dir
+	cfg.CheckpointEvery = 20 * time.Millisecond
+	cfg.CheckpointKeep = 3
+	return cfg
+}
+
+func newStateServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := NewServer(stateConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return s
+}
+
+// waitGenerations polls a tenant's checkpoint directory until at least n
+// generations exist.
+func waitGenerations(t *testing.T, dir string, n int) []generationFile {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gens, err := listGenerations(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gens) >= n {
+			return gens
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant never wrote %d checkpoint generations (have %d)", n, len(gens))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func submitOne(t *testing.T, s *Server, tn *Tenant) {
+	t.Helper()
+	wait, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1)
+	if err != nil {
+		if IsShed(err) {
+			return
+		}
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := wait(); err != nil && !errors.Is(err, ErrCancelled) {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+// TestRegistryPersistsAcrossCrash: create tenants, let the background
+// checkpointer run, Halt (the in-process kill -9), and recover into a
+// new server — every tenant must come back from the manifest with its
+// checkpointed training state, and traffic must flow again.
+func TestRegistryPersistsAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	for _, id := range []string{"t1", "t2"} {
+		if _, err := s.CreateTenant(fastSpec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1, _ := s.Tenant("t1")
+	submitOne(t, s, t1)
+	waitGenerations(t, t1.ckptDir, 2)
+	wantEpisodes := 0
+	if gens, err := listGenerations(t1.ckptDir); err == nil {
+		if ck, err := core.LoadCheckpoint(gens[0].Path); err == nil {
+			wantEpisodes = ck.EpisodesTrained
+		}
+	}
+	s.Halt()
+
+	s2 := newStateServer(t, dir)
+	defer mustShutdown(t, s2)
+	if s2.Ready() {
+		t.Fatal("StateDir server must start not-ready")
+	}
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.MarkReady()
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("recovered %d tenants, want 2: %+v", len(rep.Tenants), rep.Tenants)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Err != "" {
+			t.Fatalf("tenant %s recovery failed: %s", tr.ID, tr.Err)
+		}
+		if tr.FreshBootstrap || tr.RestoredGen < 0 {
+			t.Fatalf("tenant %s fell back to fresh bootstrap with intact checkpoints: %+v", tr.ID, tr)
+		}
+	}
+	rt1, ok := s2.Tenant("t1")
+	if !ok {
+		t.Fatal("t1 missing after recovery")
+	}
+	if rt1.Spec != t1.Spec {
+		t.Fatalf("recovered spec drifted: %+v vs %+v", rt1.Spec, t1.Spec)
+	}
+	if got := rt1.adv.EpisodesTrained; got < wantEpisodes {
+		t.Fatalf("restored advisor has %d episodes, checkpoint held %d", got, wantEpisodes)
+	}
+	if st := rt1.Stats(); st.RestoredGeneration < 0 {
+		t.Fatalf("stats restored_generation = %d, want >= 0", st.RestoredGeneration)
+	}
+	submitOne(t, s2, rt1)
+}
+
+// TestRecoveryCorruptionFallback: a torn newest generation (truncated,
+// plus stray temp debris) must be skipped and the previous generation
+// restored, and new generation numbers must stay monotonic past the
+// corrupt file.
+func TestRecoveryCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	if _, err := s.CreateTenant(fastSpec("t1")); err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := s.Tenant("t1")
+	gens := waitGenerations(t, t1.ckptDir, 2)
+	s.Halt()
+
+	gens, err := listGenerations(t1.ckptDir)
+	if err != nil || len(gens) < 2 {
+		t.Fatalf("need >= 2 generations after halt, have %d (%v)", len(gens), err)
+	}
+	newest, second := gens[0], gens[1]
+	// Truncate the newest generation to half — a torn write — and drop a
+	// stray temp file like a crash mid-checkpoint leaves behind.
+	fi, err := os.Stat(newest.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(newest.Path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(t1.ckptDir, "gen-99999999.ckpt.tmp123")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newStateServer(t, dir)
+	defer mustShutdown(t, s2)
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.MarkReady()
+	tr := rep.Tenants[0]
+	if tr.CorruptSkipped != 1 {
+		t.Fatalf("corrupt_skipped = %d, want 1 (%+v)", tr.CorruptSkipped, tr)
+	}
+	if tr.RestoredGen != int64(second.Gen) {
+		t.Fatalf("restored generation %d, want fallback to %d", tr.RestoredGen, second.Gen)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file not swept: %v", err)
+	}
+	rt1, _ := s2.Tenant("t1")
+	if got := rt1.nextGen.Load(); got != newest.Gen+1 {
+		t.Fatalf("nextGen = %d, want %d (monotonic past the corrupt newest)", got, newest.Gen+1)
+	}
+}
+
+// TestRecoveryAllCorruptFreshBootstrap: when every generation is
+// damaged the tenant still comes back — from its deterministic
+// bootstrap — and the report says so instead of failing recovery.
+func TestRecoveryAllCorruptFreshBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	if _, err := s.CreateTenant(fastSpec("t1")); err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := s.Tenant("t1")
+	waitGenerations(t, t1.ckptDir, 1)
+	s.Halt()
+
+	gens, _ := listGenerations(t1.ckptDir)
+	for _, g := range gens {
+		if err := os.WriteFile(g.Path, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := newStateServer(t, dir)
+	defer mustShutdown(t, s2)
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.MarkReady()
+	tr := rep.Tenants[0]
+	if !tr.FreshBootstrap || tr.RestoredGen != -1 {
+		t.Fatalf("want fresh bootstrap, got %+v", tr)
+	}
+	if tr.CorruptSkipped != len(gens) {
+		t.Fatalf("corrupt_skipped = %d, want %d", tr.CorruptSkipped, len(gens))
+	}
+	rt1, ok := s2.Tenant("t1")
+	if !ok {
+		t.Fatal("t1 missing after all-corrupt recovery")
+	}
+	submitOne(t, s2, rt1)
+}
+
+// TestManifestRenameInterrupted: temp debris from a manifest replacement
+// that crashed before its rename must be swept, with the previous
+// manifest staying authoritative. A manifest damaged in place, however,
+// must fail loudly.
+func TestManifestRenameInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	for _, id := range []string{"t1", "t2"} {
+		if _, err := s.CreateTenant(fastSpec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Halt()
+
+	// Crash-simulated replacement: the temp file was written (with
+	// whatever bytes) but never renamed over manifest.json.
+	stray := filepath.Join(dir, "manifest.json.tmp123")
+	if err := os.WriteFile(stray, []byte("half a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newStateServer(t, dir)
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("previous manifest not recovered: %d tenants", len(rep.Tenants))
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("manifest temp debris not swept: %v", err)
+	}
+	s2.Halt()
+
+	// In-place damage: flip a byte inside the committed manifest. The
+	// checksum header must reject it at open.
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.LastIndexByte(data, '}')
+	data[idx] = '{'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(stateConfig(dir)); !errors.Is(err, ErrCorruptManifest) {
+		t.Fatalf("corrupt manifest: want ErrCorruptManifest, got %v", err)
+	}
+}
+
+// TestRecoverySweepsOrphanCheckpointDir: a crash between the manifest
+// delete and the checkpoint-dir removal leaves orphan generations;
+// recovery must sweep them rather than resurrect the tenant.
+func TestRecoverySweepsOrphanCheckpointDir(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	if _, err := s.CreateTenant(fastSpec("t1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Halt()
+
+	orphan := filepath.Join(dir, ckptSubdir, "ghost")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(generationPath(orphan, 0), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newStateServer(t, dir)
+	defer mustShutdown(t, s2)
+	rep, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.MarkReady()
+	if len(rep.Tenants) != 1 || rep.Tenants[0].ID != "t1" {
+		t.Fatalf("orphan dir resurrected a tenant: %+v", rep.Tenants)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan checkpoint dir not swept: %v", err)
+	}
+}
+
+// TestConcurrentCheckpointerTrafficDelete exercises the recovery-path
+// data races under -race: background checkpointers writing generations
+// while batch traffic flows and one tenant is deleted mid-run. The
+// manifest must end up reflecting the deletion and the deleted tenant's
+// checkpoint directory must be gone.
+func TestConcurrentCheckpointerTrafficDelete(t *testing.T) {
+	dir := t.TempDir()
+	cfg := stateConfig(dir)
+	cfg.CheckpointEvery = 5 * time.Millisecond
+	cfg.AdviseEvery = 10 * time.Millisecond
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer mustShutdown(t, s)
+	for _, id := range []string{"t1", "t2"} {
+		if _, err := s.CreateTenant(fastSpec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(300 * time.Millisecond)
+	for _, id := range []string{"t1", "t2"} {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for time.Now().Before(stopAt) {
+					tn, ok := s.Tenant(id)
+					if !ok {
+						return
+					}
+					wait, err := s.SubmitBatch(context.Background(), tn, nil, 1, 0, 1, 1)
+					if err != nil {
+						continue
+					}
+					wait()
+				}
+			}(id)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := s.DeleteTenant("t2"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	specs := s.reg.list()
+	if len(specs) != 1 || specs[0].ID != "t1" {
+		t.Fatalf("manifest after delete: %+v, want just t1", specs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptSubdir, "t2")); !os.IsNotExist(err) {
+		t.Fatalf("deleted tenant's checkpoint dir survives: %v", err)
+	}
+}
+
+// TestReadyzGate: with StateDir the HTTP request paths answer
+// 503 + Retry-After until MarkReady, while healthz stays 200 (liveness
+// is not readiness); /readyz flips 503 → 200 with the recovery report.
+func TestReadyzGate(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	defer mustShutdown(t, s)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	drain := func(resp *http.Response) {
+		resp.Body.Close()
+	}
+
+	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before recovery: %d, want 503", resp.StatusCode)
+	} else {
+		drain(resp)
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz must stay liveness-only 200, got %d", resp.StatusCode)
+	} else {
+		drain(resp)
+	}
+	body, _ := json.Marshal(fastSpec("t1"))
+	resp, err := http.Post(hs.URL+"/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create before ready: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("not-ready 503 must carry Retry-After")
+	}
+	drain(resp)
+
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkReady()
+
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after MarkReady: %d, want 200", resp.StatusCode)
+	} else {
+		var rr struct {
+			Status   string          `json:"status"`
+			Recovery *RecoveryReport `json:"recovery"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		drain(resp)
+		if rr.Status != "ready" || rr.Recovery == nil {
+			t.Fatalf("readyz payload: %+v", rr)
+		}
+	}
+	resp, err = http.Post(hs.URL+"/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after ready: %d, want 201", resp.StatusCode)
+	}
+	drain(resp)
+}
+
+// TestShutdownWritesFinalGeneration: a graceful shutdown appends one
+// last verified generation per tenant, so a clean restart resumes from
+// the very last episode boundary, not the last background interval.
+func TestShutdownWritesFinalGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s := newStateServer(t, dir)
+	if _, err := s.CreateTenant(fastSpec("t1")); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustShutdown(t, s)
+	var genPath string
+	for _, p := range rep.Checkpoints {
+		if strings.Contains(p, ckptSubdir) && strings.Contains(filepath.Base(p), "gen-") {
+			genPath = p
+		}
+	}
+	if genPath == "" {
+		t.Fatalf("no final generation in shutdown report: %v", rep.Checkpoints)
+	}
+	ck, err := core.LoadCheckpoint(genPath)
+	if err != nil {
+		t.Fatalf("final generation does not verify: %v", err)
+	}
+	if ck.Seed != 1 {
+		t.Fatalf("final generation seed %d, want 1", ck.Seed)
+	}
+}

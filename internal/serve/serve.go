@@ -119,6 +119,20 @@ type Config struct {
 	// CheckpointDir, when non-empty, receives one atomic checkpoint per
 	// tenant (<dir>/<tenant>.ckpt) at shutdown.
 	CheckpointDir string
+
+	// StateDir, when non-empty, makes the server crash-safe: tenant specs
+	// are recorded in an fsync'd manifest (written on create, removed on
+	// delete), each tenant's advisor state is checkpointed in the
+	// background into generation-numbered files, and Recover rebuilds the
+	// fleet from this directory after an unclean death.
+	StateDir string
+	// CheckpointEvery is the per-tenant background checkpoint interval
+	// (only meaningful with StateDir; checkpoints land at the next
+	// advising episode boundary after the interval elapses).
+	CheckpointEvery time.Duration
+	// CheckpointKeep is how many checkpoint generations to retain per
+	// tenant; older generations are pruned after each successful write.
+	CheckpointKeep int
 }
 
 // DefaultConfig returns a service envelope sized for the test benchmarks:
@@ -141,6 +155,8 @@ func DefaultConfig() Config {
 		TierDownTicks:     8,
 		TickEvery:         100 * time.Millisecond,
 		AdviseEvery:       500 * time.Millisecond,
+		CheckpointEvery:   5 * time.Second,
+		CheckpointKeep:    3,
 	}
 }
 
@@ -165,6 +181,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: TickEvery %v <= 0", c.TickEvery)
 	case c.AdviseEvery <= 0:
 		return fmt.Errorf("serve: AdviseEvery %v <= 0", c.AdviseEvery)
+	}
+	if c.StateDir != "" {
+		switch {
+		case c.CheckpointEvery <= 0:
+			return fmt.Errorf("serve: CheckpointEvery %v <= 0 with StateDir set", c.CheckpointEvery)
+		case c.CheckpointKeep < 1:
+			return fmt.Errorf("serve: CheckpointKeep %d < 1 with StateDir set", c.CheckpointKeep)
+		}
 	}
 	return nil
 }

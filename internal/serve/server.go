@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"partadvisor/internal/core"
 )
 
 // Server hosts the tenants, the admission-controlled scheduler and the
@@ -17,6 +20,13 @@ type Server struct {
 	cfg   Config
 	sched *scheduler
 	ov    *overload
+
+	// reg is the durable tenant manifest (nil without StateDir). ready
+	// gates the HTTP request paths: it starts false in StateDir mode and
+	// flips true once recovery (or the operator's preload) completes.
+	reg      *registry
+	ready    atomic.Bool
+	recovery atomic.Pointer[RecoveryReport]
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -35,19 +45,39 @@ type Server struct {
 	deadlineMisses atomic.Int64
 }
 
-// NewServer validates the config and builds an idle server.
+// NewServer validates the config and builds an idle server. With
+// StateDir set it opens (or initializes) the durable tenant manifest —
+// a corrupt manifest fails construction with ErrCorruptManifest — and
+// the server starts not-ready: call Recover, then MarkReady.
 func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		sched:   newScheduler(cfg),
 		ov:      newOverload(cfg),
 		tenants: make(map[string]*Tenant),
 		start:   time.Now(),
-	}, nil
+	}
+	if cfg.StateDir != "" {
+		reg, err := openRegistry(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.reg = reg
+	}
+	s.ready.Store(cfg.StateDir == "")
+	return s, nil
 }
+
+// Ready reports whether the server accepts tenant and batch requests
+// over HTTP. Without StateDir it is always true; with StateDir it flips
+// true at MarkReady after recovery.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// MarkReady opens the HTTP request paths after recovery and preload.
+func (s *Server) MarkReady() { s.ready.Store(true) }
 
 // Start launches the worker pool and the overload tick loop.
 func (s *Server) Start() {
@@ -92,23 +122,43 @@ func (s *Server) CreateTenant(spec TenantSpec) (*Tenant, error) {
 	if exists {
 		return nil, fmt.Errorf("serve: tenant %q already exists", spec.ID)
 	}
-	t, err := newTenant(spec, s.cfg.AdviseEvery)
+	t, err := newTenant(spec, s.cfg)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.register(t, true); err != nil {
+		return nil, err
+	}
+	t.startAdvising()
+	return t, nil
+}
+
+// register installs a built tenant into the server. With persist set it
+// also records the spec in the durable manifest inside the same critical
+// section, so a crash immediately after CreateTenant returns cannot lose
+// the tenant, and a concurrent duplicate create cannot interleave between
+// the map insert and the manifest write.
+func (s *Server) register(t *Tenant, persist bool) error {
 	t.paused = func() bool { return s.ov.Tier() >= TierPauseAdvising || s.draining.Load() }
 	s.mu.Lock()
-	if _, raced := s.tenants[spec.ID]; raced {
+	abort := func(err error) error {
 		s.mu.Unlock()
 		t.advCancel()
 		close(t.advDone) // loop never started
-		return nil, fmt.Errorf("serve: tenant %q already exists", spec.ID)
+		return err
 	}
-	t.tq = s.sched.addTenant(spec.ID, spec.Weight)
-	s.tenants[spec.ID] = t
+	if _, raced := s.tenants[t.Spec.ID]; raced {
+		return abort(fmt.Errorf("serve: tenant %q already exists", t.Spec.ID))
+	}
+	if persist && s.reg != nil {
+		if err := s.reg.put(t.Spec); err != nil {
+			return abort(err)
+		}
+	}
+	t.tq = s.sched.addTenant(t.Spec.ID, t.Spec.Weight)
+	s.tenants[t.Spec.ID] = t
 	s.mu.Unlock()
-	t.startAdvising()
-	return t, nil
+	return nil
 }
 
 // DeleteTenant stops a tenant's advising loop, cancels its queued work
@@ -123,7 +173,153 @@ func (s *Server) DeleteTenant(id string) error {
 	}
 	s.sched.removeTenant(id)
 	t.stopAdvising()
+	if s.reg != nil {
+		// Manifest first, then the checkpoint files: a crash in between
+		// leaves orphan generations that recovery sweeps, never a manifest
+		// entry with no way to rebuild the tenant.
+		if err := s.reg.delete(id); err != nil {
+			return err
+		}
+		if t.ckptDir != "" {
+			os.RemoveAll(t.ckptDir)
+		}
+	}
 	return nil
+}
+
+// TenantRecovery reports one tenant's recovery outcome.
+type TenantRecovery struct {
+	ID string `json:"id"`
+	// Generations is how many checkpoint generation files were found on
+	// disk (verified or not).
+	Generations int `json:"generations_found"`
+	// CorruptSkipped counts generations that failed integrity
+	// verification or restore and were skipped on the fallback ladder.
+	CorruptSkipped int `json:"corrupt_skipped"`
+	// RestoredGen is the generation the tenant resumed from; -1 means a
+	// fresh bootstrap (no generation survived verification).
+	RestoredGen int64 `json:"restored_generation"`
+	// FreshBootstrap is set when no verified checkpoint was usable and
+	// the tenant restarted from its deterministic offline bootstrap.
+	FreshBootstrap bool `json:"fresh_bootstrap"`
+	// Err records a tenant whose rebuild failed outright (bad spec,
+	// resource exhaustion); the tenant is absent from the server.
+	Err string `json:"error,omitempty"`
+}
+
+// RecoveryReport summarizes a Recover pass; it is also served by /readyz
+// once the server is ready.
+type RecoveryReport struct {
+	Tenants     []TenantRecovery `json:"tenants"`
+	DurationSec float64          `json:"duration_sec"`
+}
+
+// Recovery returns the last Recover report, or nil.
+func (s *Server) Recovery() *RecoveryReport { return s.recovery.Load() }
+
+// Recover rebuilds the tenant fleet from the durable manifest. For each
+// recorded spec it reconstructs the tenant (deterministic bootstrap),
+// then walks its checkpoint generations newest-first and restores the
+// first one that passes integrity verification — a corrupt generation is
+// skipped, falling back to the previous one, down to a fresh bootstrap
+// if none survive. Generation numbering resumes past the newest file
+// found (even a corrupt one), so generations stay monotonic across
+// restarts. Orphan checkpoint directories with no manifest entry (a
+// crash mid-delete) are removed. Call before Start-ing traffic; finish
+// with MarkReady.
+func (s *Server) Recover() (*RecoveryReport, error) {
+	if s.reg == nil {
+		return nil, fmt.Errorf("serve: Recover requires StateDir")
+	}
+	began := time.Now()
+	rep := &RecoveryReport{}
+	specs := s.reg.list()
+	known := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		known[spec.ID] = true
+		tr := s.recoverTenant(spec)
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	// Sweep checkpoint directories for tenants the manifest no longer
+	// records: DeleteTenant removes the manifest entry first, so a crash
+	// between the two leaves exactly this debris.
+	if entries, err := os.ReadDir(s.reg.dir + "/" + ckptSubdir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() && !known[e.Name()] {
+				os.RemoveAll(s.reg.ckptDir(e.Name()))
+			}
+		}
+	}
+	rep.DurationSec = time.Since(began).Seconds()
+	s.recovery.Store(rep)
+	return rep, nil
+}
+
+// recoverTenant rebuilds one tenant and restores its newest verified
+// checkpoint generation.
+func (s *Server) recoverTenant(spec TenantSpec) TenantRecovery {
+	tr := TenantRecovery{ID: spec.ID, RestoredGen: -1}
+	t, err := newTenant(spec, s.cfg)
+	if err != nil {
+		tr.Err = err.Error()
+		return tr
+	}
+	sweepTempFiles(t.ckptDir)
+	gens, err := listGenerations(t.ckptDir)
+	if err != nil {
+		tr.Err = err.Error()
+		t.advCancel()
+		close(t.advDone)
+		return tr
+	}
+	tr.Generations = len(gens)
+	if len(gens) > 0 {
+		// Monotonic numbering: resume past the newest file even if it is
+		// corrupt and we restore an older one.
+		t.nextGen.Store(gens[0].Gen + 1)
+	}
+	for _, g := range gens {
+		ck, err := core.LoadCheckpoint(g.Path)
+		if err != nil {
+			tr.CorruptSkipped++
+			continue
+		}
+		if err := t.restoreCheckpoint(ck); err != nil {
+			tr.CorruptSkipped++
+			continue
+		}
+		tr.RestoredGen = int64(g.Gen)
+		break
+	}
+	tr.FreshBootstrap = tr.RestoredGen < 0
+	t.restoredGen.Store(tr.RestoredGen)
+	if err := s.register(t, false); err != nil {
+		tr.Err = err.Error()
+		return tr
+	}
+	t.startAdvising()
+	return tr
+}
+
+// Halt stops the server abruptly without writing any durable state —
+// no final checkpoints, no manifest update. It models a crash for the
+// recovery tests (the process-level soak uses a real SIGKILL): queued
+// work is cancelled, workers stop after their current task, advising
+// loops stop at the next episode boundary. The on-disk state afterwards
+// is whatever the background checkpointer last persisted.
+func (s *Server) Halt() {
+	s.draining.Store(true)
+	s.sched.close()
+	if s.tickCancel != nil {
+		s.tickCancel()
+		<-s.tickDone
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.sched.drain(cancelled)
+	for _, t := range s.TenantList() {
+		t.stopAdvising()
+	}
 }
 
 // Tenant looks a tenant up.
@@ -230,6 +426,7 @@ type GlobalStats struct {
 	UptimeSec      float64 `json:"uptime_sec"`
 	Tier           int     `json:"tier"`
 	TierName       string  `json:"tier_name"`
+	Ready          bool    `json:"ready"`
 	Draining       bool    `json:"draining"`
 	Tenants        int     `json:"tenants"`
 	QueueDepth     int     `json:"queue_depth"`
@@ -249,6 +446,8 @@ type GlobalStats struct {
 	PausedCycles   int64   `json:"advise_paused_cycles"`
 	AdviseCycles   int64   `json:"advise_cycles"`
 	RatePerSec     float64 `json:"completion_rate_per_sec"`
+	Checkpoints    int64   `json:"checkpoints_written"`
+	CheckpointErrs int64   `json:"checkpoint_errors"`
 }
 
 // Stats assembles the global statistics snapshot.
@@ -257,6 +456,7 @@ func (s *Server) Stats() GlobalStats {
 		UptimeSec:      time.Since(s.start).Seconds(),
 		Tier:           int(s.ov.Tier()),
 		TierName:       s.ov.Tier().String(),
+		Ready:          s.ready.Load(),
 		Draining:       s.draining.Load(),
 		QueueDepth:     s.sched.depth(),
 		QueueCap:       s.cfg.MaxGlobalQueue,
@@ -278,6 +478,8 @@ func (s *Server) Stats() GlobalStats {
 		g.Tenants++
 		g.PausedCycles += t.pausedCycles.Load()
 		g.AdviseCycles += t.adviseCycles.Load()
+		g.Checkpoints += t.ckptWrites.Load()
+		g.CheckpointErrs += t.ckptErrs.Load()
 	}
 	return g
 }
@@ -316,6 +518,18 @@ func (s *Server) Shutdown(ctx context.Context) (ShutdownReport, error) {
 		t.stopAdvising()
 		if s.cfg.CheckpointDir != "" {
 			path, err := t.checkpoint(s.cfg.CheckpointDir)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			rep.Checkpoints = append(rep.Checkpoints, path)
+		}
+		if t.ckptDir != "" {
+			// A final generation after the loop stopped captures every
+			// episode trained since the last background checkpoint.
+			path, err := t.saveGeneration()
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -126,6 +127,13 @@ type TenantStats struct {
 	BestCost        float64           `json:"best_cost"`
 	Design          map[string]string `json:"design"`
 	Online          core.OnlineStats  `json:"online"`
+
+	// Durability counters (StateDir mode). RestoredGeneration is the
+	// checkpoint generation this tenant was recovered from, or -1 when it
+	// started fresh.
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	CheckpointErrors   int64 `json:"checkpoint_errors"`
+	RestoredGeneration int64 `json:"restored_generation"`
 }
 
 // advisorSnap is the advising goroutine's published view of the mutable
@@ -163,6 +171,21 @@ type Tenant struct {
 	advCancel context.CancelFunc
 	advDone   chan struct{}
 
+	// Generational checkpointing (StateDir mode). ckptDir/ckptKeep/
+	// ckptEvery are set once at construction; lastCkpt is owned by the
+	// advising goroutine. nextGen is the next generation number to write —
+	// recovery seeds it past the newest file found on disk (even a corrupt
+	// one) so generation numbers are monotonic across restarts.
+	ckptDir   string
+	ckptKeep  int
+	ckptEvery time.Duration
+	lastCkpt  time.Time
+
+	nextGen     atomic.Uint64
+	restoredGen atomic.Int64
+	ckptWrites  atomic.Int64
+	ckptErrs    atomic.Int64
+
 	batches        atomic.Int64
 	queries        atomic.Int64
 	shed           atomic.Int64
@@ -178,7 +201,12 @@ type Tenant struct {
 // newTenant builds the tenant: generates data, bootstraps the advisor
 // offline against the cost model, deploys the bootstrap suggestion, and
 // arms the guarded online cost. It does not start the advising loop.
-func newTenant(spec TenantSpec, adviseDefault time.Duration) (*Tenant, error) {
+//
+// The bootstrap is deterministic in (spec, seed): recovery rebuilds the
+// same tenant, then restores a checkpoint on top — the checkpoint's RNG
+// position is always at or past the freshly-bootstrapped advisor's, so
+// the core fast-forward restore contract holds.
+func newTenant(spec TenantSpec, cfg Config) (*Tenant, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
@@ -252,9 +280,18 @@ func newTenant(spec TenantSpec, adviseDefault time.Duration) (*Tenant, error) {
 		return ctx.Err() != nil || (t.paused != nil && t.paused())
 	}
 	t.snap.Store(&advisorSnap{episodes: adv.EpisodesTrained})
+	t.restoredGen.Store(-1)
 	if spec.AdviseEveryMS <= 0 {
-		spec.AdviseEveryMS = adviseDefault.Milliseconds()
+		spec.AdviseEveryMS = cfg.AdviseEvery.Milliseconds()
 		t.Spec.AdviseEveryMS = spec.AdviseEveryMS
+	}
+	if cfg.StateDir != "" {
+		t.ckptDir = filepath.Join(cfg.StateDir, ckptSubdir, spec.ID)
+		t.ckptKeep = cfg.CheckpointKeep
+		t.ckptEvery = cfg.CheckpointEvery
+		if err := os.MkdirAll(t.ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: tenant %s checkpoint dir: %w", spec.ID, err)
+		}
 	}
 	return t, nil
 }
@@ -278,6 +315,14 @@ func (t *Tenant) stopAdvising() {
 // Stop poll cuts an in-flight cycle at its next episode boundary.
 func (t *Tenant) adviseLoop(every time.Duration) {
 	defer close(t.advDone)
+	// Generation 0 is written here, not in CreateTenant: the advising
+	// goroutine is the advisor's single owner, so writing from the loop
+	// needs no locking. A tenant that dies before its first interval
+	// still recovers — from this bootstrap snapshot.
+	if t.ckptDir != "" && t.nextGen.Load() == 0 {
+		t.saveGeneration()
+		t.lastCkpt = time.Now()
+	}
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -288,10 +333,67 @@ func (t *Tenant) adviseLoop(every time.Duration) {
 		}
 		if t.paused != nil && t.paused() {
 			t.pausedCycles.Add(1)
-			continue
+		} else {
+			t.adviseOnce()
 		}
-		t.adviseOnce()
+		t.maybeCheckpoint()
 	}
+}
+
+// maybeCheckpoint writes a new checkpoint generation if the interval has
+// elapsed. Called only from the advising goroutine between cycles — an
+// episode boundary, so the advisor is never snapshotted mid-step.
+func (t *Tenant) maybeCheckpoint() {
+	if t.ckptDir == "" || t.ckptEvery <= 0 {
+		return
+	}
+	if time.Since(t.lastCkpt) < t.ckptEvery {
+		return
+	}
+	t.saveGeneration()
+	t.lastCkpt = time.Now()
+}
+
+// saveGeneration writes the next checkpoint generation atomically and
+// prunes old ones. Single-owner: callers are the advising goroutine (at
+// an episode boundary) or the server after stopAdvising.
+func (t *Tenant) saveGeneration() (string, error) {
+	gen := t.nextGen.Add(1) - 1
+	path := generationPath(t.ckptDir, gen)
+	if err := t.adv.SaveCheckpoint(path); err != nil {
+		t.ckptErrs.Add(1)
+		return "", fmt.Errorf("serve: tenant %s generation %d: %w", t.Spec.ID, gen, err)
+	}
+	t.ckptWrites.Add(1)
+	t.pruneGenerations()
+	return path, nil
+}
+
+// pruneGenerations removes all but the newest ckptKeep generations.
+func (t *Tenant) pruneGenerations() {
+	gens, err := listGenerations(t.ckptDir)
+	if err != nil || len(gens) <= t.ckptKeep {
+		return
+	}
+	for _, g := range gens[t.ckptKeep:] {
+		os.Remove(g.Path)
+	}
+}
+
+// restoreCheckpoint overlays a verified checkpoint onto the freshly
+// bootstrapped advisor and re-deploys its best suggestion so the engine's
+// layout matches the restored policy. Must run before startAdvising.
+func (t *Tenant) restoreCheckpoint(ck *core.Checkpoint) error {
+	if err := t.adv.Restore(ck); err != nil {
+		return err
+	}
+	st, _, err := t.adv.Suggest(t.wl.UniformFreq())
+	if err != nil {
+		return fmt.Errorf("serve: tenant %s post-restore suggestion: %w", t.Spec.ID, err)
+	}
+	t.eng.Deploy(st, nil)
+	t.snap.Store(&advisorSnap{episodes: t.adv.EpisodesTrained})
+	return nil
 }
 
 // adviseOnce runs one advising cycle against the current observed mix.
@@ -376,6 +478,10 @@ func (t *Tenant) Stats() TenantStats {
 		BytesMoved:      moved,
 		SimSeconds:      t.eng.SimNow(),
 		Design:          make(map[string]string),
+
+		CheckpointsWritten: t.ckptWrites.Load(),
+		CheckpointErrors:   t.ckptErrs.Load(),
+		RestoredGeneration: t.restoredGen.Load(),
 	}
 	if snap := t.snap.Load(); snap != nil {
 		s.EpisodesTrained = snap.episodes

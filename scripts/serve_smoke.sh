@@ -14,7 +14,12 @@ cd "$(dirname "$0")/.."
 
 port="${1:-18091}"
 dir="$(mktemp -d)"
-trap 'rm -rf "$dir"; kill "$pid" 2>/dev/null || true' EXIT
+# pid/lg start empty so the trap is safe under `set -u` even when a build
+# failure exits before either process is spawned; the trap must also reap
+# the background loadgen, not just advisord.
+pid=""
+lg=""
+trap 'kill "$pid" "$lg" 2>/dev/null || true; rm -rf "$dir"' EXIT
 
 go build -o "$dir/advisord" ./cmd/advisord
 go build -o "$dir/loadgen" ./cmd/loadgen
