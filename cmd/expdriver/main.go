@@ -6,6 +6,7 @@
 //
 //	expdriver [-exp <id>] [-profile repro|paper|test] [-scale F] [-seed N] [-list]
 //	          [-chaos] [-chaos-episodes N] [-guard]
+//	          [-skew] [-skew-faulty]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Run "expdriver -list" for the experiment ids. Without -exp, all
@@ -13,7 +14,9 @@
 // driver runs the chaos soak harness instead of the paper experiments and
 // exits non-zero on any invariant violation; -guard arms the online guard
 // inside the soak, adding the rollback-consistency and guarded-replay
-// invariants.
+// invariants. With -skew, the driver runs the hot-shard skew soak (seeded
+// adversarial traffic against the detection/mitigation loop); -skew-faulty
+// additionally crashes a node at detection time with self-healing armed.
 //
 // SIGINT/SIGTERM stop the driver gracefully: the in-flight experiment or
 // chaos episode finishes, partial results are printed, and the process
@@ -43,8 +46,10 @@ func main() {
 		seed       = flag.Int64("seed", 0, "seed override (default: profile's)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		chaosRun   = flag.Bool("chaos", false, "run the chaos soak harness instead of experiments")
-		chaosEps   = flag.Int("chaos-episodes", 3, "chaos soak episodes (with -chaos)")
+		chaosEps   = flag.Int("chaos-episodes", 3, "chaos soak episodes (with -chaos or -skew)")
 		guarded    = flag.Bool("guard", false, "arm the online guard in the chaos soak (with -chaos)")
+		skewRun    = flag.Bool("skew", false, "run the hot-shard skew soak instead of experiments")
+		skewFaulty = flag.Bool("skew-faulty", false, "compose the skew soak with a crash/rejoin fault (with -skew)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -88,6 +93,38 @@ func main() {
 			mode = " (guarded)"
 		}
 		fmt.Printf("chaos soak%s passed: %d episodes, 0 violations, %s (seed %d)\n",
+			mode, len(rep.Episodes), time.Since(start).Round(time.Millisecond), cfg.Seed)
+		return
+	}
+
+	if *skewRun {
+		cfg := chaos.SkewConfig{Episodes: *chaosEps, Seed: 1, Faulty: *skewFaulty, Stop: stop,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		start := time.Now()
+		rep, err := chaos.RunSkew(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: skew harness: %v\n", err)
+			os.Exit(1)
+		}
+		if vio := rep.Violations(); len(vio) > 0 {
+			for _, v := range vio {
+				fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		mode := ""
+		if *skewFaulty {
+			mode = " (faulty)"
+		}
+		fmt.Printf("skew soak%s passed: %d episodes, 0 violations, %s (seed %d)\n",
 			mode, len(rep.Episodes), time.Since(start).Round(time.Millisecond), cfg.Seed)
 		return
 	}

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSkewSoak replays the seeded celebrity trace (Zipf keys + flash-crowd
+// spike) against the hot-shard detection and mitigation loop, with every
+// invariant checked: engagement, post-mitigation heat bound, accounting
+// conservation, and bit-identical replay.
+func TestSkewSoak(t *testing.T) {
+	rep, err := RunSkew(SkewConfig{
+		Seed:            1,
+		Episodes:        2,
+		EpisodeDeadline: 5 * time.Minute,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("skew soak harness error: %v", err)
+	}
+	if got := len(rep.Episodes); got != 2 {
+		t.Fatalf("completed %d of 2 episodes", got)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("invariant violation: %s", v)
+	}
+	for _, ep := range rep.Episodes {
+		if ep.Mitigations == 0 {
+			t.Errorf("episode %d adopted no mitigation — the trace never melted a shard", ep.Episode)
+		}
+		if ep.FinalImbalance > 2 {
+			t.Errorf("episode %d post-mitigation imbalance %.2f", ep.Episode, ep.FinalImbalance)
+		}
+	}
+}
+
+// TestSkewSoakFaulty is the unified skew+chaos mode: the same adversarial
+// trace with a mid-trace crash/rejoin and self-healing armed. Conservation
+// and determinism must hold through the repair traffic, and the repair
+// machinery must actually have engaged.
+func TestSkewSoakFaulty(t *testing.T) {
+	rep, err := RunSkew(SkewConfig{
+		Seed:            1,
+		Episodes:        1,
+		Faulty:          true,
+		EpisodeDeadline: 5 * time.Minute,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("skew soak harness error: %v", err)
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("invariant violation: %s", v)
+	}
+	for _, ep := range rep.Episodes {
+		if ep.Repairs == 0 {
+			t.Errorf("episode %d: crash scheduled but no repair ran", ep.Episode)
+		}
+	}
+}

@@ -22,11 +22,25 @@ type Design struct {
 	// Replicated == false means round-robin (the initial layout of loaded
 	// data before any explicit design decision).
 	Key []string
+	// Salt (with a non-empty Key) spreads each key's rows across Salt
+	// consecutive hash buckets instead of one: a celebrity key's rows land
+	// on up to Salt nodes rather than melting a single shard. 0 disables
+	// salting. Queries still co-locate by hash bucket modulo the salt, so
+	// salting trades some join co-location for scan balance — exactly the
+	// production "key salting" mitigation.
+	Salt int
+	// HotSplit (with a non-empty Key) detects the modal value of the first
+	// key column at materialization time and spreads only that hot key's
+	// rows round-robin across all nodes, hashing everything else normally —
+	// the "split the hot key" mitigation. It is data-driven, so the fixed
+	// action space needs no per-value actions.
+	HotSplit bool
 }
 
 // Equal reports whether two designs are identical.
 func (d Design) Equal(o Design) bool {
-	if d.Replicated != o.Replicated || len(d.Key) != len(o.Key) {
+	if d.Replicated != o.Replicated || len(d.Key) != len(o.Key) ||
+		d.Salt != o.Salt || d.HotSplit != o.HotSplit {
 		return false
 	}
 	for i := range d.Key {
@@ -45,11 +59,20 @@ func (d Design) String() string {
 	if len(d.Key) == 0 {
 		return "ROUNDROBIN"
 	}
-	return fmt.Sprintf("HASH(%v)", d.Key)
+	s := fmt.Sprintf("HASH(%v)", d.Key)
+	if d.Salt > 0 {
+		s += fmt.Sprintf("+SALT(%d)", d.Salt)
+	}
+	if d.HotSplit {
+		s += "+HOTSPLIT"
+	}
+	return s
 }
 
 // canonical renders the design as a cache key: the key-column order is
-// significant (it changes the hash), so it is preserved verbatim.
+// significant (it changes the hash), so it is preserved verbatim, and the
+// salt/hot-split modifiers change the placement, so they are part of the
+// key too.
 func (d Design) canonical() string {
 	if d.Replicated {
 		return "R"
@@ -57,7 +80,21 @@ func (d Design) canonical() string {
 	if len(d.Key) == 0 {
 		return "RR"
 	}
-	return "H:" + strings.Join(d.Key, "\x1f")
+	s := "H:" + strings.Join(d.Key, "\x1f")
+	if d.Salt > 0 {
+		s += fmt.Sprintf("\x1eS%d", d.Salt)
+	}
+	if d.HotSplit {
+		s += "\x1eHS"
+	}
+	return s
+}
+
+// plainHash reports whether the design is an unmodified hash partitioning
+// (no salt, no hot-split) — the only placement whose appended rows land
+// identically to a re-split of the grown base.
+func (d Design) plainHash() bool {
+	return len(d.Key) > 0 && d.Salt == 0 && !d.HotSplit
 }
 
 // table is the stored state of one table.
@@ -324,18 +361,34 @@ func (c *Cluster) transitionBytes(name string, t *table, d Design) int64 {
 		return moved
 	}
 	var moved int64
-	if len(d.Key) == 0 {
+	switch {
+	case len(d.Key) == 0:
 		moved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
 			return row%c.n != node // not exact round-robin placement, estimate
 		})
-	} else {
-		keyIdx := make([]int, len(d.Key))
-		for i, k := range d.Key {
-			keyIdx[i] = t.base.ColIndex(k)
-			if keyIdx[i] < 0 {
-				panic(fmt.Sprintf("cluster: table %s has no column %q", name, k))
-			}
+	case d.Salt > 0 || d.HotSplit:
+		// Salted and hot-split placements depend on row ordinals within the
+		// target split, which a per-current-shard walk cannot reproduce
+		// exactly; like the round-robin case this is a consistent estimate
+		// (memoized per transition, so accounting stays deterministic).
+		keyIdx := keyIndices(name, t.base, d.Key)
+		var hotVal int64
+		hasHot := false
+		if d.HotSplit {
+			hotVal, hasHot = modalValue(t.base.ColAt(keyIdx[0]))
 		}
+		moved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
+			if hasHot && r.ColAt(keyIdx[0])[row] == hotVal {
+				return row%c.n != node
+			}
+			h := r.HashRow(row, keyIdx)
+			if d.Salt > 0 {
+				h += uint64(row % d.Salt)
+			}
+			return int(h%uint64(c.n)) != node
+		})
+	default:
+		keyIdx := keyIndices(name, t.base, d.Key)
 		moved = c.movedBytes(t, func(r *relation.Relation, row, node int) bool {
 			return int(r.HashRow(row, keyIdx)%uint64(c.n)) != node
 		})
@@ -363,13 +416,87 @@ func (c *Cluster) materialize(name string, t *table, d Design) {
 		return
 	}
 	c.misses++
-	if len(d.Key) == 0 {
-		t.shards = t.base.SplitRoundRobin(c.n)
-	} else {
-		t.shards = t.base.SplitByHash(d.Key, c.n)
-	}
+	t.shards = c.buildShards(name, t.base, d)
 	t.replica = nil
 	c.cachePut(name, key, t.shards)
+}
+
+// buildShards materializes the shard set of a partitioned design from
+// scratch: round-robin for the empty key, plain hashing, or the explicit
+// salted/hot-split assignment.
+func (c *Cluster) buildShards(name string, base *relation.Relation, d Design) []*relation.Relation {
+	if len(d.Key) == 0 {
+		return base.SplitRoundRobin(c.n)
+	}
+	if d.plainHash() {
+		return base.SplitByHash(d.Key, c.n)
+	}
+	keyIdx := keyIndices(name, base, d.Key)
+	return base.SplitByAssign(assignFor(base, d, keyIdx, c.n), c.n)
+}
+
+// keyIndices resolves the design's key columns on a relation, panicking on
+// unknown columns with the same contract as SplitByHash.
+func keyIndices(name string, r *relation.Relation, key []string) []int {
+	keyIdx := make([]int, len(key))
+	for i, k := range key {
+		keyIdx[i] = r.ColIndex(k)
+		if keyIdx[i] < 0 {
+			panic(fmt.Sprintf("cluster: table %s has no column %q", name, k))
+		}
+	}
+	return keyIdx
+}
+
+// assignFor computes the per-row node assignment of a salted and/or
+// hot-split hash design. Deterministic: the hot key is the modal value of
+// the first key column (ties break to the smallest value), its rows go
+// round-robin in row order; every other row hashes normally, with the salt
+// spreading consecutive same-key rows across Salt adjacent buckets.
+func assignFor(r *relation.Relation, d Design, keyIdx []int, n int) []int32 {
+	rows := r.Rows()
+	out := make([]int32, rows)
+	var keyCol []int64
+	var hotVal int64
+	hasHot := false
+	if d.HotSplit {
+		keyCol = r.ColAt(keyIdx[0])
+		hotVal, hasHot = modalValue(keyCol)
+	}
+	hotSeen := 0
+	for row := 0; row < rows; row++ {
+		if hasHot && keyCol[row] == hotVal {
+			out[row] = int32(hotSeen % n)
+			hotSeen++
+			continue
+		}
+		h := r.HashRow(row, keyIdx)
+		if d.Salt > 0 {
+			h += uint64(row % d.Salt)
+		}
+		out[row] = int32(h % uint64(n))
+	}
+	return out
+}
+
+// modalValue returns the most frequent value of a column (ties break to
+// the smallest value, so the answer is deterministic); ok is false for an
+// empty column.
+func modalValue(col []int64) (mode int64, ok bool) {
+	if len(col) == 0 {
+		return 0, false
+	}
+	counts := make(map[int64]int, len(col)/4+1)
+	for _, v := range col {
+		counts[v]++
+	}
+	bestN := 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < mode) {
+			mode, bestN = v, n
+		}
+	}
+	return mode, true
 }
 
 // MaterializeDesign returns the shard set (or replica) a table would have
@@ -397,11 +524,7 @@ func (c *Cluster) MaterializeDesign(name string, d Design) (shards []*relation.R
 		return shards, nil
 	}
 	c.misses++
-	if len(d.Key) == 0 {
-		shards = t.base.SplitRoundRobin(c.n)
-	} else {
-		shards = t.base.SplitByHash(d.Key, c.n)
-	}
+	shards = c.buildShards(name, t.base, d)
 	c.cachePut(name, key, shards)
 	return shards, nil
 }
@@ -442,14 +565,7 @@ func (c *Cluster) Append(name string, rows *relation.Relation) {
 	switch {
 	case t.design.Replicated:
 		t.replica = t.base // replicas alias base
-	case len(t.design.Key) == 0:
-		// Round-robin placement of appended rows restarts at node 0, so the
-		// updated shards differ from a fresh SplitRoundRobin of the grown
-		// base; they are NOT re-registered in the cache (a later revisit
-		// rebuilds, exactly like the pre-cache engine).
-		add := rows.SplitRoundRobin(c.n)
-		t.shards = concatShards(t.shards, add)
-	default:
+	case t.design.plainHash():
 		// Hash placement is row-order independent: appending the hash-split
 		// of the new rows yields byte-identical shards to re-splitting the
 		// grown base, so the updated set is re-registered as this design's
@@ -457,6 +573,15 @@ func (c *Cluster) Append(name string, rows *relation.Relation) {
 		add := rows.SplitByHash(t.design.Key, c.n)
 		t.shards = concatShards(t.shards, add)
 		c.cachePut(name, t.design.canonical(), t.shards)
+	default:
+		// Round-robin, salted and hot-split placements depend on row
+		// ordinals (and, for hot-split, the modal key of the split input),
+		// which restart for the appended batch: the updated shards differ
+		// from a fresh split of the grown base, so they are NOT
+		// re-registered in the cache (a later revisit rebuilds, exactly
+		// like the pre-cache engine).
+		add := c.buildShards(name, rows, t.design)
+		t.shards = concatShards(t.shards, add)
 	}
 }
 

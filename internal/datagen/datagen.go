@@ -71,10 +71,28 @@ func (g *Gen) FK(n int, refKeys []int64) []int64 {
 }
 
 // FKZipf returns n foreign-key values drawn from refKeys with a Zipfian
-// (skewed) distribution of exponent s > 1.
+// (skewed) distribution of exponent s > 1. Two argument regimes would make
+// rand.NewZipf unusable and must be caught here: an empty refKeys underflows
+// uint64(len-1) to 2^64-1, and s <= 1 makes NewZipf return nil (its draw
+// would then panic with an opaque nil dereference deep in math/rand). Both
+// are caller bugs, so they panic with a message naming the bad argument.
+// A single ref key degenerates to a constant column without touching NewZipf
+// (imax = 0 is rejected by some Go versions' parameter checks).
 func (g *Gen) FKZipf(n int, refKeys []int64, s float64) []int64 {
-	z := rand.NewZipf(g.rng, s, 1, uint64(len(refKeys)-1))
+	if len(refKeys) == 0 {
+		panic("datagen: FKZipf with empty refKeys")
+	}
+	if s <= 1 {
+		panic("datagen: FKZipf exponent s must be > 1")
+	}
 	out := make([]int64, n)
+	if len(refKeys) == 1 {
+		for i := range out {
+			out[i] = refKeys[0]
+		}
+		return out
+	}
+	z := rand.NewZipf(g.rng, s, 1, uint64(len(refKeys)-1))
 	for i := range out {
 		out[i] = refKeys[z.Uint64()]
 	}

@@ -180,6 +180,13 @@ func (e *Engine) runBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 
 	aborted := func() bool { return abort != nil && abort.Aborted() }
 
+	// Per-position heat captures: each worker copies its scratch's heat
+	// entries out by position, and only the charged prefix is merged below —
+	// speculatively executed positions past an abort contribute nothing, so
+	// the cumulative heat matrix stays a pure function of the charged
+	// prefix (bit-identical at every worker count).
+	heats := make([][]heatEntry, len(qs))
+
 	runOne := func(s *execScratch, i int) {
 		if inj != nil && inj.TransientFailureAt(batch, i) {
 			// The query dies before doing real work (worker restart,
@@ -199,6 +206,9 @@ func (e *Engine) runBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 		}
 		rep.Reports[i] = r
 		rep.Errs[i] = x.err
+		if len(x.heat) > 0 {
+			heats[i] = append([]heatEntry(nil), x.heat...)
+		}
 		s.release() // rewind the arena; the report holds only scalars
 	}
 
@@ -283,6 +293,7 @@ func (e *Engine) runBatchQueriesAbort(qs []BatchQuery, workers int, abort *Batch
 			rep.Aborts++
 		}
 		rep.DegradedSeconds += rep.Reports[i].DegradedSeconds
+		e.mergeHeat(heats[i])
 	}
 	e.simNow += rep.Seconds
 	return rep

@@ -76,6 +76,12 @@ type Engine struct {
 	view      atomic.Pointer[engineView]
 	scratches []*execScratch
 
+	// heat is the cumulative per-shard access matrix (schema-table-order ×
+	// node, flat), fed by the charged prefix of every batch and by single
+	// Executes; heatIdx maps table name → row. See heat.go.
+	heat    []int64
+	heatIdx map[string]int
+
 	// faults is the armed fault schedule (nil = perfect cluster) and
 	// simNow the simulated clock it is evaluated against; see faults.go.
 	faults *faults.Injector
@@ -112,6 +118,11 @@ type Engine struct {
 // loaded empty.
 func New(sch *schema.Schema, data map[string]*relation.Relation, hw hardware.Profile, flavor Flavor) *Engine {
 	e := &Engine{Schema: sch, HW: hw, Flavor: flavor, cluster: cluster.New(hw.Nodes)}
+	e.heat = make([]int64, len(sch.Tables)*hw.Nodes)
+	e.heatIdx = make(map[string]int, len(sch.Tables))
+	for i, t := range sch.Tables {
+		e.heatIdx[t.Name] = i
+	}
 	for _, t := range sch.Tables {
 		rel := data[t.Name]
 		if rel == nil {
@@ -140,10 +151,13 @@ func (e *Engine) TrueCatalog() *stats.Catalog { return e.trueCat }
 // EstCatalog exposes the optimizer's (possibly stale) statistics.
 func (e *Engine) EstCatalog() *stats.Catalog { return e.estCat }
 
-// designOf converts a partitioning state's table design to the cluster form.
+// designOf converts a partitioning state's table design to the cluster form,
+// carrying the hot-shard mitigation fields (salt, hot-split) through to the
+// physical layout.
 func designOf(st *partition.State, table string) cluster.Design {
 	if key, ok := st.KeyOf(table); ok {
-		return cluster.Design{Key: key}
+		td := st.Design(table)
+		return cluster.Design{Key: key, Salt: td.Salt, HotSplit: td.HotSplit}
 	}
 	return cluster.Design{Replicated: true}
 }

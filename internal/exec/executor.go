@@ -106,6 +106,10 @@ type executor struct {
 	next    []int32
 	rows32  []int32
 	counts  []int
+
+	// heat accumulates this query's per-shard emitted-row counts (see
+	// heat.go); recycled across queries, reset by prepare.
+	heat []heatEntry
 }
 
 func (x *executor) charge(seconds float64) bool {
@@ -297,6 +301,19 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 		d.replica = apply(replica)
 		bytes := float64(replica.Rows()) * rowWidth
 		x.charge((bytes/hw.ScanBytesPerSec + float64(replica.Rows())/hw.CPUTuplesPerSec) * x.maxLiveSlowdown())
+		// Every live node scans its own full copy, so a replicated scan
+		// heats every survivor equally — by construction it cannot skew.
+		if emitted := int64(d.replica.Rows()); emitted > 0 {
+			if x.fc != nil {
+				for _, n := range x.fc.live {
+					x.addHeat(ref.Table, n, emitted)
+				}
+			} else {
+				for n := 0; n < hw.Nodes; n++ {
+					x.addHeat(ref.Table, n, emitted)
+				}
+			}
+		}
 		if x.fc != nil && len(x.fc.live) < len(x.fc.down) {
 			x.tracef("scan %s as %s [replicated, %d rows, failover to %d/%d live nodes]",
 				ref.Table, ref.Alias, replica.Rows(), len(x.fc.live), len(x.fc.down))
@@ -325,6 +342,7 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 			}
 		}
 		d.shards[i] = apply(s)
+		x.addHeat(ref.Table, i, int64(d.shards[i].Rows()))
 		sec := (float64(s.Rows())*rowWidth/hw.ScanBytesPerSec + float64(s.Rows())/hw.CPUTuplesPerSec) * x.slowdown(i)
 		if sec > maxSec {
 			maxSec = sec
@@ -332,7 +350,11 @@ func (x *executor) scan(ref sqlparse.TableRef) *dist {
 	}
 	x.charge(maxSec)
 	x.tracef("scan %s as %s [%s, %d rows]", ref.Table, ref.Alias, t.design, d.realRows())
-	if design := t.design; len(design.Key) > 0 {
+	// Salted and hot-split layouts spread equal key values across nodes, so
+	// the shards are NOT hash-pure on the key: advertising partCols would let
+	// the join planner zip shards as if co-partitioned and silently drop
+	// matches. Only a plain hash layout carries its partitioning downstream.
+	if design := t.design; len(design.Key) > 0 && design.Salt == 0 && !design.HotSplit {
 		d.partCols = make([][]string, len(design.Key))
 		for i, k := range design.Key {
 			d.partCols[i] = []string{ref.Alias + "." + k}

@@ -179,6 +179,7 @@ func (e *Engine) Execute(g *sqlparse.Graph, limit float64) (RunReport, error) {
 	x := s.prepare(e.layoutLocked(), g, limit, start, e.faultCtx())
 	sec, aborted := x.run()
 	err := x.err
+	e.mergeHeat(x.heat)
 	e.putScratchLocked(s)
 	e.simNow += sec
 	rep := RunReport{Seconds: sec, Aborted: aborted}

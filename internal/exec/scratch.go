@@ -38,6 +38,7 @@ func (s *execScratch) prepare(lay *layoutSnap, g *sqlparse.Graph, limit, now flo
 	x.err = nil
 	x.trace = nil
 	x.items = x.items[:0]
+	x.heat = x.heat[:0]
 	if x.aliasIdx == nil {
 		x.aliasIdx = make(map[string]int, len(g.Refs))
 		x.colTable = make(map[string]string)

@@ -47,6 +47,10 @@ type layoutSnap struct {
 	estCat *stats.Catalog
 	schema *schema.Schema
 	hw     hardware.Profile
+	// tableIdx maps table name → heat-matrix row (schema table order);
+	// shared with the engine and never mutated. nil in hand-built test
+	// snapshots, which then simply record no heat.
+	tableIdx map[string]int
 }
 
 // table returns the snapshot of a table, panicking on unknown names with
@@ -70,11 +74,12 @@ func (e *Engine) layoutLocked() *layoutSnap {
 		return e.layout
 	}
 	lay := &layoutSnap{
-		rev:    rev,
-		tables: make(map[string]*tableSnap, len(e.Schema.Tables)),
-		estCat: e.estCat,
-		schema: e.Schema,
-		hw:     e.HW,
+		rev:      rev,
+		tables:   make(map[string]*tableSnap, len(e.Schema.Tables)),
+		estCat:   e.estCat,
+		schema:   e.Schema,
+		hw:       e.HW,
+		tableIdx: e.heatIdx,
 	}
 	for _, name := range e.Schema.TableNames() {
 		shards, replica, _ := e.cluster.Shards(name)
@@ -106,6 +111,9 @@ type engineView struct {
 	repairedBytes int64
 	repairs       int
 	repairLog     []RepairRecord
+	// heat is a private copy of the cumulative shard-heat matrix at publish
+	// time; ShardHeat sub-slices it, so it must never be mutated.
+	heat []int64
 }
 
 // publishLocked snapshots the engine's observable state into the atomic
@@ -125,6 +133,7 @@ func (e *Engine) publishLocked() {
 		// repairLog is append-only: sharing the slice header is safe, the
 		// elements below len never mutate.
 		repairLog: e.repairLog,
+		heat:      append([]int64(nil), e.heat...),
 	})
 }
 

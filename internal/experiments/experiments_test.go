@@ -58,7 +58,7 @@ func TestIDsCovered(t *testing.T) {
 	// the cheap ones; the expensive ones are covered by dedicated tests and
 	// the bench harness).
 	ids := IDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("IDs = %v", ids)
 	}
 }
@@ -409,5 +409,43 @@ func TestGuardedOnlineExperiment(t *testing.T) {
 		if plain[col] != "0" {
 			t.Fatalf("unguarded run reports guard activity: %v", plain)
 		}
+	}
+}
+
+func TestHotshardAgentContainsMelt(t *testing.T) {
+	r, err := Hotshard(ReproConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "hotshard" || len(r.Rows) != 3 {
+		t.Fatalf("hotshard result = %+v", r)
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("hotshard cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	fk, pk, agent := r.Rows[0], r.Rows[1], r.Rows[2]
+	// The static FK layout melts: its heat imbalance must be well above the
+	// balanced layouts'.
+	if im := cell(fk, 3); im < 2 {
+		t.Fatalf("static FK layout did not melt (imbalance %v)", im)
+	}
+	// The agent contains the melt: at least one mitigation adopted, final
+	// imbalance near balanced, mean window cost beating the melting static.
+	if m := cell(agent, 4); m < 1 {
+		t.Fatalf("agent adopted no mitigation: %v", agent)
+	}
+	if im := cell(agent, 3); im > 2 {
+		t.Fatalf("agent's final imbalance %v still above bound", im)
+	}
+	if a, f := cell(agent, 1), cell(fk, 1); a >= f {
+		t.Fatalf("agent mean window %v not below melting static's %v", a, f)
+	}
+	// The hindsight static stays balanced by construction.
+	if im := cell(pk, 3); im != 1 {
+		t.Fatalf("hindsight PK imbalance = %v", im)
 	}
 }

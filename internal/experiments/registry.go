@@ -18,6 +18,7 @@ func IDs() []string {
 		"availability",
 		"ablations",
 		"guard",
+		"hotshard",
 	}
 }
 
@@ -65,6 +66,9 @@ func Run(id string, cfg Config) ([]*Result, error) {
 		return []*Result{r}, err
 	case "guard":
 		r, err := GuardedOnline(cfg)
+		return []*Result{r}, err
+	case "hotshard":
+		r, err := Hotshard(cfg)
 		return []*Result{r}, err
 	}
 	known := IDs()
@@ -154,7 +158,10 @@ func RunAll(cfg Config) ([]*Result, error) {
 	if err := add(Run("availability", cfg)); err != nil || stopped() {
 		return out, err
 	}
-	if err := add(Run("guard", cfg)); err != nil {
+	if err := add(Run("guard", cfg)); err != nil || stopped() {
+		return out, err
+	}
+	if err := add(Run("hotshard", cfg)); err != nil {
 		return out, err
 	}
 	// Restore presentation order.

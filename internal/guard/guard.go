@@ -350,7 +350,8 @@ func (g *Guard) Rollback(to *partition.State, fromSig string) float64 {
 	for _, ts := range to.Space().Tables {
 		want := cluster.Design{Replicated: true}
 		if key, ok := to.KeyOf(ts.Name); ok {
-			want = cluster.Design{Key: key}
+			td := to.Design(ts.Name)
+			want = cluster.Design{Key: key, Salt: td.Salt, HotSplit: td.HotSplit}
 		}
 		if !g.eng.CurrentDesign(ts.Name).Equal(want) {
 			consistent = false

@@ -15,8 +15,17 @@ const (
 	ActReplicate
 	ActActivateEdge
 	ActDeactivateEdge
+	// Hot-shard mitigation actions, present only in spaces built with
+	// Options.EnableMitigations. They come after the base kinds so base
+	// spaces keep identical kind indices and feature widths.
+	ActSaltKey
+	ActHotSplit
 	numActionKinds
 )
+
+// numBaseActionKinds is the kind one-hot width of spaces without
+// mitigations — the historical width, preserved for encoding stability.
+const numBaseActionKinds = ActDeactivateEdge + 1
 
 // String names the action kind.
 func (k ActionKind) String() string {
@@ -29,6 +38,10 @@ func (k ActionKind) String() string {
 		return "activate-edge"
 	case ActDeactivateEdge:
 		return "deactivate-edge"
+	case ActSaltKey:
+		return "salt-key"
+	case ActHotSplit:
+		return "hot-split"
 	}
 	return fmt.Sprintf("ActionKind(%d)", uint8(k))
 }
@@ -59,6 +72,14 @@ func (sp *Space) buildActions() {
 		sp.actions = append(sp.actions, Action{Kind: ActActivateEdge, Edge: ei})
 		sp.actions = append(sp.actions, Action{Kind: ActDeactivateEdge, Edge: ei})
 	}
+	if sp.mitigations {
+		// Mitigation actions are appended after the base enumeration so the
+		// base prefix matches a mitigation-free space over the same schema.
+		for ti := range sp.Tables {
+			sp.actions = append(sp.actions, Action{Kind: ActSaltKey, Table: ti})
+			sp.actions = append(sp.actions, Action{Kind: ActHotSplit, Table: ti})
+		}
+	}
 }
 
 // Actions returns the global action list (do not mutate).
@@ -78,6 +99,10 @@ func (sp *Space) ActionString(a Action) string {
 		return fmt.Sprintf("activate edge %s", sp.Edges[a.Edge])
 	case ActDeactivateEdge:
 		return fmt.Sprintf("deactivate edge %s", sp.Edges[a.Edge])
+	case ActSaltKey:
+		return fmt.Sprintf("salt %s (x%d)", sp.Tables[a.Table].Name, sp.saltFactor)
+	case ActHotSplit:
+		return fmt.Sprintf("hot-split %s", sp.Tables[a.Table].Name)
 	}
 	return a.Kind.String()
 }
@@ -91,9 +116,17 @@ func (sp *Space) Valid(s *State, a Action) bool {
 	switch a.Kind {
 	case ActPartition:
 		d := s.Tables[a.Table]
-		return d.Replicated || d.Key != a.Key
+		// Re-partitioning by the current key is a no-op unless it clears an
+		// applied mitigation (the agent's way to undo a salt/hot-split).
+		return d.Replicated || d.Key != a.Key || d.Salt > 0 || d.HotSplit
 	case ActReplicate:
 		return !s.Tables[a.Table].Replicated
+	case ActSaltKey:
+		d := s.Tables[a.Table]
+		return !d.Replicated && d.Salt == 0
+	case ActHotSplit:
+		d := s.Tables[a.Table]
+		return !d.Replicated && !d.HotSplit
 	case ActActivateEdge:
 		if s.Edges[a.Edge] {
 			return false
@@ -135,9 +168,13 @@ func (sp *Space) ValidActions(s *State, buf []int) []int {
 // Consistency is restored automatically:
 //
 //   - partitioning a table deactivates incident edges that would now require
-//     a different attribute on that table,
+//     a different attribute on that table (and clears any mitigation),
 //   - replicating a table deactivates all incident edges,
-//   - activating an edge re-partitions both endpoints by the edge attributes.
+//   - activating an edge re-partitions both endpoints by the edge attributes
+//     (clearing their mitigations),
+//   - salting or hot-splitting a table deactivates all incident edges: rows
+//     sharing a key value no longer co-locate, so co-partitioned local joins
+//     are off the table until the mitigation is cleared.
 func (sp *Space) Apply(s *State, a Action) *State {
 	if !sp.Valid(s, a) {
 		panic(fmt.Sprintf("partition: applying invalid action %s to state %s", sp.ActionString(a), s))
@@ -174,6 +211,16 @@ func (sp *Space) Apply(s *State, a Action) *State {
 		}
 	case ActDeactivateEdge:
 		n.Edges[a.Edge] = false
+	case ActSaltKey:
+		n.Tables[a.Table].Salt = sp.saltFactor
+		for _, ei := range sp.EdgesFor(a.Table) {
+			n.Edges[ei] = false
+		}
+	case ActHotSplit:
+		n.Tables[a.Table].HotSplit = true
+		for _, ei := range sp.EdgesFor(a.Table) {
+			n.Edges[ei] = false
+		}
 	}
 	return n
 }
@@ -187,6 +234,16 @@ func (sp *Space) RandomValidAction(s *State, rng *rand.Rand, buf []int) int {
 	return valid[rng.Intn(len(valid))]
 }
 
+// kindSlots is the width of the action-kind one-hot: the two mitigation
+// kinds only occupy feature slots in spaces that can emit them, so base
+// spaces keep their historical feature length.
+func (sp *Space) kindSlots() int {
+	if sp.mitigations {
+		return int(numActionKinds)
+	}
+	return int(numBaseActionKinds)
+}
+
 // ActionFeatureLen returns the length of the one-hot action feature vector
 // used by the paper-faithful scalar Q(s,a) head: kind ⊕ table ⊕ flattened
 // key slot ⊕ edge.
@@ -195,7 +252,7 @@ func (sp *Space) ActionFeatureLen() int {
 	for _, ts := range sp.Tables {
 		keySlots += len(ts.Keys)
 	}
-	return int(numActionKinds) + len(sp.Tables) + keySlots + len(sp.Edges)
+	return sp.kindSlots() + len(sp.Tables) + keySlots + len(sp.Edges)
 }
 
 // EncodeAction writes the one-hot action features into dst (length
@@ -208,7 +265,7 @@ func (sp *Space) EncodeAction(a Action, dst []float64) {
 		dst[i] = 0
 	}
 	dst[int(a.Kind)] = 1
-	tblBase := int(numActionKinds)
+	tblBase := sp.kindSlots()
 	keyBase := tblBase + len(sp.Tables)
 	keySlots := 0
 	for _, ts := range sp.Tables {
@@ -223,7 +280,7 @@ func (sp *Space) EncodeAction(a Action, dst []float64) {
 			off += len(sp.Tables[i].Keys)
 		}
 		dst[keyBase+off+a.Key] = 1
-	case ActReplicate:
+	case ActReplicate, ActSaltKey, ActHotSplit:
 		dst[tblBase+a.Table] = 1
 	case ActActivateEdge, ActDeactivateEdge:
 		dst[edgeBase+a.Edge] = 1

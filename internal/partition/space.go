@@ -81,6 +81,15 @@ type Options struct {
 	// actions) from the space — the ablation of the paper's claim that
 	// explicit edges reduce exploration of sub-optimal partitionings.
 	DisableEdges bool
+	// EnableMitigations adds the hot-shard mitigation actions (key salting,
+	// hot-key split) per table, two mitigation bits per table block to the
+	// state encoding, and two extra kind slots to the action features. Off
+	// by default: spaces built without it keep byte-identical encodings,
+	// action lists and feature lengths.
+	EnableMitigations bool
+	// SaltFactor is the bucket spread applied by the salt action (default 4
+	// when EnableMitigations is set).
+	SaltFactor int
 }
 
 // Space is the full partitioning design space for one schema + workload: the
@@ -97,6 +106,9 @@ type Space struct {
 	// encoding offsets
 	tableOffsets []int // offset of table i's block in the state vector
 	stateLen     int
+	// hot-shard mitigation support (Options.EnableMitigations)
+	mitigations bool
+	saltFactor  int
 }
 
 // NewSpace builds the design space. Candidate keys per table are, in order:
@@ -106,7 +118,15 @@ type Space struct {
 // survived as single-attribute candidate keys (otherwise activating the edge
 // could never be consistent).
 func NewSpace(sch *schema.Schema, workloadEdges []schema.JoinEdge, opts Options) *Space {
-	sp := &Space{Schema: sch, tableIdx: make(map[string]int, len(sch.Tables))}
+	sp := &Space{
+		Schema:      sch,
+		tableIdx:    make(map[string]int, len(sch.Tables)),
+		mitigations: opts.EnableMitigations,
+		saltFactor:  opts.SaltFactor,
+	}
+	if sp.mitigations && sp.saltFactor <= 0 {
+		sp.saltFactor = 4
+	}
 	allEdges := schema.MergeEdges(sch.ForeignKeyEdges(), workloadEdges, opts.ExtraEdges)
 
 	accept := func(table string, k Key) bool {
@@ -197,6 +217,9 @@ func (sp *Space) buildOffsets() {
 	for i, ts := range sp.Tables {
 		sp.tableOffsets[i] = off
 		off += 1 + len(ts.Keys) // replicated bit + key one-hot
+		if sp.mitigations {
+			off += 2 // salted bit + hot-split bit
+		}
 	}
 	sp.stateLen = off + len(sp.Edges)
 }
@@ -204,6 +227,14 @@ func (sp *Space) buildOffsets() {
 // StateLen returns the length of the binary partitioning-state encoding
 // (table blocks plus edge bits, excluding workload frequencies).
 func (sp *Space) StateLen() int { return sp.stateLen }
+
+// Mitigations reports whether the space includes the hot-shard mitigation
+// actions (Options.EnableMitigations).
+func (sp *Space) Mitigations() bool { return sp.mitigations }
+
+// SaltFactor returns the bucket spread the salt action applies (0 when
+// mitigations are disabled).
+func (sp *Space) SaltFactor() int { return sp.saltFactor }
 
 // Describe renders the design space for logging.
 func (sp *Space) Describe() string {

@@ -6,12 +6,22 @@ import (
 )
 
 // TableDesign is the physical design of one table: replicated to every node,
-// or hash-partitioned by the candidate key with the given index.
+// or hash-partitioned by the candidate key with the given index, optionally
+// with a hot-shard mitigation applied on top of the hash layout.
 type TableDesign struct {
 	Replicated bool
 	// Key indexes into the table's TableSpace.Keys; it is meaningful only
 	// when Replicated is false.
 	Key int
+	// Salt > 0 spreads each key's rows across Salt adjacent hash buckets —
+	// the key-salting mitigation for hot shards. Only meaningful for
+	// hash-partitioned tables, and only present in spaces built with
+	// Options.EnableMitigations.
+	Salt int
+	// HotSplit splits the hottest key value of the partitioning column
+	// round-robin across all nodes while the rest hash normally — the
+	// hot-key-split mitigation. Same availability rules as Salt.
+	HotSplit bool
 }
 
 // State is one point of the design space: a physical design per table plus
@@ -137,7 +147,14 @@ func (s *State) tableSig(i int, d TableDesign) string {
 	if d.Replicated {
 		return s.space.Tables[i].Name + "=R"
 	}
-	return s.space.Tables[i].Name + "=H(" + s.space.Tables[i].Keys[d.Key].String() + ")"
+	sig := s.space.Tables[i].Name + "=H(" + s.space.Tables[i].Keys[d.Key].String() + ")"
+	if d.Salt > 0 {
+		sig += fmt.Sprintf("+S%d", d.Salt)
+	}
+	if d.HotSplit {
+		sig += "+HS"
+	}
+	return sig
 }
 
 // DiffTables returns the names of tables whose physical design differs
@@ -168,6 +185,18 @@ func (s *State) Encode(dst []float64) {
 			dst[off] = 1
 		} else {
 			dst[off+1+d.Key] = 1
+			if s.space.mitigations {
+				// Two trailing mitigation bits per table block (salted,
+				// hot-split) — present only in mitigation-enabled spaces so
+				// existing encodings stay byte-identical.
+				mit := off + 1 + len(s.space.Tables[i].Keys)
+				if d.Salt > 0 {
+					dst[mit] = 1
+				}
+				if d.HotSplit {
+					dst[mit+1] = 1
+				}
+			}
 		}
 	}
 	base := s.space.stateLen - len(s.Edges)
@@ -204,6 +233,11 @@ func (s *State) CheckInvariants() error {
 			if !(len(k) == 1 && k[0] == end.attr) {
 				return fmt.Errorf("edge %d (%s) active but table %s is partitioned by %s", i, e, end.table, k)
 			}
+			d := s.Tables[s.space.TableIndex(end.table)]
+			if d.Salt > 0 || d.HotSplit {
+				return fmt.Errorf("edge %d (%s) active but table %s has a hot-shard mitigation (salt=%d hotSplit=%v)",
+					i, e, end.table, d.Salt, d.HotSplit)
+			}
 		}
 	}
 	return nil
@@ -221,6 +255,12 @@ func (s *State) String() string {
 			fmt.Fprintf(&b, "%s: REPLICATE", name)
 		} else {
 			fmt.Fprintf(&b, "%s: HASH%s", name, keyParen(s.space.Tables[i].Keys[d.Key]))
+			if d.Salt > 0 {
+				fmt.Fprintf(&b, "+SALT(%d)", d.Salt)
+			}
+			if d.HotSplit {
+				b.WriteString("+HOTSPLIT")
+			}
 		}
 	}
 	var act []string

@@ -293,6 +293,16 @@ func (r *Relation) scatter(nodes []int32, n int) []*Relation {
 	return shards
 }
 
+// SplitByAssign builds n shards from an explicit per-row node assignment
+// (len(nodes) == Rows(), each entry in [0, n)) — the escape hatch for
+// placements plain hashing cannot express: salted keys, hot-key splits.
+func (r *Relation) SplitByAssign(nodes []int32, n int) []*Relation {
+	if len(nodes) != r.Rows() {
+		panic(fmt.Sprintf("relation %s: assignment length %d != %d rows", r.Name, len(nodes), r.Rows()))
+	}
+	return r.scatter(nodes, n)
+}
+
 // SplitRoundRobin splits the relation into n equal shards (the layout of
 // freshly bulk-loaded rows before any explicit partitioning).
 func (r *Relation) SplitRoundRobin(n int) []*Relation {

@@ -57,6 +57,54 @@ func TestForecasterTrendExtrapolates(t *testing.T) {
 	}
 }
 
+// Multi-step horizons: with a trend, the raw extrapolation is linear in
+// steps, so against a steady ballast slot a rising slot's normalized share
+// grows monotonically with the horizon, and every horizon stays a valid
+// max-normalized, non-negative mix.
+func TestForecasterMultiStepHorizon(t *testing.T) {
+	f, err := NewForecaster(3, 0.6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0 rises, slot 1 falls, slot 2 is steady ballast.
+	up := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	for i, v := range up {
+		if err := f.Observe(FreqVector{v, 0.5 - v/2, 1}); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	prev := -1.0
+	for steps := 1; steps <= 4; steps++ {
+		fc := f.Forecast(steps)
+		maxV := 0.0
+		for _, v := range fc {
+			if v < 0 || v > 1 {
+				t.Fatalf("steps=%d: share out of [0,1] in %v", steps, fc)
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if math.Abs(maxV-1) > 1e-9 {
+			t.Fatalf("steps=%d: forecast not max-normalized (max %v)", steps, maxV)
+		}
+		if fc[0] <= prev {
+			t.Fatalf("steps=%d: rising slot share %v not above horizon %d's %v",
+				steps, fc[0], steps-1, prev)
+		}
+		prev = fc[0]
+	}
+	// Horizon 0 is the smoothed level itself: no trend contribution.
+	base := f.Forecast(0)
+	lvl := append(FreqVector{}, f.level...)
+	want := lvl.Normalize()
+	for i := range base {
+		if math.Abs(base[i]-want[i]) > 1e-12 {
+			t.Fatalf("Forecast(0) = %v, want normalized level %v", base, want)
+		}
+	}
+}
+
 func TestForecasterClampsNegative(t *testing.T) {
 	f, _ := NewForecaster(2, 0.9, true)
 	for _, v := range []float64{1.0, 0.6, 0.2, 0.05} {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# skew_soak.sh — run the hot-shard skew soak: seeded adversarial traffic
+# (Zipf-skewed keys plus a flash-crowd spike) replayed against the
+# hot-shard detection and mitigation loop, with invariant checks
+# (mitigation engagement, post-mitigation heat bound, accounting
+# conservation, bit-identical seeded replay).
+#
+# Usage: scripts/skew_soak.sh [episodes] [seed] [faulty]
+#
+# Defaults to 2 episodes at seed 1 (≈ seconds). Pass "faulty" as the third
+# argument for the unified skew+chaos mode: a node crashes the moment the
+# detector first fires, with rejoin and self-healing armed — the soak then
+# also requires the repair machinery to engage. Exits non-zero on any
+# invariant violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+episodes="${1:-2}"
+seed="${2:-1}"
+mode="${3:-}"
+
+args=(-skew -chaos-episodes "$episodes" -seed "$seed")
+if [[ "$mode" == "faulty" ]]; then
+  args+=(-skew-faulty)
+fi
+
+go run ./cmd/expdriver "${args[@]}"
